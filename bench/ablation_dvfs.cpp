@@ -1,0 +1,78 @@
+// Ablation: IHW is orthogonal to DVFS (the paper's introduction claims the
+// two compose: "can be combined with these techniques to further reduce the
+// power consumption"). A first-order DVFS model (dynamic power ~ V^2 f with
+// f ~ V, so ~V^3; static ~ V) applied on top of the HotSpot breakdown, with
+// and without the IHW units enabled.
+#include <cstdio>
+
+#include "apps/hotspot.h"
+#include "apps/runner.h"
+#include "common/args.h"
+#include "common/table.h"
+
+using namespace ihw;
+using namespace ihw::apps;
+
+namespace {
+
+struct Operating {
+  double power_w;
+  double perf;     // relative performance (frequency ratio)
+  double quality;  // 1.0 = exact outputs
+};
+
+// First-order DVFS: dynamic scales ~v^3 (V^2 * f with f ~ V), static ~v.
+// ihw_saving is a fraction of *total* power, all of it removed from the
+// dynamic component (the arithmetic units are purely dynamic consumers).
+Operating apply_dvfs(const gpu::PowerBreakdown& b, double ihw_saving,
+                     double v) {
+  const double dyn_w = (b.total_w - b.static_w) - ihw_saving * b.total_w;
+  return {dyn_w * v * v * v + b.static_w * v, v, 1.0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Args args(argc, argv);
+  HotspotParams p;
+  p.rows = p.cols = static_cast<std::size_t>(args.get_int("size", 192));
+  p.iterations = 20;
+  const auto input = make_hotspot_input(p, 7);
+  const auto counters = run_with_config(
+      IhwConfig::precise(), [&] { run_hotspot<gpu::SimFloat>(p, input); });
+
+  gpu::GpuPowerParams params;
+  params.dram_fraction = 0.15;
+  const auto rep = analyze_gpu_run(counters, IhwConfig::all_imprecise(), params);
+  const double base_w = rep.breakdown.total_w;
+  const double ihw_saving = rep.savings.system_power_impr;
+
+  common::Table t({"technique", "power (W)", "saving", "relative perf",
+                   "quality"});
+  auto row = [&](const char* name, Operating op, const char* quality) {
+    t.row()
+        .add(name)
+        .add(op.power_w, 1)
+        .add(common::pct(1.0 - op.power_w / base_w))
+        .add(common::fmt(op.perf, 2) + "x")
+        .add(quality);
+  };
+  row("baseline (precise, nominal V)", {base_w, 1.0, 1.0}, "exact");
+  row("DVFS to 0.9 V", apply_dvfs(rep.breakdown, 0.0, 0.9), "exact");
+  row("DVFS to 0.8 V", apply_dvfs(rep.breakdown, 0.0, 0.8), "exact");
+  row("IHW (all units)", apply_dvfs(rep.breakdown, ihw_saving, 1.0),
+      "negligible loss");
+  row("IHW + DVFS 0.9 V", apply_dvfs(rep.breakdown, ihw_saving, 0.9),
+      "negligible loss");
+  row("IHW + DVFS 0.8 V", apply_dvfs(rep.breakdown, ihw_saving, 0.8),
+      "negligible loss");
+
+  std::printf("== Ablation: IHW composed with DVFS (HotSpot op mix) ==\n");
+  std::printf("%s", t.str().c_str());
+  std::printf("(the paper's orthogonality claim: DVFS trades power against "
+              "performance, IHW against quality -- combined they multiply, "
+              "reaching ~%.0f%%+ saving where neither alone can)\n",
+              (1.0 - apply_dvfs(rep.breakdown, ihw_saving, 0.8).power_w /
+                         base_w) * 100.0);
+  return 0;
+}

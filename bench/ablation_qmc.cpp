@@ -1,0 +1,67 @@
+// Ablation: why quasi-Monte-Carlo for error characterization (Ch. 4.2's
+// methodological choice). Compares the worst-case-error estimate of the
+// full-path multiplier under Sobol', Halton, and plain pseudo-random
+// sampling as the sample budget grows: the low-discrepancy sequences find
+// the error extremes with orders of magnitude fewer samples.
+#include <cmath>
+#include <cstdio>
+
+#include "common/args.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "ihw/acfp_mul.h"
+#include "qmc/halton.h"
+#include "qmc/sobol.h"
+
+using namespace ihw;
+
+namespace {
+
+double observe(float a, float b) {
+  const double exact = static_cast<double>(a) * static_cast<double>(b);
+  const double approx = acfp_mul(a, b, AcfpPath::Full, 0);
+  return std::fabs(approx - exact) / exact;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Args args(argc, argv);
+  const auto max_n = static_cast<std::uint64_t>(args.get_int("samples", 1u << 20));
+  const double truth = 1.0 / 49.0;  // the Ch. 4.1.2 bound
+
+  qmc::Sobol sobol(2);
+  qmc::Halton halton(2);
+  common::Xoshiro256 rng(3);
+
+  double max_sobol = 0.0, max_halton = 0.0, max_mc = 0.0;
+  common::Table t({"samples", "Sobol max%", "Halton max%", "pseudo-MC max%",
+                   "bound"});
+  std::uint64_t next_report = 256;
+  double pt[2];
+  for (std::uint64_t i = 1; i <= max_n; ++i) {
+    sobol.next(pt);
+    max_sobol = std::max(max_sobol, observe(1.0f + static_cast<float>(pt[0]),
+                                            1.0f + static_cast<float>(pt[1])));
+    halton.next(pt);
+    max_halton = std::max(max_halton, observe(1.0f + static_cast<float>(pt[0]),
+                                              1.0f + static_cast<float>(pt[1])));
+    max_mc = std::max(max_mc, observe(1.0f + rng.uniformf(), 1.0f + rng.uniformf()));
+    if (i == next_report) {
+      t.row()
+          .add(static_cast<long long>(i))
+          .add(max_sobol * 100.0, 4)
+          .add(max_halton * 100.0, 4)
+          .add(max_mc * 100.0, 4)
+          .add(truth * 100.0, 4);
+      next_report *= 8;
+    }
+  }
+  std::printf("== Ablation: characterization sampling strategy (full-path "
+              "multiplier, emax -> %.4f%%) ==\n", truth * 100.0);
+  std::printf("%s", t.str().c_str());
+  std::printf("(the paper's low-discrepancy choice: stratified points sweep "
+              "the mantissa plane systematically instead of waiting for a "
+              "lucky draw near the error ridge)\n");
+  return 0;
+}

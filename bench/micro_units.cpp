@@ -1,0 +1,101 @@
+// Micro-throughput benchmarks (google-benchmark) of the functional models:
+// useful for regression-tracking the simulator's own speed (these measure
+// host-CPU cost of the bit-level models, not the modeled hardware).
+#include <benchmark/benchmark.h>
+
+#include "arith/datapath.h"
+#include "arith/mitchell.h"
+#include "common/rng.h"
+#include "ihw/ihw.h"
+
+using namespace ihw;
+
+namespace {
+
+std::vector<float> inputs(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(0.001, 1000.0));
+  return v;
+}
+
+void BM_PreciseMul(benchmark::State& state) {
+  const auto a = inputs(1024, 1), b = inputs(1024, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a[i & 1023] * b[i & 1023]);
+    ++i;
+  }
+}
+BENCHMARK(BM_PreciseMul);
+
+void BM_IfpMul(benchmark::State& state) {
+  const auto a = inputs(1024, 1), b = inputs(1024, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ifp_mul(a[i & 1023], b[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IfpMul);
+
+void BM_AcfpMulLog(benchmark::State& state) {
+  const auto a = inputs(1024, 1), b = inputs(1024, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        acfp_mul(a[i & 1023], b[i & 1023], AcfpPath::Log, 0));
+    ++i;
+  }
+}
+BENCHMARK(BM_AcfpMulLog);
+
+void BM_AcfpMulFull(benchmark::State& state) {
+  const auto a = inputs(1024, 1), b = inputs(1024, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        acfp_mul(a[i & 1023], b[i & 1023], AcfpPath::Full, 0));
+    ++i;
+  }
+}
+BENCHMARK(BM_AcfpMulFull);
+
+void BM_IfpAdd(benchmark::State& state) {
+  const auto a = inputs(1024, 1), b = inputs(1024, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ifp_add(a[i & 1023], b[i & 1023], 8));
+    ++i;
+  }
+}
+BENCHMARK(BM_IfpAdd);
+
+void BM_Ircp(benchmark::State& state) {
+  const auto a = inputs(1024, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ircp(a[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Ircp);
+
+void BM_MitchellFixed(benchmark::State& state) {
+  common::Xoshiro256 rng(3);
+  std::vector<std::uint64_t> a(1024), b(1024);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    a[i] = rng() >> 41;
+    b[i] = rng() >> 41;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arith::mitchell_mul(a[i & 1023], b[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_MitchellFixed);
+
+}  // namespace
+
+BENCHMARK_MAIN();

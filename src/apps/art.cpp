@@ -1,0 +1,101 @@
+#include "apps/art.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ihw::apps {
+namespace {
+using std::sqrt;  // plain-double instantiation; SimDouble resolves via ADL
+
+// The "airplane" prototype: a fuselage with swept wings and tail, drawn into
+// a window-sized grid with smooth (thermal) intensity falloff.
+common::GridD make_prototype(std::size_t w) {
+  common::GridD proto(w, w, 0.05);
+  const double mid = static_cast<double>(w - 1) / 2.0;
+  for (std::size_t r = 0; r < w; ++r)
+    for (std::size_t c = 0; c < w; ++c) {
+      const double y = static_cast<double>(r) - mid;
+      const double x = static_cast<double>(c) - mid;
+      double v = 0.05;
+      if (std::fabs(x) < 1.3) v = 1.0;                                  // fuselage
+      if (std::fabs(y) < 1.2 && std::fabs(x) < mid * 0.9) v = 0.9;      // wings
+      if (y > mid * 0.55 && std::fabs(x) < mid * 0.45) v = 0.8;         // tail
+      proto(r, c) = v;
+    }
+  return proto;
+}
+
+}  // namespace
+
+ArtInput make_art_input(const ArtParams& p, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  ArtInput in;
+  in.prototype = make_prototype(p.window);
+  in.scene = common::GridD(p.scene, p.scene, 0.0);
+
+  // Cool background with gentle gradient + sensor noise.
+  for (std::size_t r = 0; r < p.scene; ++r)
+    for (std::size_t c = 0; c < p.scene; ++c)
+      in.scene(r, c) = 0.12 + 0.08 * static_cast<double>(r) / static_cast<double>(p.scene) +
+                       p.noise * (rng.uniform() - 0.5);
+
+  // Embed the (warm) object at a random interior position.
+  const std::size_t span = p.scene - p.window;
+  in.true_r = static_cast<std::size_t>(rng.uniform(0.0, static_cast<double>(span)));
+  in.true_c = static_cast<std::size_t>(rng.uniform(0.0, static_cast<double>(span)));
+  for (std::size_t r = 0; r < p.window; ++r)
+    for (std::size_t c = 0; c < p.window; ++c)
+      in.scene(in.true_r + r, in.true_c + c) +=
+          in.prototype(r, c) * (0.85 + p.noise * (rng.uniform() - 0.5));
+  return in;
+}
+
+template <typename Real>
+ArtResult run_art(const ArtParams& p, const ArtInput& input) {
+  const std::size_t w = p.window;
+  const std::size_t span = p.scene - w;
+
+  // F2 weight vector; its norm and the per-window input norms are part of
+  // the trained network (computed offline, full precision), so the vigilance
+  // denominator is exact -- the bottom-up activation (the billions of
+  // multiply-accumulates) is what runs on the imprecise multiplier.
+  common::Grid<Real> weights(w, w);
+  double norm_w = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights.data()[i] = Real(input.prototype.data()[i]);
+    norm_w += input.prototype.data()[i] * input.prototype.data()[i];
+  }
+  norm_w = std::sqrt(norm_w);
+
+  ArtResult res;
+  double best = -1.0;
+  for (std::size_t r0 = 0; r0 <= span; ++r0) {
+    for (std::size_t c0 = 0; c0 <= span; ++c0) {
+      // Resonance test: normalized bottom-up activation of the category.
+      Real dot_iw(0.0);
+      double norm_i = 0.0;
+      for (std::size_t r = 0; r < w; ++r)
+        for (std::size_t c = 0; c < w; ++c) {
+          const double ivd = input.scene(r0 + r, c0 + c);
+          dot_iw += Real(ivd) * weights(r, c);
+          norm_i += ivd * ivd;
+        }
+      const double vig =
+          static_cast<double>(dot_iw) / (std::sqrt(norm_i) * norm_w);
+      if (vig > best) {
+        best = vig;
+        res.found_r = r0;
+        res.found_c = c0;
+      }
+    }
+  }
+  res.vigilance = best;
+  res.correct = res.found_r == input.true_r && res.found_c == input.true_c;
+  return res;
+}
+
+template ArtResult run_art<double>(const ArtParams&, const ArtInput&);
+template ArtResult run_art<gpu::SimDouble>(const ArtParams&, const ArtInput&);
+
+}  // namespace ihw::apps

@@ -1,0 +1,42 @@
+#pragma once
+// 179.art-like workload: Adaptive-Resonance-Theory object recognition in a
+// thermal image (SPEC2000). A learned prototype (the F2 category weights) is
+// scanned across the scene; the resonance test computes the normalized match
+// (vigilance) at each window. The benchmark's output is the recognized
+// object's coordinates plus the confidence of match, which is the paper's
+// quality metric (Fig. 21a). Double precision, multiplication-dominated.
+#include <cstdint>
+
+#include "common/image.h"
+#include "gpu/simreal.h"
+
+namespace ihw::apps {
+
+struct ArtParams {
+  std::size_t scene = 64;    // scene side (pixels)
+  std::size_t window = 16;   // prototype side
+  double noise = 0.08;       // scene noise amplitude
+};
+
+struct ArtInput {
+  common::GridD scene;       // thermal image
+  common::GridD prototype;   // learned F2 weights
+  std::size_t true_r = 0, true_c = 0;  // embedded object position
+};
+
+ArtInput make_art_input(const ArtParams& p, std::uint64_t seed);
+
+struct ArtResult {
+  std::size_t found_r = 0, found_c = 0;
+  double vigilance = 0.0;  // confidence of match at the found position
+  bool correct = false;    // found == embedded position
+};
+
+template <typename Real>
+ArtResult run_art(const ArtParams& p, const ArtInput& input);
+
+extern template ArtResult run_art<double>(const ArtParams&, const ArtInput&);
+extern template ArtResult run_art<gpu::SimDouble>(const ArtParams&,
+                                                  const ArtInput&);
+
+}  // namespace ihw::apps

@@ -1,0 +1,38 @@
+#pragma once
+// CP (Coulomb Potential, Parboil-style): computes the electrostatic
+// potential on a 2-D lattice slice induced by a cloud of point charges, the
+// preparation step for placing counterions near a biological molecule ahead
+// of molecular-dynamics simulation. As in the paper's study, the ~20% of
+// multiplications that produce lattice coordinates are kept precise; only
+// the potential accumulation runs on the imprecise units.
+#include <cstdint>
+#include <vector>
+
+#include "common/image.h"
+#include "gpu/simreal.h"
+
+namespace ihw::apps {
+
+struct CpParams {
+  std::size_t grid = 128;     // lattice points per side
+  std::size_t natoms = 192;
+  double spacing = 0.05;      // lattice spacing (nm)
+  double slice_z = 0.4;       // z of the evaluated lattice plane
+};
+
+struct CpAtom {
+  float x, y, z, q;
+};
+
+std::vector<CpAtom> make_cp_atoms(const CpParams& p, std::uint64_t seed);
+
+/// Returns the potential at every lattice point of the slice.
+template <typename Real>
+common::GridF run_cp(const CpParams& p, const std::vector<CpAtom>& atoms);
+
+extern template common::GridF run_cp<float>(const CpParams&,
+                                            const std::vector<CpAtom>&);
+extern template common::GridF run_cp<gpu::SimFloat>(const CpParams&,
+                                                    const std::vector<CpAtom>&);
+
+}  // namespace ihw::apps

@@ -1,0 +1,46 @@
+#pragma once
+// 435.gromacs-like workload: molecular-dynamics simulation of a
+// Lennard-Jones + Coulomb particle box with velocity-Verlet integration
+// (SPEC2006's gromacs simulates solvated lysozyme; this is the same force
+// loop on a synthetic box). Double precision, multiplication-dominated. The
+// benchmark output is the average potential energy; as in the SPEC run
+// rules the paper cites, a result within 1.25% of the reference is correct
+// (MD is chaotic, so per-trajectory agreement is not expected).
+#include <cstdint>
+#include <vector>
+
+#include "gpu/simreal.h"
+
+namespace ihw::apps {
+
+struct MdParams {
+  int side = 5;           // particles per box edge (side^3 total)
+  int steps = 80;
+  double dt = 0.004;      // reduced time units
+  double density = 0.8;   // reduced LJ density
+  double cutoff = 2.5;    // LJ cutoff (sigma units)
+  double charge = 0.2;    // alternating partial charges
+};
+
+struct MdState {
+  std::vector<double> x, y, z;
+  std::vector<double> vx, vy, vz;
+  std::vector<double> q;
+  double box = 0.0;
+};
+
+MdState make_md_state(const MdParams& p, std::uint64_t seed);
+
+struct MdResult {
+  double avg_potential = 0.0;   // time average over the second half
+  double final_potential = 0.0;
+  double avg_kinetic = 0.0;
+};
+
+template <typename Real>
+MdResult run_md(const MdParams& p, const MdState& initial);
+
+extern template MdResult run_md<double>(const MdParams&, const MdState&);
+extern template MdResult run_md<gpu::SimDouble>(const MdParams&, const MdState&);
+
+}  // namespace ihw::apps

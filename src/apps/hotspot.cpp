@@ -1,0 +1,255 @@
+#include "apps/hotspot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ihw::apps {
+namespace {
+
+using gpu::gload;
+using gpu::gstore;
+using gpu::rcp;
+
+}  // namespace
+
+HotspotInput make_hotspot_input(const HotspotParams& p, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  HotspotInput in;
+  in.temp = common::GridF(p.rows, p.cols,
+                          static_cast<float>(p.amb_temp) + 236.0f);  // ~316 K
+  in.power = common::GridF(p.rows, p.cols, 0.0f);
+
+  // A floorplan-like power map: background logic plus a handful of hot
+  // functional blocks (FPUs, register files...) at random placements.
+  // Densities are scaled so the steady-state field lands in the 320-350 K
+  // band of Rodinia's shipped temp_512 input.
+  for (auto& v : in.power) v = 0.001f + 0.001f * rng.uniformf();
+  const int blocks = 12;
+  for (int b = 0; b < blocks; ++b) {
+    // Block extents scale with (and never exceed) the grid.
+    const std::size_t h = std::min(
+        p.rows, 24 + static_cast<std::size_t>(rng.uniform(0, 64)));
+    const std::size_t w = std::min(
+        p.cols, 24 + static_cast<std::size_t>(rng.uniform(0, 64)));
+    const std::size_t r0 = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<double>(p.rows - h)));
+    const std::size_t c0 = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<double>(p.cols - w)));
+    const float density = 0.008f + 0.012f * rng.uniformf();
+    for (std::size_t r = r0; r < r0 + h; ++r)
+      for (std::size_t c = c0; c < c0 + w; ++c) in.power(r, c) += density;
+  }
+
+  if (!p.steady_init) return in;
+
+  // Rodinia ships steady-state temperature inputs (temp_512 matches
+  // power_512), so the benchmark measures equilibrium tracking rather than
+  // a cold-start transient. Reproduce that: relax the field to (near)
+  // steady state with a plain double-precision solver before handing it out.
+  const double grid_h = p.chip_height / static_cast<double>(p.rows);
+  const double grid_w = p.chip_width / static_cast<double>(p.cols);
+  const double cap = p.factor_chip * p.spec_heat * p.t_chip * grid_h * grid_w;
+  const double rx = grid_w / (2.0 * p.k_si * p.t_chip * grid_h);
+  const double ry = grid_h / (2.0 * p.k_si * p.t_chip * grid_w);
+  const double rz = p.t_chip / (p.k_si * grid_h * grid_w);
+  // Largest stable explicit step (the lateral conductances dominate).
+  const double step = 0.9 * cap / (2.0 / rx + 2.0 / ry + 1.0 / rz);
+  const double sdc = step / cap;
+  const double amb = p.amb_temp + 236.0;
+
+  std::vector<double> t(in.temp.begin(), in.temp.end());
+  std::vector<double> tn(t.size());
+  const std::size_t rows = p.rows, cols = p.cols;
+  for (int it = 0; it < 3000; ++it) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t i = r * cols + c;
+        const double tc = t[i];
+        const double tN = r > 0 ? t[i - cols] : tc;
+        const double tS = r + 1 < rows ? t[i + cols] : tc;
+        const double tW = c > 0 ? t[i - 1] : tc;
+        const double tE = c + 1 < cols ? t[i + 1] : tc;
+        tn[i] = tc + sdc * (in.power(r, c) + (tN + tS - 2.0 * tc) / ry +
+                            (tW + tE - 2.0 * tc) / rx + (amb - tc) / rz);
+      }
+    }
+    t.swap(tn);
+  }
+  for (std::size_t i = 0; i < t.size(); ++i)
+    in.temp.data()[i] = static_cast<float>(t[i]);
+  return in;
+}
+
+template <typename Real>
+common::GridF run_hotspot(const HotspotParams& p, const HotspotInput& input) {
+  const std::size_t rows = p.rows, cols = p.cols;
+
+  // Host-side (precise) derivation of the Rodinia simulation constants.
+  const double grid_h = p.chip_height / static_cast<double>(rows);
+  const double grid_w = p.chip_width / static_cast<double>(cols);
+  const double cap = p.factor_chip * p.spec_heat * p.t_chip * grid_h * grid_w;
+  const double rx = grid_w / (2.0 * p.k_si * p.t_chip * grid_h);
+  const double ry = grid_h / (2.0 * p.k_si * p.t_chip * grid_w);
+  const double rz = p.t_chip / (p.k_si * grid_h * grid_w);
+  const double max_slope = p.max_pd / (p.factor_chip * p.t_chip * p.spec_heat);
+  const double step = p.precision / max_slope;
+
+  const Real step_div_cap = Real(static_cast<float>(step / cap));
+  const Real rx_r = Real(static_cast<float>(rx));
+  const Real ry_r = Real(static_cast<float>(ry));
+  const Real rz_r = Real(static_cast<float>(rz));
+  const Real amb = Real(static_cast<float>(p.amb_temp) + 236.0f);
+  const Real two = Real(2.0f);
+
+  common::Grid<Real> t(rows, cols), t_next(rows, cols), pow_in(rows, cols);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = Real(input.temp.data()[i]);
+    pow_in.data()[i] = Real(input.power.data()[i]);
+  }
+  // Rodinia divides by the thermal resistances inside the kernel; with
+  // fast-math (the Fermi default for this benchmark) nvcc emits rcp + mul,
+  // which is what routes this work through the imprecise reciprocal SFU.
+  const gpu::Dim3 block(16, 16);
+  const gpu::Dim3 grid(static_cast<unsigned>((cols + 15) / 16),
+                       static_cast<unsigned>((rows + 15) / 16));
+
+  for (int it = 0; it < p.iterations; ++it) {
+    gpu::launch(grid, block, [&](const gpu::ThreadCtx& tc) {
+      const std::size_t c = tc.global_x();
+      const std::size_t r = tc.global_y();
+      if (r >= rows || c >= cols) return;
+      // Neighbour fetch with replicated boundary (Rodinia's behaviour).
+      const std::size_t rn = r > 0 ? r - 1 : r;
+      const std::size_t rs = r + 1 < rows ? r + 1 : r;
+      const std::size_t cw = c > 0 ? c - 1 : c;
+      const std::size_t ce = c + 1 < cols ? c + 1 : c;
+
+      const Real tc_ = gload(t(r, c));
+      const Real tn = gload(t(rn, c));
+      const Real ts = gload(t(rs, c));
+      const Real tw = gload(t(r, cw));
+      const Real te = gload(t(r, ce));
+      const Real pw = gload(pow_in(r, c));
+
+      const Real two_t = two * tc_;
+      const Real vert = (tn + ts - two_t) * rcp(ry_r);
+      const Real horiz = (tw + te - two_t) * rcp(rx_r);
+      const Real sink = (amb - tc_) * rcp(rz_r);
+      const Real delta = step_div_cap * (pw + vert + horiz + sink);
+      gstore(t_next(r, c), tc_ + delta);
+    });
+    std::swap(t, t_next);
+  }
+
+  common::GridF out(rows, cols);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = static_cast<float>(t.data()[i]);
+  return out;
+}
+
+template <typename Real>
+common::GridF run_hotspot_tiled(const HotspotParams& p,
+                                const HotspotInput& input) {
+  const std::size_t rows = p.rows, cols = p.cols;
+  const double grid_h = p.chip_height / static_cast<double>(rows);
+  const double grid_w = p.chip_width / static_cast<double>(cols);
+  const double cap = p.factor_chip * p.spec_heat * p.t_chip * grid_h * grid_w;
+  const double rx = grid_w / (2.0 * p.k_si * p.t_chip * grid_h);
+  const double ry = grid_h / (2.0 * p.k_si * p.t_chip * grid_w);
+  const double rz = p.t_chip / (p.k_si * grid_h * grid_w);
+  const double max_slope = p.max_pd / (p.factor_chip * p.t_chip * p.spec_heat);
+  const double step = p.precision / max_slope;
+
+  const Real step_div_cap = Real(static_cast<float>(step / cap));
+  const Real rx_r = Real(static_cast<float>(rx));
+  const Real ry_r = Real(static_cast<float>(ry));
+  const Real rz_r = Real(static_cast<float>(rz));
+  const Real amb = Real(static_cast<float>(p.amb_temp) + 236.0f);
+  const Real two = Real(2.0f);
+
+  common::Grid<Real> t(rows, cols), t_next(rows, cols), pow_in(rows, cols);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = Real(input.temp.data()[i]);
+    pow_in.data()[i] = Real(input.power.data()[i]);
+  }
+
+  constexpr unsigned B = 16;        // block edge
+  constexpr unsigned TB = B + 2;    // haloed tile edge
+  const gpu::Dim3 block(B, B);
+  const gpu::Dim3 grid(static_cast<unsigned>((cols + B - 1) / B),
+                       static_cast<unsigned>((rows + B - 1) / B));
+
+  // Clamped global fetch (replicated boundary, as in run_hotspot).
+  auto fetch = [&](std::ptrdiff_t r, std::ptrdiff_t c) {
+    const std::size_t rr = static_cast<std::size_t>(
+        std::clamp<std::ptrdiff_t>(r, 0, static_cast<std::ptrdiff_t>(rows) - 1));
+    const std::size_t cc = static_cast<std::size_t>(
+        std::clamp<std::ptrdiff_t>(c, 0, static_cast<std::ptrdiff_t>(cols) - 1));
+    return gpu::gload(t(rr, cc));
+  };
+
+  for (int it = 0; it < p.iterations; ++it) {
+    gpu::launch_blocks(grid, block, [&](const gpu::BlockCtx& blk) {
+      std::vector<Real> tile(TB * TB, Real(0.0f));
+      auto tix = [&](unsigned ty, unsigned tx) -> Real& {
+        return tile[ty * TB + tx];
+      };
+      const std::ptrdiff_t base_r =
+          static_cast<std::ptrdiff_t>(blk.block_idx().y) * B;
+      const std::ptrdiff_t base_c =
+          static_cast<std::ptrdiff_t>(blk.block_idx().x) * B;
+
+      // Phase 1: cooperative tile load (center + halo), then barrier.
+      blk.phase([&](const gpu::ThreadCtx& tc) {
+        const unsigned tx = tc.thread_idx.x, ty = tc.thread_idx.y;
+        const std::ptrdiff_t gr = base_r + ty, gc = base_c + tx;
+        tix(ty + 1, tx + 1) = fetch(gr, gc);
+        if (ty == 0) tix(0, tx + 1) = fetch(gr - 1, gc);
+        if (ty == B - 1) tix(TB - 1, tx + 1) = fetch(gr + 1, gc);
+        if (tx == 0) tix(ty + 1, 0) = fetch(gr, gc - 1);
+        if (tx == B - 1) tix(ty + 1, TB - 1) = fetch(gr, gc + 1);
+      });
+
+      // Phase 2: compute from the shared tile and store.
+      blk.phase([&](const gpu::ThreadCtx& tc) {
+        const unsigned tx = tc.thread_idx.x, ty = tc.thread_idx.y;
+        const std::size_t r = static_cast<std::size_t>(base_r) + ty;
+        const std::size_t c = static_cast<std::size_t>(base_c) + tx;
+        if (r >= rows || c >= cols) return;
+        const Real tc_ = tix(ty + 1, tx + 1);
+        const Real tn = tix(ty, tx + 1);
+        const Real ts = tix(ty + 2, tx + 1);
+        const Real tw = tix(ty + 1, tx);
+        const Real te = tix(ty + 1, tx + 2);
+        const Real pw = gpu::gload(pow_in(r, c));
+
+        const Real two_t = two * tc_;
+        const Real vert = (tn + ts - two_t) * rcp(ry_r);
+        const Real horiz = (tw + te - two_t) * rcp(rx_r);
+        const Real sink = (amb - tc_) * rcp(rz_r);
+        const Real delta = step_div_cap * (pw + vert + horiz + sink);
+        gpu::gstore(t_next(r, c), tc_ + delta);
+      });
+    });
+    std::swap(t, t_next);
+  }
+
+  common::GridF out(rows, cols);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = static_cast<float>(t.data()[i]);
+  return out;
+}
+
+template common::GridF run_hotspot<float>(const HotspotParams&,
+                                          const HotspotInput&);
+template common::GridF run_hotspot<gpu::SimFloat>(const HotspotParams&,
+                                                  const HotspotInput&);
+template common::GridF run_hotspot_tiled<float>(const HotspotParams&,
+                                                const HotspotInput&);
+template common::GridF run_hotspot_tiled<gpu::SimFloat>(const HotspotParams&,
+                                                        const HotspotInput&);
+
+}  // namespace ihw::apps

@@ -1,0 +1,30 @@
+#pragma once
+// RayTracing (ISPASS2009-style RAY benchmark): a Whitted ray tracer over a
+// reflective sphere scene with a checkered ground plane, point light and
+// shadows. Reflection bounces compound arithmetic error, which is exactly
+// why the paper finds this workload the least tolerant of imprecise
+// multiplication (Figs. 17-18). Quality metric: SSIM against the precise
+// rendering.
+#include <cstdint>
+
+#include "common/image.h"
+#include "gpu/simreal.h"
+
+namespace ihw::apps {
+
+struct RayParams {
+  std::size_t width = 256;
+  std::size_t height = 256;
+  int max_depth = 4;     // reflection bounces
+  bool shadows = true;   // cast shadow rays (ablation knob)
+};
+
+/// Renders the benchmark scene with the scalar type Real (gpu::SimFloat to
+/// run on the instrumented simulator under the active FpContext).
+template <typename Real>
+common::RgbImage render_ray(const RayParams& p);
+
+extern template common::RgbImage render_ray<float>(const RayParams&);
+extern template common::RgbImage render_ray<gpu::SimFloat>(const RayParams&);
+
+}  // namespace ihw::apps

@@ -1,0 +1,19 @@
+#include "apps/runner.h"
+
+namespace ihw::apps {
+
+GpuRunReport analyze_gpu_run(const gpu::PerfCounters& counters,
+                             const ihw::IhwConfig& config,
+                             const gpu::GpuPowerParams& params,
+                             const gpu::GpuConfig& machine) {
+  static const power::SynthesisDb db;
+  GpuRunReport report;
+  report.counters = counters;
+  report.config = config;
+  report.breakdown = gpu::estimate_power(counters, machine, db, params);
+  report.savings = power::estimate_savings(
+      counters.to_op_counts(), config, report.breakdown.unit_shares(), db);
+  return report;
+}
+
+}  // namespace ihw::apps

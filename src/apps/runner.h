@@ -1,0 +1,35 @@
+#pragma once
+// Glue between an application run and the power-quality framework: takes the
+// performance counters collected during a SimFloat run and produces the
+// GPUWattch-like baseline breakdown plus the Fig. 12 system savings for a
+// given IHW configuration.
+#include "gpu/context.h"
+#include "gpu/wattch.h"
+#include "power/syspower.h"
+
+namespace ihw::apps {
+
+struct GpuRunReport {
+  gpu::PerfCounters counters;
+  gpu::PowerBreakdown breakdown;   // precise-hardware power breakdown (Fig. 2)
+  power::SystemSavings savings;    // Fig. 12 estimate under `config`
+  ihw::IhwConfig config;
+};
+
+/// Analyzes one kernel's counters under an IHW configuration.
+GpuRunReport analyze_gpu_run(const gpu::PerfCounters& counters,
+                             const ihw::IhwConfig& config,
+                             const gpu::GpuPowerParams& params = {},
+                             const gpu::GpuConfig& machine = {});
+
+/// Convenience: runs `body` inside a fresh FpContext with `config` installed
+/// and returns the collected counters.
+template <typename Body>
+gpu::PerfCounters run_with_config(const ihw::IhwConfig& config, Body&& body) {
+  gpu::FpContext ctx(config);
+  gpu::ScopedContext scope(ctx);
+  body();
+  return ctx.counters();
+}
+
+}  // namespace ihw::apps

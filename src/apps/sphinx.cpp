@@ -1,0 +1,122 @@
+#include "apps/sphinx.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ihw::apps {
+namespace {
+
+double gaussian(common::Xoshiro256& rng) {
+  // Sum of uniforms (Irwin-Hall) -- good enough for feature synthesis and
+  // fully deterministic across platforms.
+  double s = 0.0;
+  for (int i = 0; i < 12; ++i) s += rng.uniform();
+  return s - 6.0;
+}
+
+}  // namespace
+
+SphinxCorpus make_sphinx_corpus(const SphinxParams& p, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  SphinxCorpus corpus;
+  corpus.models.resize(static_cast<std::size_t>(p.vocab));
+
+  const std::size_t sd = static_cast<std::size_t>(p.states * p.dims);
+  for (int w = 0; w < p.vocab; ++w) {
+    auto& m = corpus.models[static_cast<std::size_t>(w)];
+    m.mean.resize(sd);
+    m.inv_var.resize(sd);
+    // Tied (per-model scalar) variance, as grand-variance GMM systems use.
+    // The tie matters for fidelity of the study: every senone product of a
+    // model shares one inv_var operand, so approximation bias differs
+    // *systematically* across word models instead of averaging out.
+    const double iv = 0.7 + 0.8 * rng.uniform();
+    if (w % 2 == 1 && w / 2 < p.vocab / 3) {
+      // Acoustically confusable pair: a small perturbation of the previous
+      // word (e.g. "an" vs "and" in AN4) -- these carry the realistic
+      // recognition margins that separate the multiplier configurations.
+      const auto& prev = corpus.models[static_cast<std::size_t>(w - 1)];
+      for (std::size_t i = 0; i < sd; ++i)
+        m.mean[i] = prev.mean[i] + p.confusable_delta * gaussian(rng);
+    } else {
+      for (std::size_t i = 0; i < sd; ++i)
+        m.mean[i] = p.base_scale * gaussian(rng);
+    }
+    for (std::size_t i = 0; i < sd; ++i) m.inv_var[i] = iv;
+  }
+
+  // A channel-mismatch offset common to every test utterance: the AN4 test
+  // recordings were not made under training conditions, so every model is
+  // scored far from its mean -- large score magnitudes, small margins.
+  std::vector<double> channel(static_cast<std::size_t>(p.dims));
+  for (auto& c : channel) c = p.channel * gaussian(rng);
+
+  // One spoken utterance per vocabulary word: state-aligned means + channel
+  // offset + noise.
+  corpus.utterances.resize(static_cast<std::size_t>(p.vocab));
+  for (int w = 0; w < p.vocab; ++w) {
+    const auto& m = corpus.models[static_cast<std::size_t>(w)];
+    auto& u = corpus.utterances[static_cast<std::size_t>(w)];
+    u.resize(static_cast<std::size_t>(p.frames * p.dims));
+    for (int f = 0; f < p.frames; ++f) {
+      const int s = f * p.states / p.frames;
+      for (int d = 0; d < p.dims; ++d) {
+        const std::size_t mi = static_cast<std::size_t>(s * p.dims + d);
+        u[static_cast<std::size_t>(f * p.dims + d)] =
+            m.mean[mi] + channel[static_cast<std::size_t>(d)] +
+            p.noise * gaussian(rng);
+      }
+    }
+  }
+  return corpus;
+}
+
+template <typename Real>
+SphinxResult run_sphinx(const SphinxParams& p, const SphinxCorpus& corpus) {
+  SphinxResult res;
+  res.total = p.vocab;
+  res.recognized.resize(static_cast<std::size_t>(p.vocab), -1);
+
+  const Real half(0.5);
+  for (int spoken = 0; spoken < p.vocab; ++spoken) {
+    const auto& u = corpus.utterances[static_cast<std::size_t>(spoken)];
+    double best_score = -1e300;
+    int best_word = -1;
+    for (int w = 0; w < p.vocab; ++w) {
+      const auto& m = corpus.models[static_cast<std::size_t>(w)];
+      // Senone scoring: sum of diagonal-Gaussian log-densities with the
+      // frame-to-state alignment; the (x-mu)^2 * inv_var products are the
+      // multiply stream the imprecise multiplier replaces. The log-det
+      // normalization is a per-model constant precomputed at training time.
+      double log_det = 0.0;
+      for (double iv : m.inv_var) log_det += std::log(iv);
+      Real score(0.5 * log_det * p.frames / p.states);
+      for (int f = 0; f < p.frames; ++f) {
+        const int s = f * p.states / p.frames;
+        for (int d = 0; d < p.dims; ++d) {
+          const Real x = Real(u[static_cast<std::size_t>(f * p.dims + d)]);
+          const std::size_t mi = static_cast<std::size_t>(s * p.dims + d);
+          const Real diff = x - Real(m.mean[mi]);
+          score -= half * (diff * diff) * Real(m.inv_var[mi]);
+        }
+      }
+      const double sc = static_cast<double>(score);
+      if (sc > best_score) {
+        best_score = sc;
+        best_word = w;
+      }
+    }
+    res.recognized[static_cast<std::size_t>(spoken)] = best_word;
+    if (best_word == spoken) ++res.correct;
+  }
+  return res;
+}
+
+template SphinxResult run_sphinx<double>(const SphinxParams&,
+                                         const SphinxCorpus&);
+template SphinxResult run_sphinx<gpu::SimDouble>(const SphinxParams&,
+                                                 const SphinxCorpus&);
+
+}  // namespace ihw::apps

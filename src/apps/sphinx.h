@@ -1,0 +1,56 @@
+#pragma once
+// 482.sphinx3-like workload: isolated-word speech recognition by Gaussian
+// acoustic scoring. Each vocabulary word is an HMM-lite model (a sequence of
+// states with diagonal-Gaussian emission densities over cepstral features);
+// recognition scores each model's log-likelihood against an utterance --
+// the multiplication-dominated senone scoring loop that makes sphinx3 a
+// 15.6-billion-multiply benchmark. Quality metric (Table 7): number of words
+// correctly recognized out of the test set.
+#include <cstdint>
+#include <vector>
+
+#include "gpu/simreal.h"
+
+namespace ihw::apps {
+
+struct SphinxParams {
+  int vocab = 25;        // the paper's AN4 subset totals 25 words
+  int states = 5;        // HMM states per word
+  int dims = 13;         // cepstral feature dimensions
+  int frames = 40;       // frames per utterance
+  double noise = 0.3;    // acoustic noise sigma
+  double channel = 0.8;  // channel-mismatch offset sigma (test vs training
+                         // conditions differ, as in real AN4 recordings)
+  double confusable_delta = 0.45;  // mean separation of confusable pairs
+  double base_scale = 1.8;         // mean separation of distinct words
+};
+
+/// A word model: per-state Gaussian means and inverse variances.
+struct WordModel {
+  std::vector<double> mean;     // states x dims
+  std::vector<double> inv_var;  // states x dims
+};
+
+struct SphinxCorpus {
+  std::vector<WordModel> models;
+  // utterances[w] is a spoken instance of word w: frames x dims features.
+  std::vector<std::vector<double>> utterances;
+};
+
+SphinxCorpus make_sphinx_corpus(const SphinxParams& p, std::uint64_t seed);
+
+struct SphinxResult {
+  int correct = 0;                // words recognized
+  int total = 0;
+  std::vector<int> recognized;    // recognized word index per utterance
+};
+
+template <typename Real>
+SphinxResult run_sphinx(const SphinxParams& p, const SphinxCorpus& corpus);
+
+extern template SphinxResult run_sphinx<double>(const SphinxParams&,
+                                                const SphinxCorpus&);
+extern template SphinxResult run_sphinx<gpu::SimDouble>(const SphinxParams&,
+                                                        const SphinxCorpus&);
+
+}  // namespace ihw::apps

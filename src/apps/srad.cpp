@@ -1,0 +1,292 @@
+#include "apps/srad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "gpu/simt.h"
+
+namespace ihw::apps {
+namespace {
+
+using gpu::gload;
+using gpu::gstore;
+using gpu::rcp;
+
+struct Ellipse {
+  double cy, cx, ry, rx;
+  double indicator(double r, double c) const {
+    const double dy = (r - cy) / ry, dx = (c - cx) / rx;
+    return dy * dy + dx * dx;
+  }
+};
+
+}  // namespace
+
+SradInput make_srad_input(const SradParams& p, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  SradInput in;
+  in.image = common::GridF(p.rows, p.cols, 0.0f);
+  in.ideal_edges = quality::EdgeMap(p.rows, p.cols, 0);
+
+  const Ellipse cysts[2] = {
+      {p.rows * 0.42, p.cols * 0.38, p.rows * 0.16, p.cols * 0.13},
+      {p.rows * 0.68, p.cols * 0.70, p.rows * 0.10, p.cols * 0.15},
+  };
+
+  for (std::size_t r = 0; r < p.rows; ++r) {
+    for (std::size_t c = 0; c < p.cols; ++c) {
+      double base = 150.0;
+      for (const auto& e : cysts)
+        if (e.indicator(static_cast<double>(r), static_cast<double>(c)) < 1.0)
+          base = 55.0;
+      // Multiplicative speckle: product of two uniforms approximates the
+      // heavy-tailed look of log-compressed ultrasound.
+      const double n = (rng.uniform() + rng.uniform() - 1.0) * 0.55;
+      const double v = base * (1.0 + n);
+      in.image(r, c) = static_cast<float>(std::fmin(255.0, std::fmax(1.0, v)));
+    }
+  }
+  // Ideal segmentation: pixels where the cyst indicator crosses 1.
+  for (std::size_t r = 1; r + 1 < p.rows; ++r)
+    for (std::size_t c = 1; c + 1 < p.cols; ++c)
+      for (const auto& e : cysts) {
+        const bool inside = e.indicator(static_cast<double>(r), static_cast<double>(c)) < 1.0;
+        const bool any_out =
+            e.indicator(static_cast<double>(r - 1), static_cast<double>(c)) >= 1.0 ||
+            e.indicator(static_cast<double>(r + 1), static_cast<double>(c)) >= 1.0 ||
+            e.indicator(static_cast<double>(r), static_cast<double>(c - 1)) >= 1.0 ||
+            e.indicator(static_cast<double>(r), static_cast<double>(c + 1)) >= 1.0;
+        if (inside && any_out) in.ideal_edges(r, c) = 1;
+      }
+  return in;
+}
+
+template <typename Real>
+common::GridF run_srad(const SradParams& p, const common::GridF& image) {
+  const std::size_t rows = p.rows, cols = p.cols;
+  common::Grid<Real> J(rows, cols);
+  for (std::size_t i = 0; i < J.size(); ++i) J.data()[i] = Real(image.data()[i]);
+
+  common::Grid<Real> dN(rows, cols), dS(rows, cols), dW(rows, cols),
+      dE(rows, cols), coef(rows, cols);
+
+  const Real half(0.5f), quarter(0.25f), sixteenth(1.0f / 16.0f), one(1.0f);
+  const Real lambda_q = Real(static_cast<float>(0.25 * p.lambda));
+
+  const gpu::Dim3 block(16, 16);
+  const gpu::Dim3 grid(static_cast<unsigned>((cols + 15) / 16),
+                       static_cast<unsigned>((rows + 15) / 16));
+
+  for (int it = 0; it < p.iterations; ++it) {
+    // Speckle-scale estimate over the homogeneous ROI; Rodinia computes this
+    // reduction between kernels -- modeled host-side in full precision.
+    double sum = 0.0, sum2 = 0.0;
+    std::size_t n = 0;
+    for (std::size_t r = p.roi_r0; r < p.roi_r1; ++r)
+      for (std::size_t c = p.roi_c0; c < p.roi_c1; ++c) {
+        const double v = static_cast<double>(static_cast<float>(J(r, c)));
+        sum += v;
+        sum2 += v * v;
+        ++n;
+      }
+    const double mean = sum / static_cast<double>(n);
+    const double var = sum2 / static_cast<double>(n) - mean * mean;
+    const Real q0sqr = Real(static_cast<float>(var / (mean * mean)));
+    const Real q0_den = Real(static_cast<float>(
+        (var / (mean * mean)) * (1.0 + var / (mean * mean))));
+
+    // Kernel 1: directional derivatives + diffusion coefficient.
+    gpu::launch(grid, block, [&](const gpu::ThreadCtx& tc) {
+      const std::size_t c = tc.global_x();
+      const std::size_t r = tc.global_y();
+      if (r >= rows || c >= cols) return;
+      const std::size_t rn = r > 0 ? r - 1 : r;
+      const std::size_t rs = r + 1 < rows ? r + 1 : r;
+      const std::size_t cw = c > 0 ? c - 1 : c;
+      const std::size_t ce = c + 1 < cols ? c + 1 : c;
+
+      const Real jc = gload(J(r, c));
+      const Real n_ = gload(J(rn, c)) - jc;
+      const Real s_ = gload(J(rs, c)) - jc;
+      const Real w_ = gload(J(r, cw)) - jc;
+      const Real e_ = gload(J(r, ce)) - jc;
+
+      const Real inv_jc = rcp(jc);
+      const Real g2 = (n_ * n_ + s_ * s_ + w_ * w_ + e_ * e_) *
+                      (inv_jc * inv_jc);
+      const Real l = (n_ + s_ + w_ + e_) * inv_jc;
+      const Real num = half * g2 - sixteenth * (l * l);
+      const Real den = one + quarter * l;
+      const Real qsqr = num * rcp(den * den);
+      const Real den2 = (qsqr - q0sqr) * rcp(q0_den);
+      Real cc = rcp(one + den2);
+      if (cc < Real(0.0f)) cc = Real(0.0f);
+      if (cc > one) cc = one;
+
+      gstore(dN(r, c), n_);
+      gstore(dS(r, c), s_);
+      gstore(dW(r, c), w_);
+      gstore(dE(r, c), e_);
+      gstore(coef(r, c), cc);
+    });
+
+    // Kernel 2: divergence update.
+    gpu::launch(grid, block, [&](const gpu::ThreadCtx& tc) {
+      const std::size_t c = tc.global_x();
+      const std::size_t r = tc.global_y();
+      if (r >= rows || c >= cols) return;
+      const std::size_t rs = r + 1 < rows ? r + 1 : r;
+      const std::size_t ce = c + 1 < cols ? c + 1 : c;
+
+      const Real cn = gload(coef(r, c));
+      const Real cs = gload(coef(rs, c));
+      const Real cw = gload(coef(r, c));
+      const Real ce_ = gload(coef(r, ce));
+      const Real d = cn * gload(dN(r, c)) + cs * gload(dS(r, c)) +
+                     cw * gload(dW(r, c)) + ce_ * gload(dE(r, c));
+      const Real jc = gload(J(r, c));
+      gstore(J(r, c), jc + lambda_q * d);
+    });
+  }
+
+  common::GridF out(rows, cols);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = static_cast<float>(J.data()[i]);
+  return out;
+}
+
+template <typename Real>
+common::GridF run_srad_tiled(const SradParams& p, const common::GridF& image) {
+  const std::size_t rows = p.rows, cols = p.cols;
+  common::Grid<Real> J(rows, cols);
+  for (std::size_t i = 0; i < J.size(); ++i) J.data()[i] = Real(image.data()[i]);
+
+  common::Grid<Real> dN(rows, cols), dS(rows, cols), dW(rows, cols),
+      dE(rows, cols), coef(rows, cols);
+
+  const Real half(0.5f), quarter(0.25f), sixteenth(1.0f / 16.0f), one(1.0f);
+  const Real lambda_q = Real(static_cast<float>(0.25 * p.lambda));
+
+  constexpr unsigned B = 16;
+  constexpr unsigned TB = B + 2;
+  const gpu::Dim3 block(B, B);
+  const gpu::Dim3 grid(static_cast<unsigned>((cols + B - 1) / B),
+                       static_cast<unsigned>((rows + B - 1) / B));
+
+  auto fetch = [&](std::ptrdiff_t r, std::ptrdiff_t c) {
+    const std::size_t rr = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+        r, 0, static_cast<std::ptrdiff_t>(rows) - 1));
+    const std::size_t cc = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+        c, 0, static_cast<std::ptrdiff_t>(cols) - 1));
+    return gload(J(rr, cc));
+  };
+
+  for (int it = 0; it < p.iterations; ++it) {
+    double sum = 0.0, sum2 = 0.0;
+    std::size_t n = 0;
+    for (std::size_t r = p.roi_r0; r < p.roi_r1; ++r)
+      for (std::size_t c = p.roi_c0; c < p.roi_c1; ++c) {
+        const double v = static_cast<double>(static_cast<float>(J(r, c)));
+        sum += v;
+        sum2 += v * v;
+        ++n;
+      }
+    const double mean = sum / static_cast<double>(n);
+    const double var = sum2 / static_cast<double>(n) - mean * mean;
+    const Real q0sqr = Real(static_cast<float>(var / (mean * mean)));
+    const Real q0_den = Real(static_cast<float>(
+        (var / (mean * mean)) * (1.0 + var / (mean * mean))));
+
+    // Kernel 1, tiled: stage a haloed J tile per block, barrier, compute.
+    gpu::launch_blocks(grid, block, [&](const gpu::BlockCtx& blk) {
+      std::vector<Real> tile(TB * TB, Real(0.0f));
+      auto tix = [&](unsigned ty, unsigned tx) -> Real& {
+        return tile[ty * TB + tx];
+      };
+      const std::ptrdiff_t base_r =
+          static_cast<std::ptrdiff_t>(blk.block_idx().y) * B;
+      const std::ptrdiff_t base_c =
+          static_cast<std::ptrdiff_t>(blk.block_idx().x) * B;
+
+      blk.phase([&](const gpu::ThreadCtx& tc) {
+        const unsigned tx = tc.thread_idx.x, ty = tc.thread_idx.y;
+        const std::ptrdiff_t gr = base_r + ty, gc = base_c + tx;
+        tix(ty + 1, tx + 1) = fetch(gr, gc);
+        if (ty == 0) tix(0, tx + 1) = fetch(gr - 1, gc);
+        if (ty == B - 1) tix(TB - 1, tx + 1) = fetch(gr + 1, gc);
+        if (tx == 0) tix(ty + 1, 0) = fetch(gr, gc - 1);
+        if (tx == B - 1) tix(ty + 1, TB - 1) = fetch(gr, gc + 1);
+      });
+
+      blk.phase([&](const gpu::ThreadCtx& tc) {
+        const unsigned tx = tc.thread_idx.x, ty = tc.thread_idx.y;
+        const std::size_t r = static_cast<std::size_t>(base_r) + ty;
+        const std::size_t c = static_cast<std::size_t>(base_c) + tx;
+        if (r >= rows || c >= cols) return;
+        const Real jc = tix(ty + 1, tx + 1);
+        const Real n_ = tix(ty, tx + 1) - jc;
+        const Real s_ = tix(ty + 2, tx + 1) - jc;
+        const Real w_ = tix(ty + 1, tx) - jc;
+        const Real e_ = tix(ty + 1, tx + 2) - jc;
+
+        const Real inv_jc = rcp(jc);
+        const Real g2 =
+            (n_ * n_ + s_ * s_ + w_ * w_ + e_ * e_) * (inv_jc * inv_jc);
+        const Real l = (n_ + s_ + w_ + e_) * inv_jc;
+        const Real num = half * g2 - sixteenth * (l * l);
+        const Real den = one + quarter * l;
+        const Real qsqr = num * rcp(den * den);
+        const Real den2 = (qsqr - q0sqr) * rcp(q0_den);
+        Real cc = rcp(one + den2);
+        if (cc < Real(0.0f)) cc = Real(0.0f);
+        if (cc > one) cc = one;
+
+        gstore(dN(r, c), n_);
+        gstore(dS(r, c), s_);
+        gstore(dW(r, c), w_);
+        gstore(dE(r, c), e_);
+        gstore(coef(r, c), cc);
+      });
+    });
+
+    // Kernel 2 unchanged (its reuse is modest).
+    gpu::launch(grid, block, [&](const gpu::ThreadCtx& tc) {
+      const std::size_t c = tc.global_x();
+      const std::size_t r = tc.global_y();
+      if (r >= rows || c >= cols) return;
+      const std::size_t rs = r + 1 < rows ? r + 1 : r;
+      const std::size_t ce = c + 1 < cols ? c + 1 : c;
+
+      const Real cn = gload(coef(r, c));
+      const Real cs = gload(coef(rs, c));
+      const Real cw = gload(coef(r, c));
+      const Real ce_ = gload(coef(r, ce));
+      const Real d = cn * gload(dN(r, c)) + cs * gload(dS(r, c)) +
+                     cw * gload(dW(r, c)) + ce_ * gload(dE(r, c));
+      const Real jc = gload(J(r, c));
+      gstore(J(r, c), jc + lambda_q * d);
+    });
+  }
+
+  common::GridF out(rows, cols);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = static_cast<float>(J.data()[i]);
+  return out;
+}
+
+double srad_pratt_fom(const common::GridF& despeckled,
+                      const quality::EdgeMap& ideal_edges) {
+  const auto edges = quality::sobel_edges(despeckled, 0.22);
+  return quality::pratt_fom(ideal_edges, edges);
+}
+
+template common::GridF run_srad<float>(const SradParams&, const common::GridF&);
+template common::GridF run_srad<gpu::SimFloat>(const SradParams&,
+                                               const common::GridF&);
+template common::GridF run_srad_tiled<float>(const SradParams&,
+                                             const common::GridF&);
+template common::GridF run_srad_tiled<gpu::SimFloat>(const SradParams&,
+                                                     const common::GridF&);
+
+}  // namespace ihw::apps

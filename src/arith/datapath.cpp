@@ -1,0 +1,196 @@
+#include "arith/datapath.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "fpcore/float_bits.h"
+
+namespace ihw::arith {
+namespace {
+
+std::uint64_t mask_n(int width) {
+  return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+}  // namespace
+
+int priority_encode(std::uint64_t v, int width) {
+  v &= mask_n(width);
+  if (v == 0) return -1;
+  return 63 - std::countl_zero(v);
+}
+
+std::uint64_t barrel_shift_right(std::uint64_t v, int shift, int width) {
+  v &= mask_n(width);
+  if (shift >= width || shift >= 64) return 0;
+  if (shift < 0) return barrel_shift_left(v, -shift, width);
+  return v >> shift;
+}
+
+std::uint64_t barrel_shift_left(std::uint64_t v, int shift, int width) {
+  v &= mask_n(width);
+  if (shift >= width || shift >= 64) return 0;
+  if (shift < 0) return barrel_shift_right(v, -shift, width);
+  return (v << shift) & mask_n(width);
+}
+
+AdderResult add_n(std::uint64_t a, std::uint64_t b, bool cin, int width) {
+  assert(width >= 1 && width <= 63);
+  const std::uint64_t m = mask_n(width);
+  const std::uint64_t s = (a & m) + (b & m) + (cin ? 1 : 0);
+  return AdderResult{s & m, (s >> width) != 0};
+}
+
+unsigned __int128 array_multiply(std::uint64_t a, std::uint64_t b, int n_bits,
+                                 int m_bits, int drop_columns) {
+  unsigned __int128 acc = 0;
+  for (int i = 0; i < n_bits; ++i) {
+    if (!((a >> i) & 1ull)) continue;
+    for (int j = 0; j < m_bits; ++j) {
+      if (!((b >> j) & 1ull)) continue;
+      if (i + j < drop_columns) continue;  // cell removed from the array
+      acc += static_cast<unsigned __int128>(1) << (i + j);
+    }
+  }
+  return acc;
+}
+
+long long array_cell_count(int n_bits, int m_bits, int drop_columns) {
+  long long count = 0;
+  for (int i = 0; i < n_bits; ++i)
+    for (int j = 0; j < m_bits; ++j)
+      if (i + j >= drop_columns) ++count;
+  return count;
+}
+
+float structural_ifp_add32(float a, float b, int th, bool subtract) {
+  using Tr = fp::FloatTraits<float>;
+  constexpr int FB = Tr::frac_bits;
+
+  if (subtract) b = -b;
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<float>::quiet_NaN();
+  if (std::isinf(a) || std::isinf(b)) {
+    if (std::isinf(a) && std::isinf(b) && (std::signbit(a) != std::signbit(b)))
+      return std::numeric_limits<float>::quiet_NaN();
+    return std::isinf(a) ? a : b;
+  }
+  a = fp::flush_subnormal(a);
+  b = fp::flush_subnormal(b);
+  if (a == 0.0f) return b == 0.0f ? 0.0f : b;
+  if (b == 0.0f) return a;
+
+  auto fa = fp::decompose(a);
+  auto fb = fp::decompose(b);
+  if (fb.biased_exp > fa.biased_exp ||
+      (fb.biased_exp == fa.biased_exp && fb.frac > fa.frac)) {
+    std::swap(fa, fb);
+  }
+  const int d = fa.biased_exp - fb.biased_exp;
+  if (th < 1) th = 1;
+  if (th > FB + 4) th = FB + 4;
+  if (d >= th) return fp::compose<float>(fa.sign, fa.biased_exp, fa.frac);
+
+  // Alignment stage: TH-bit shifter. Datapath width is th+2 bits (1 integer
+  // bit, th fraction bits, 1 carry bit).
+  const int w = th + 2;
+  const int drop = FB - th;
+  std::uint64_t sa, sb;
+  if (drop >= 0) {
+    sa = barrel_shift_right(fa.significand(), drop, FB + 1);
+    sb = barrel_shift_right(fb.significand(), drop + d, FB + 1);
+  } else {
+    sa = barrel_shift_left(fa.significand(), -drop, FB + 1 - drop);
+    sb = (d + drop) >= 0
+             ? barrel_shift_right(fb.significand(), d + drop, FB + 1)
+             : barrel_shift_left(fb.significand(), -(d + drop), FB + 1 - drop);
+  }
+
+  const bool effective_sub = fa.sign != fb.sign;
+  AdderResult r = effective_sub
+                      ? add_n(sa, ~sb & ((1ull << w) - 1), true, w)
+                      : add_n(sa, sb, false, w);
+  const std::uint64_t s = r.sum;  // sa >= sb, so the two's-complement wrap is exact
+  if (s == 0) return 0.0f;
+
+  const int p = priority_encode(s, w);
+  const int expz = fa.biased_exp - Tr::bias + (p - th);
+  const std::uint64_t body = s ^ (1ull << p);
+  std::uint32_t frac;
+  if (p <= FB) {
+    frac = static_cast<std::uint32_t>(barrel_shift_left(body, FB - p, FB + 1));
+  } else {
+    frac = static_cast<std::uint32_t>(barrel_shift_right(body, p - FB, w));
+  }
+  return fp::compose_flushing<float>(fa.sign, expz, frac);
+}
+
+float structural_acfp_mul32(float a, float b, ihw::AcfpPath path, int trunc) {
+  using Tr = fp::FloatTraits<float>;
+  constexpr int FB = Tr::frac_bits;
+
+  const bool sign = std::signbit(a) != std::signbit(b);
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<float>::quiet_NaN();
+  a = fp::flush_subnormal(a);
+  b = fp::flush_subnormal(b);
+  if (std::isinf(a) || std::isinf(b)) {
+    if (a == 0.0f || b == 0.0f) return std::numeric_limits<float>::quiet_NaN();
+    return sign ? -std::numeric_limits<float>::infinity()
+                : std::numeric_limits<float>::infinity();
+  }
+  if (a == 0.0f || b == 0.0f) return sign ? -0.0f : 0.0f;
+
+  if (trunc < 0) trunc = 0;
+  if (trunc > FB) trunc = FB;
+  const std::uint32_t keep =
+      trunc == FB ? 0u : (~0u << trunc) & Tr::frac_mask;
+
+  const auto fa = fp::decompose(a);
+  const auto fb = fp::decompose(b);
+  int expz = fa.unbiased_exp() + fb.unbiased_exp();
+  const std::uint64_t ma = fa.frac & keep;
+  const std::uint64_t mb = fb.frac & keep;
+  std::uint32_t frac;
+
+  if (path == ihw::AcfpPath::Log) {
+    // Add2 alone: the characteristic of a normalized significand is fixed,
+    // so the log path is one FB-bit fraction adder with its carry feeding
+    // the exponent.
+    AdderResult r = add_n(ma, mb, false, FB);
+    frac = static_cast<std::uint32_t>(r.sum);
+    if (r.carry_out) expz += 1;
+  } else {
+    // Full path. MA multiplier on the fraction pair (scale 2^-2FB), with
+    // F = 2*FB fraction bits in the log domain (enough for exactness).
+    constexpr int F = 2 * FB;
+    std::uint64_t cross;  // MA(Ma*Mb) at scale 2^-2FB
+    if (ma == 0 || mb == 0) {
+      cross = 0;
+    } else {
+      const int k1 = priority_encode(ma, FB);
+      const int k2 = priority_encode(mb, FB);
+      const std::uint64_t x1 =
+          barrel_shift_left(ma ^ (1ull << k1), F - k1, F + 1);
+      const std::uint64_t x2 =
+          barrel_shift_left(mb ^ (1ull << k2), F - k2, F + 1);
+      AdderResult r2 = add_n(x1, x2, false, F);  // Add2
+      const int k = k1 + k2 + (r2.carry_out ? 1 : 0);
+      const std::uint64_t antilog = (1ull << F) + r2.sum;  // 1.f at scale 2^-F
+      cross = k >= F ? (antilog << (k - F)) : (antilog >> (F - k));
+    }
+    // Add1: 1 + Ma + Mb; Add3: + aligned cross term.
+    const std::uint64_t one = 1ull << FB;
+    const std::uint64_t add1 = one + ma + mb;
+    const std::uint64_t S = add1 + (cross >> FB);
+    if (S < (one << 1)) {
+      frac = static_cast<std::uint32_t>(S - one);
+    } else {
+      expz += 1;
+      frac = static_cast<std::uint32_t>((S >> 1) - one);
+    }
+  }
+  return fp::compose_flushing<float>(sign, expz, frac);
+}
+
+}  // namespace ihw::arith

@@ -1,0 +1,50 @@
+#include "common/args.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace ihw::common {
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const auto eq = a.find('=');
+      // insert_or_assign sidesteps a GCC 12 -Wrestrict false positive on
+      // literal assignment into a map-created string.
+      if (eq == std::string_view::npos) {
+        kv_.insert_or_assign(std::string(a.substr(2)), std::string("1"));
+      } else {
+        kv_.insert_or_assign(std::string(a.substr(2, eq - 2)),
+                             std::string(a.substr(eq + 1)));
+      }
+    } else {
+      positional_.emplace_back(a);
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::string Args::get(const std::string& key, const std::string& def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+long long Args::get_int(const std::string& key, long long def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Args::get_bool(const std::string& key, bool def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second != "0" && it->second != "false";
+}
+
+}  // namespace ihw::common

@@ -1,0 +1,29 @@
+#pragma once
+// Minimal `--key=value` / `--flag` argument parser shared by the bench and
+// example binaries. Unknown keys are collected so callers can warn.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ihw::common {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  long long get_int(const std::string& key, long long def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Positional (non `--`) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ihw::common

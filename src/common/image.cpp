@@ -1,0 +1,74 @@
+#include "common/image.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace ihw::common {
+
+bool write_pgm(const std::string& path, const GridF& img, float lo, float hi) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  if (lo == hi) {
+    lo = *std::min_element(img.begin(), img.end());
+    hi = *std::max_element(img.begin(), img.end());
+    if (lo == hi) hi = lo + 1.0f;
+  }
+  os << "P5\n" << img.cols() << ' ' << img.rows() << "\n255\n";
+  std::vector<std::uint8_t> row(img.cols());
+  for (std::size_t r = 0; r < img.rows(); ++r) {
+    for (std::size_t c = 0; c < img.cols(); ++c) {
+      float v = (img(r, c) - lo) / (hi - lo) * 255.0f;
+      row[c] = static_cast<std::uint8_t>(std::clamp(v, 0.0f, 255.0f));
+    }
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size()));
+  }
+  return static_cast<bool>(os);
+}
+
+GridF read_pgm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return {};
+  auto token = [&is]() -> std::string {
+    std::string t;
+    while (is >> t) {
+      if (t[0] == '#') {
+        std::string rest;
+        std::getline(is, rest);  // drop the comment line
+        continue;
+      }
+      return t;
+    }
+    return {};
+  };
+  if (token() != "P5") return {};
+  const std::string ws = token(), hs = token(), ms = token();
+  if (ws.empty() || hs.empty() || ms.empty()) return {};
+  const auto w = static_cast<std::size_t>(std::stoul(ws));
+  const auto h = static_cast<std::size_t>(std::stoul(hs));
+  const int maxv = std::stoi(ms);
+  if (w == 0 || h == 0 || maxv <= 0 || maxv > 255) return {};
+  is.get();  // single whitespace after the header
+  std::vector<std::uint8_t> raw(w * h);
+  is.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(raw.size()));
+  if (static_cast<std::size_t>(is.gcount()) != raw.size()) return {};
+  GridF img(h, w);
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    img.data()[i] = static_cast<float>(raw[i]) * 255.0f /
+                    static_cast<float>(maxv);
+  return img;
+}
+
+bool write_ppm(const std::string& path, const RgbImage& img) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << "P6\n" << img.width << ' ' << img.height << "\n255\n";
+  os.write(reinterpret_cast<const char*>(img.pixels.data()),
+           static_cast<std::streamsize>(img.pixels.size()));
+  return static_cast<bool>(os);
+}
+
+}  // namespace ihw::common

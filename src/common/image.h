@@ -1,0 +1,79 @@
+#pragma once
+// Row-major 2-D grids and minimal PGM/PPM output, used by the imaging
+// workloads (SRAD, RayTracing, HotSpot heatmaps) and the quality metrics.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ihw::common {
+
+/// Row-major 2-D grid of T. Deliberately minimal: the apps index it hot, so
+/// it stays a thin wrapper over std::vector with bounds asserts in debug.
+template <typename T>
+class Grid {
+ public:
+  Grid() = default;
+  Grid(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  /// Elementwise conversion to another scalar type (e.g. SimFloat -> float).
+  template <typename U>
+  Grid<U> cast() const {
+    Grid<U> out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+      out.data()[i] = static_cast<U>(data_[i]);
+    return out;
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<T> data_;
+};
+
+using GridF = Grid<float>;
+using GridD = Grid<double>;
+
+/// An 8-bit RGB image (for the ray tracer and SRAD visual outputs).
+struct RgbImage {
+  std::size_t width = 0, height = 0;
+  std::vector<std::uint8_t> pixels;  // 3 bytes per pixel, row-major
+
+  RgbImage() = default;
+  RgbImage(std::size_t w, std::size_t h)
+      : width(w), height(h), pixels(w * h * 3, 0) {}
+  std::uint8_t* at(std::size_t x, std::size_t y) {
+    return pixels.data() + (y * width + x) * 3;
+  }
+  const std::uint8_t* at(std::size_t x, std::size_t y) const {
+    return pixels.data() + (y * width + x) * 3;
+  }
+};
+
+/// Writes a binary PGM (P5). Values are clamped to [0,255] after scaling
+/// [lo,hi] -> [0,255]; lo==hi autoscales from the data range.
+bool write_pgm(const std::string& path, const GridF& img, float lo = 0.0f,
+               float hi = 0.0f);
+/// Reads a binary PGM (P5, maxval <= 255) into a float grid (0..255).
+/// Returns an empty grid on failure. Comments (#) in the header are skipped.
+GridF read_pgm(const std::string& path);
+/// Writes a binary PPM (P6).
+bool write_ppm(const std::string& path, const RgbImage& img);
+
+}  // namespace ihw::common

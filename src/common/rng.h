@@ -1,0 +1,54 @@
+#pragma once
+// xoshiro256++ pseudo-random generator: fast, reproducible across platforms,
+// used wherever plain (non quasi-) Monte Carlo sampling is needed.
+#include <cstdint>
+
+namespace ihw::common {
+
+/// xoshiro256++ 1.0 (Blackman & Vigna). Deterministic given the seed, which
+/// matters for reproducible error characterization and workload generation.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : s_) {
+      z += 0x9E3779B97F4A7C15ull;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  using result_type = std::uint64_t;
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0,1) with 53 bits of randomness.
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+  /// Uniform double in [lo,hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  /// Uniform float in [0,1).
+  float uniformf() { return static_cast<float>((*this)() >> 40) * 0x1.0p-24f; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace ihw::common

@@ -1,0 +1,115 @@
+#include "error/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ihw::error::analytic {
+namespace {
+
+/// Golden-section maximization of f over [lo, hi].
+template <typename F>
+double maximize(F f, double lo, double hi) {
+  constexpr double kPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double c = b - kPhi * (b - a);
+  double d = a + kPhi * (b - a);
+  for (int i = 0; i < 200; ++i) {
+    if (f(c) > f(d)) {
+      b = d;
+    } else {
+      a = c;
+    }
+    c = b - kPhi * (b - a);
+    d = a + kPhi * (b - a);
+  }
+  const double x = 0.5 * (a + b);
+  // Guard the endpoints: the extremum of several of these residuals sits on
+  // the boundary of the reduced range.
+  return std::max({f(x), f(lo), f(hi)});
+}
+
+}  // namespace
+
+double adder_add_beyond_th(int th) {
+  return 1.0 / (std::ldexp(1.0, th - 1) + 1.0);
+}
+
+double adder_add_within_th(int th) { return std::ldexp(1.0, -(th + 1)); }
+
+double adder_sub_beyond_th(int th) {
+  return 1.0 / (std::ldexp(1.0, th - 1) - 1.0);
+}
+
+double adder_add_bound(int th) {
+  // Dropping the smaller operand dominates; alignment truncation of both
+  // operands contributes at most 2 * 2^-TH relative to the larger operand,
+  // and the sum is >= that operand -> combined bound 2^-(TH-1).
+  return std::max(adder_add_beyond_th(th), std::ldexp(1.0, -(th - 1)));
+}
+
+double mitchell_emax() { return 1.0 / 9.0; }
+
+double simple_mul_emax() { return 0.25; }
+
+double full_path_emax() {
+  // epsilon(x_a, x_b) at the k_a = k_b = -1 limit (Ch. 4.1.2); the paper
+  // proves the maximum is 1/49 at x_a = x_b = 1/2 on the no-carry segment
+  // and the same value on the carry segment. Maximize numerically along the
+  // symmetric diagonal x_a = x_b = t (where the partial-derivative argument
+  // of the paper places the extremum).
+  auto eps_nc = [](double t) {  // x_a + x_b < 1, x_a = x_b = t
+    const double xa = t, xb = t;
+    return 1.0 / (9.0 / (xa * xb) + 3.0 / xa + 3.0 / xb + 1.0);
+  };
+  auto eps_c = [](double t) {  // x_a + x_b >= 1
+    const double xa = t, xb = t;
+    return (1.0 - xa) * (1.0 - xb) / ((3.0 + xa) * (3.0 + xb));
+  };
+  const double nc = maximize(eps_nc, 0.0, 0.4999999);
+  const double c = maximize(eps_c, 0.5, 0.5000001);
+  return std::max(nc, c);
+}
+
+double bit_trunc_emax(int trunc, int frac_bits) {
+  return std::ldexp(1.0, trunc - frac_bits);
+}
+
+double rcp_emax() {
+  auto rel = [](double x) {
+    const double approx = 2.823 - 1.882 * x;
+    return std::fabs(approx - 1.0 / x) * x;  // |approx - 1/x| / (1/x)
+  };
+  return maximize(rel, 0.5, 1.0);
+}
+
+double rsqrt_emax() {
+  auto rel = [](double x) {
+    const double approx = 2.08 - 1.1911 * x;
+    const double exact = 1.0 / std::sqrt(x);
+    return std::fabs(approx - exact) / exact;
+  };
+  return maximize(rel, 0.25, 1.0);
+}
+
+double sqrt_emax() {
+  auto rel = [](double x) {
+    const double approx = x * (2.08 - 1.1911 * x);
+    const double exact = std::sqrt(x);
+    return std::fabs(approx - exact) / exact;
+  };
+  return maximize(rel, 0.25, 1.0);
+}
+
+double log2_abs_residual() {
+  auto residual = [](double m) {
+    return std::fabs(0.9846 * m - 0.9196 - std::log2(m));
+  };
+  return maximize(residual, 1.0, 2.0);
+}
+
+double exp2_emax() {
+  auto rel = [](double f) { return (1.0 + f) / std::exp2(f) - 1.0; };
+  return maximize(rel, 0.0, 1.0);
+}
+
+}  // namespace ihw::error::analytic

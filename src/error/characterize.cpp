@@ -1,0 +1,159 @@
+#include "error/characterize.h"
+
+#include <cmath>
+
+#include "fpcore/float_bits.h"
+#include "ihw/ihw.h"
+#include "qmc/sobol.h"
+
+namespace ihw::error {
+namespace {
+
+// Scatter a [0,1) quasi-MC coordinate into a floating point operand: a
+// significand uniform in [1,2) and a small exponent offset. The imprecise
+// datapaths are exact in the exponent, so a modest spread exercises every
+// alignment case (the adder cares about exponent *differences*).
+template <typename T>
+T scatter(double u, double v, int exp_spread) {
+  const double mant = 1.0 + u;
+  const int e = static_cast<int>(std::floor(v * (2 * exp_spread + 1))) - exp_spread;
+  return static_cast<T>(std::ldexp(mant, e));
+}
+
+template <typename T>
+CharResult run(UnitKind kind, int param, std::uint64_t samples) {
+  CharResult res{to_string(kind) + (param ? "(" + std::to_string(param) + ")" : ""),
+                 {}, ErrorPmf{}};
+  const bool unary = kind == UnitKind::Rcp || kind == UnitKind::Rsqrt ||
+                     kind == UnitKind::Sqrt || kind == UnitKind::Log2 ||
+                     kind == UnitKind::Exp2;
+  const bool ternary = kind == UnitKind::Fma;
+  // The adder needs exponent spread to hit every d-vs-TH case; multipliers
+  // and SFUs are characterized over [1,2)x[1,2) as in Ch. 4.2 (their error
+  // is exponent-invariant).
+  const int spread =
+      (kind == UnitKind::FpAdd || kind == UnitKind::FpSub) ? 12 : 0;
+
+  qmc::Sobol sobol(ternary ? 6 : 4);
+  double p[6];
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    sobol.next(p);
+    const T a = scatter<T>(p[0], p[1], spread);
+    const T b = scatter<T>(p[2], p[3], spread);
+    double exact = 0.0, approx = 0.0;
+    switch (kind) {
+      case UnitKind::FpAdd:
+        exact = static_cast<double>(a) + static_cast<double>(b);
+        approx = static_cast<double>(ifp_add(a, b, param ? param : kDefaultAddTh));
+        break;
+      case UnitKind::FpSub:
+        exact = static_cast<double>(a) - static_cast<double>(b);
+        approx = static_cast<double>(ifp_sub(a, b, param ? param : kDefaultAddTh));
+        break;
+      case UnitKind::FpMul:
+        exact = static_cast<double>(a) * static_cast<double>(b);
+        approx = static_cast<double>(ifp_mul(a, b));
+        break;
+      case UnitKind::FpDiv:
+        exact = static_cast<double>(a) / static_cast<double>(b);
+        approx = static_cast<double>(ifp_div(a, b));
+        break;
+      case UnitKind::Rcp:
+        exact = 1.0 / static_cast<double>(a);
+        approx = static_cast<double>(ircp(a));
+        break;
+      case UnitKind::Rsqrt:
+        exact = 1.0 / std::sqrt(static_cast<double>(a));
+        approx = static_cast<double>(irsqrt(a));
+        break;
+      case UnitKind::Sqrt:
+        exact = std::sqrt(static_cast<double>(a));
+        approx = static_cast<double>(isqrt(a));
+        break;
+      case UnitKind::Log2:
+        exact = std::log2(static_cast<double>(a));
+        approx = static_cast<double>(ilog2(a));
+        break;
+      case UnitKind::Exp2: {
+        // Exercise the fraction segment: operand in [-4, 4).
+        const T e2in = static_cast<T>(p[0] * 8.0 - 4.0);
+        exact = std::exp2(static_cast<double>(e2in));
+        approx = static_cast<double>(iexp2(e2in));
+        break;
+      }
+      case UnitKind::Fma: {
+        const T c = scatter<T>(p[4], p[5], spread);
+        exact = static_cast<double>(a) * static_cast<double>(b) +
+                static_cast<double>(c);
+        approx = static_cast<double>(ifp_fma(a, b, c));
+        break;
+      }
+      case UnitKind::AcfpLog:
+        exact = static_cast<double>(a) * static_cast<double>(b);
+        approx = static_cast<double>(acfp_mul(a, b, AcfpPath::Log, param));
+        break;
+      case UnitKind::AcfpFull:
+        exact = static_cast<double>(a) * static_cast<double>(b);
+        approx = static_cast<double>(acfp_mul(a, b, AcfpPath::Full, param));
+        break;
+      case UnitKind::BitTrunc:
+        exact = static_cast<double>(a) * static_cast<double>(b);
+        approx = static_cast<double>(trunc_mul(a, b, param));
+        break;
+    }
+    (void)unary;  // unary kinds simply ignore operand b
+    res.stats.observe(exact, approx);
+    if (exact != 0.0 && std::isfinite(exact))
+      res.pmf.observe_rel_error(std::fabs(approx - exact) / std::fabs(exact));
+  }
+  return res;
+}
+
+}  // namespace
+
+std::string to_string(UnitKind k) {
+  switch (k) {
+    case UnitKind::FpAdd: return "ifpadd";
+    case UnitKind::FpSub: return "ifpsub";
+    case UnitKind::FpMul: return "ifpmul";
+    case UnitKind::FpDiv: return "ifpdiv";
+    case UnitKind::Rcp: return "ircp";
+    case UnitKind::Rsqrt: return "irsqrt";
+    case UnitKind::Sqrt: return "isqrt";
+    case UnitKind::Log2: return "ilog2";
+    case UnitKind::Exp2: return "iexp2";
+    case UnitKind::Fma: return "ifma";
+    case UnitKind::AcfpLog: return "log_path";
+    case UnitKind::AcfpFull: return "full_path";
+    case UnitKind::BitTrunc: return "bit_trunc";
+  }
+  return "?";
+}
+
+CharResult characterize32(UnitKind kind, int param, std::uint64_t samples) {
+  return run<float>(kind, param, samples);
+}
+
+CharResult characterize64(UnitKind kind, int param, std::uint64_t samples) {
+  return run<double>(kind, param, samples);
+}
+
+CharResult characterize_custom(
+    const std::string& label, std::uint64_t samples,
+    const std::function<void(double*, double*)>& gen,
+    const std::function<double(double, double)>& op,
+    const std::function<double(double, double)>& ref) {
+  CharResult res{label, {}, ErrorPmf{}};
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    double a = 0.0, b = 0.0;
+    gen(&a, &b);
+    const double exact = ref(a, b);
+    const double approx = op(a, b);
+    res.stats.observe(exact, approx);
+    if (exact != 0.0 && std::isfinite(exact))
+      res.pmf.observe_rel_error(std::fabs(approx - exact) / std::fabs(exact));
+  }
+  return res;
+}
+
+}  // namespace ihw::error

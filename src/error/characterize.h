@@ -1,0 +1,59 @@
+#pragma once
+// Quasi-Monte-Carlo error characterization driver (Ch. 4.2): feeds an
+// imprecise unit a low-discrepancy stream of operands and accumulates both
+// streaming statistics and the Figs. 8-9 log2-bucketed PMF.
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "error/metrics.h"
+#include "error/pmf.h"
+#include "ihw/config.h"
+
+namespace ihw::error {
+
+/// One unit-level characterization result.
+struct CharResult {
+  std::string label;
+  ErrorStats stats;
+  ErrorPmf pmf;
+};
+
+/// The characterizable unit kinds of Table 1 plus the multiplier variants.
+enum class UnitKind {
+  FpAdd,      // TH-adder (param = TH)
+  FpSub,      // effective subtraction through the TH-adder
+  FpMul,      // original 1+Ma+Mb multiplier
+  FpDiv,
+  Rcp,
+  Rsqrt,
+  Sqrt,
+  Log2,
+  Exp2,       // extension unit (thesis future work)
+  Fma,
+  AcfpLog,    // Mitchell log path (param = truncated bits)
+  AcfpFull,   // Mitchell full path (param = truncated bits)
+  BitTrunc,   // intuitive truncation baseline (param = truncated bits)
+};
+
+std::string to_string(UnitKind k);
+
+/// Characterizes a 32-bit unit over `samples` quasi-MC points. Operands are
+/// drawn as significands in [1,2) scattered over a +-`exp_spread` exponent
+/// range (the paper characterizes the mantissa datapath; the exponent path
+/// is exact). `param` is TH for the adder and the truncation bit count for
+/// the multiplier variants; ignored elsewhere.
+CharResult characterize32(UnitKind kind, int param, std::uint64_t samples);
+
+/// Same for the 64-bit units (used by the double-precision multiplier study).
+CharResult characterize64(UnitKind kind, int param, std::uint64_t samples);
+
+/// Generic driver: op/ref are the approximate and exact implementations of a
+/// two-operand function; `gen` yields operand pairs.
+CharResult characterize_custom(
+    const std::string& label, std::uint64_t samples,
+    const std::function<void(double*, double*)>& gen,
+    const std::function<double(double, double)>& op,
+    const std::function<double(double, double)>& ref);
+
+}  // namespace ihw::error

@@ -1,0 +1,22 @@
+#include "error/metrics.h"
+
+#include <cmath>
+
+namespace ihw::error {
+
+void ErrorStats::observe(double exact, double approx) {
+  ++samples_;
+  if (std::isnan(exact) || std::isnan(approx)) return;
+  const double abs_err = std::fabs(approx - exact);
+  if (abs_err != 0.0) ++errors_;
+  sum_abs_ += abs_err;
+  if (abs_err > max_abs_) max_abs_ = abs_err;
+  if (exact != 0.0 && std::isfinite(exact)) {
+    const double rel = abs_err / std::fabs(exact);
+    ++rel_samples_;
+    sum_rel_ += rel;
+    if (rel > max_rel_) max_rel_ = rel;
+  }
+}
+
+}  // namespace ihw::error

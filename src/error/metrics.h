@@ -1,0 +1,43 @@
+#pragma once
+// Streaming error metrics for imprecise-unit characterization (Ch. 4):
+// maximum/mean relative error, error rate, and the error-distance metrics
+// (MED/WED) of Han & Orshansky's survey cited by the paper.
+#include <cstdint>
+
+namespace ihw::error {
+
+/// Accumulates error statistics over a stream of (exact, approx) pairs.
+class ErrorStats {
+ public:
+  void observe(double exact, double approx);
+
+  std::uint64_t samples() const { return samples_; }
+  std::uint64_t errors() const { return errors_; }
+  /// Fraction of samples whose approx differed from exact.
+  double error_rate() const {
+    return samples_ ? static_cast<double>(errors_) / static_cast<double>(samples_) : 0.0;
+  }
+  /// Maximum relative error (ignoring exact==0 samples).
+  double max_rel() const { return max_rel_; }
+  /// Mean relative error over all samples (errors and non-errors).
+  double mean_rel() const {
+    return rel_samples_ ? sum_rel_ / static_cast<double>(rel_samples_) : 0.0;
+  }
+  /// Mean error distance: mean |approx - exact|.
+  double med() const {
+    return samples_ ? sum_abs_ / static_cast<double>(samples_) : 0.0;
+  }
+  /// Worst-case error distance: max |approx - exact|.
+  double wed() const { return max_abs_; }
+
+ private:
+  std::uint64_t samples_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t rel_samples_ = 0;
+  double max_rel_ = 0.0;
+  double sum_rel_ = 0.0;
+  double sum_abs_ = 0.0;
+  double max_abs_ = 0.0;
+};
+
+}  // namespace ihw::error

@@ -1,0 +1,36 @@
+#include "fpcore/float_bits.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ihw::fp {
+namespace {
+
+template <typename B>
+B ordered(B b, B sign_mask) {
+  // Map the sign-magnitude float ordering onto two's-complement integers.
+  return (b & sign_mask) ? static_cast<B>(sign_mask - (b & ~sign_mask))
+                         : static_cast<B>(sign_mask + b);
+}
+
+template <typename T>
+std::uint64_t ulp_distance_impl(T a, T b) {
+  using Tr = FloatTraits<T>;
+  if (std::isnan(a) || std::isnan(b)) return ~0ull;
+  const auto oa = ordered(to_bits(a), Tr::sign_mask);
+  const auto ob = ordered(to_bits(b), Tr::sign_mask);
+  return oa > ob ? static_cast<std::uint64_t>(oa - ob)
+                 : static_cast<std::uint64_t>(ob - oa);
+}
+
+}  // namespace
+
+std::uint64_t ulp_distance(float a, float b) { return ulp_distance_impl(a, b); }
+std::uint64_t ulp_distance(double a, double b) { return ulp_distance_impl(a, b); }
+
+double relative_error(double exact, double approx) {
+  if (exact == 0.0) return approx == 0.0 ? 0.0 : INFINITY;
+  return std::fabs(approx - exact) / std::fabs(exact);
+}
+
+}  // namespace ihw::fp

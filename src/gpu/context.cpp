@@ -1,0 +1,16 @@
+#include "gpu/context.h"
+
+namespace ihw::gpu {
+namespace {
+thread_local FpContext* g_current = nullptr;
+}
+
+FpContext* FpContext::current() { return g_current; }
+
+ScopedContext::ScopedContext(FpContext& ctx) : prev_(g_current) {
+  g_current = &ctx;
+}
+
+ScopedContext::~ScopedContext() { g_current = prev_; }
+
+}  // namespace ihw::gpu

@@ -1,0 +1,70 @@
+#pragma once
+// Execution context binding an IHW configuration (the simulator's
+// precise/imprecise knob) to performance counters. SimReal arithmetic
+// consults the active thread-local context; when none is installed,
+// operations fall back to precise host arithmetic and are not counted.
+#include "gpu/counters.h"
+#include "ihw/dispatch.h"
+
+namespace ihw::gpu {
+
+class FpContext {
+ public:
+  FpContext() = default;
+  explicit FpContext(const IhwConfig& cfg) : dispatch_(cfg) {}
+
+  const FpDispatch& dispatch() const { return dispatch_; }
+  void set_config(const IhwConfig& cfg) { dispatch_.set_config(cfg); }
+  const IhwConfig& config() const { return dispatch_.config(); }
+
+  PerfCounters& counters() { return counters_; }
+  const PerfCounters& counters() const { return counters_; }
+  void bump(OpClass c) { counters_.bump(c); }
+
+  /// The context active on this thread, or nullptr.
+  static FpContext* current();
+
+ private:
+  friend class ScopedContext;
+  FpDispatch dispatch_;
+  PerfCounters counters_;
+};
+
+/// RAII installer for the thread-local active context.
+class ScopedContext {
+ public:
+  explicit ScopedContext(FpContext& ctx);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  FpContext* prev_;
+};
+
+/// Temporarily forces the active context to precise arithmetic (used by
+/// kernels that keep a subset of operations exact, e.g. CP's atom-coordinate
+/// computation in Ch. 5.3.2). Operations are still counted.
+class ScopedPrecise {
+ public:
+  ScopedPrecise() : ctx_(FpContext::current()) {
+    if (ctx_ != nullptr) {
+      saved_ = ctx_->config();
+      ctx_->set_config(IhwConfig::precise());
+    }
+  }
+  ~ScopedPrecise() {
+    if (ctx_ != nullptr) ctx_->set_config(saved_);
+  }
+  ScopedPrecise(const ScopedPrecise&) = delete;
+  ScopedPrecise& operator=(const ScopedPrecise&) = delete;
+
+ private:
+  FpContext* ctx_;
+  IhwConfig saved_;
+};
+
+using ihw::FpDispatch;
+using ihw::IhwConfig;
+
+}  // namespace ihw::gpu

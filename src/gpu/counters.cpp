@@ -1,0 +1,60 @@
+#include "gpu/counters.h"
+
+namespace ihw::gpu {
+
+std::string to_string(OpClass c) {
+  switch (c) {
+    case OpClass::FAdd: return "fadd";
+    case OpClass::FMul: return "fmul";
+    case OpClass::FFma: return "ffma";
+    case OpClass::FDiv: return "fdiv";
+    case OpClass::FRcp: return "frcp";
+    case OpClass::FRsqrt: return "frsqrt";
+    case OpClass::FSqrt: return "fsqrt";
+    case OpClass::FLog2: return "flog2";
+    case OpClass::IAdd: return "iadd";
+    case OpClass::IMul: return "imul";
+    case OpClass::Load: return "load";
+    case OpClass::Store: return "store";
+    default: return "?";
+  }
+}
+
+std::uint64_t PerfCounters::fpu_ops() const {
+  return (*this)[OpClass::FAdd] + (*this)[OpClass::FMul] + (*this)[OpClass::FFma];
+}
+
+std::uint64_t PerfCounters::sfu_ops() const {
+  return (*this)[OpClass::FDiv] + (*this)[OpClass::FRcp] +
+         (*this)[OpClass::FRsqrt] + (*this)[OpClass::FSqrt] +
+         (*this)[OpClass::FLog2];
+}
+
+std::uint64_t PerfCounters::int_ops() const {
+  return (*this)[OpClass::IAdd] + (*this)[OpClass::IMul];
+}
+
+std::uint64_t PerfCounters::mem_accesses() const {
+  return (*this)[OpClass::Load] + (*this)[OpClass::Store];
+}
+
+std::uint64_t PerfCounters::instructions() const {
+  std::uint64_t t = 0;
+  for (auto c : counts) t += c;
+  return t;
+}
+
+power::OpCounts PerfCounters::to_op_counts() const {
+  power::OpCounts out;
+  for (int i = 0; i < power::kNumOpKinds; ++i)
+    out.counts[static_cast<std::size_t>(i)] = counts[static_cast<std::size_t>(i)];
+  return out;
+}
+
+PerfCounters& PerfCounters::operator+=(const PerfCounters& o) {
+  for (int i = 0; i < kNumOpClasses; ++i)
+    counts[static_cast<std::size_t>(i)] += o.counts[static_cast<std::size_t>(i)];
+  return *this;
+}
+
+}  // namespace ihw::gpu

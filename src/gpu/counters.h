@@ -1,0 +1,58 @@
+#pragma once
+// Per-opcode performance counters -- the GPGPU-Sim statistics the power
+// framework fetches (Fig. 10). Arithmetic classes map 1:1 onto
+// power::OpKind; Load/Store count 4-byte global-memory accesses.
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "power/syspower.h"
+
+namespace ihw::gpu {
+
+enum class OpClass : int {
+  FAdd = 0,
+  FMul,
+  FFma,
+  FDiv,
+  FRcp,
+  FRsqrt,
+  FSqrt,
+  FLog2,
+  IAdd,
+  IMul,
+  Load,
+  Store,
+  kCount
+};
+inline constexpr int kNumOpClasses = static_cast<int>(OpClass::kCount);
+
+std::string to_string(OpClass c);
+
+struct PerfCounters {
+  std::array<std::uint64_t, kNumOpClasses> counts{};
+
+  void bump(OpClass c, std::uint64_t n = 1) {
+    counts[static_cast<int>(c)] += n;
+  }
+  std::uint64_t operator[](OpClass c) const {
+    return counts[static_cast<int>(c)];
+  }
+  void reset() { counts.fill(0); }
+
+  std::uint64_t fpu_ops() const;
+  std::uint64_t sfu_ops() const;
+  std::uint64_t int_ops() const;
+  std::uint64_t flops() const { return fpu_ops() + sfu_ops(); }
+  std::uint64_t mem_accesses() const;
+  std::uint64_t mem_bytes() const { return mem_accesses() * 4; }
+  /// Dynamic instructions: every counted op issues one instruction.
+  std::uint64_t instructions() const;
+
+  /// Arithmetic classes only, as the Fig. 12 estimator consumes them.
+  power::OpCounts to_op_counts() const;
+
+  PerfCounters& operator+=(const PerfCounters& o);
+};
+
+}  // namespace ihw::gpu

@@ -1,0 +1,444 @@
+#include "gpu/isa.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace ihw::gpu::isa {
+namespace {
+
+struct MaskFrame {
+  std::uint32_t saved = 0;      // mask to restore at ENDIF/loop exit
+  std::uint32_t else_part = 0;  // threads that take the ELSE branch
+  std::size_t loop_body = 0;    // pc of the first body instruction (WHILE)
+  bool is_loop = false;
+};
+
+// Per-warp architectural state.
+struct WarpState {
+  float f[kWarpSize][kNumFRegs] = {};
+  std::int32_t r[kWarpSize][kNumIRegs] = {};
+  bool p[kWarpSize][kNumPRegs] = {};
+  std::uint32_t active = 0;
+  std::uint32_t exited = 0;
+  std::vector<MaskFrame> stack;
+};
+
+int popcount(std::uint32_t m) { return std::popcount(m); }
+
+// Applies `fn(lane)` to every active lane.
+template <typename Fn>
+void for_active(std::uint32_t mask, Fn&& fn) {
+  while (mask != 0) {
+    const int lane = std::countr_zero(mask);
+    mask &= mask - 1;
+    fn(lane);
+  }
+}
+
+std::uint32_t pred_mask(const WarpState& w, std::uint32_t mask, int preg) {
+  std::uint32_t out = 0;
+  for_active(mask, [&](int lane) {
+    if (w.p[lane][preg]) out |= 1u << lane;
+  });
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::FADD: return "fadd";
+    case Op::FSUB: return "fsub";
+    case Op::FMUL: return "fmul";
+    case Op::FDIV: return "fdiv";
+    case Op::FFMA: return "ffma";
+    case Op::RCP: return "rcp";
+    case Op::RSQRT: return "rsqrt";
+    case Op::SQRT: return "sqrt";
+    case Op::LG2: return "lg2";
+    case Op::EX2: return "ex2";
+    case Op::IADD: return "iadd";
+    case Op::ISUB: return "isub";
+    case Op::IMUL: return "imul";
+    case Op::IMAD: return "imad";
+    case Op::FMOV: return "fmov";
+    case Op::FMOVI: return "fmovi";
+    case Op::IMOV: return "imov";
+    case Op::IMOVI: return "imovi";
+    case Op::CVT_I2F: return "cvt.i2f";
+    case Op::CVT_F2I: return "cvt.f2i";
+    case Op::S2R_TID: return "s2r.tid";
+    case Op::S2R_CTAID: return "s2r.ctaid";
+    case Op::S2R_NTID: return "s2r.ntid";
+    case Op::S2R_GRIDDIM: return "s2r.griddim";
+    case Op::LD: return "ld";
+    case Op::ST: return "st";
+    case Op::SETP_LT: return "setp.lt";
+    case Op::SETP_LE: return "setp.le";
+    case Op::SETP_GT: return "setp.gt";
+    case Op::SETP_EQ: return "setp.eq";
+    case Op::ISETP_LT: return "isetp.lt";
+    case Op::ISETP_EQ: return "isetp.eq";
+    case Op::SELP: return "selp";
+    case Op::IF: return "if";
+    case Op::ELSE: return "else";
+    case Op::ENDIF: return "endif";
+    case Op::WHILE: return "while";
+    case Op::ENDWHILE: return "endwhile";
+    case Op::EXIT: return "exit";
+  }
+  return "?";
+}
+
+std::string Program::validate() const {
+  int depth = 0;
+  std::vector<bool> is_loop;
+  for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+    const Instr& i = code_[pc];
+    auto freg = [&](int v) { return v >= 0 && v < kNumFRegs; };
+    auto ireg = [&](int v) { return v >= 0 && v < kNumIRegs; };
+    auto preg = [&](int v) { return v >= 0 && v < kNumPRegs; };
+    auto err = [&](const std::string& what) {
+      return "pc " + std::to_string(pc) + " (" + to_string(i.op) + "): " + what;
+    };
+    switch (i.op) {
+      case Op::FADD: case Op::FSUB: case Op::FMUL: case Op::FDIV:
+        if (!freg(i.dst) || !freg(i.a) || !freg(i.b)) return err("bad freg");
+        break;
+      case Op::FFMA:
+        if (!freg(i.dst) || !freg(i.a) || !freg(i.b) || !freg(i.c))
+          return err("bad freg");
+        break;
+      case Op::RCP: case Op::RSQRT: case Op::SQRT: case Op::LG2:
+      case Op::EX2: case Op::FMOV:
+        if (!freg(i.dst) || !freg(i.a)) return err("bad freg");
+        break;
+      case Op::FMOVI:
+        if (!freg(i.dst)) return err("bad freg");
+        break;
+      case Op::IADD: case Op::ISUB: case Op::IMUL:
+        if (!ireg(i.dst) || !ireg(i.a) || !ireg(i.b)) return err("bad ireg");
+        break;
+      case Op::IMAD:
+        if (!ireg(i.dst) || !ireg(i.a) || !ireg(i.b) || !ireg(i.c))
+          return err("bad ireg");
+        break;
+      case Op::IMOV:
+        if (!ireg(i.dst) || !ireg(i.a)) return err("bad ireg");
+        break;
+      case Op::IMOVI: case Op::S2R_TID: case Op::S2R_CTAID:
+      case Op::S2R_NTID: case Op::S2R_GRIDDIM:
+        if (!ireg(i.dst)) return err("bad ireg");
+        break;
+      case Op::CVT_I2F:
+        if (!freg(i.dst) || !ireg(i.a)) return err("bad reg");
+        break;
+      case Op::CVT_F2I:
+        if (!ireg(i.dst) || !freg(i.a)) return err("bad reg");
+        break;
+      case Op::LD:
+        if (!freg(i.dst) || !ireg(i.a)) return err("bad reg");
+        break;
+      case Op::ST:
+        if (!ireg(i.a) || !freg(i.b)) return err("bad reg");
+        break;
+      case Op::SETP_LT: case Op::SETP_LE: case Op::SETP_GT: case Op::SETP_EQ:
+        if (!preg(i.dst) || !freg(i.a) || !freg(i.b)) return err("bad reg");
+        break;
+      case Op::ISETP_LT: case Op::ISETP_EQ:
+        if (!preg(i.dst) || !ireg(i.a) || !ireg(i.b)) return err("bad reg");
+        break;
+      case Op::SELP:
+        if (!freg(i.dst) || !freg(i.a) || !freg(i.b) || !preg(i.c))
+          return err("bad reg");
+        break;
+      case Op::IF:
+      case Op::WHILE:
+        if (!preg(i.c)) return err("bad preg");
+        ++depth;
+        is_loop.push_back(i.op == Op::WHILE);
+        break;
+      case Op::ELSE:
+        if (depth == 0 || is_loop.back()) return err("ELSE without IF");
+        break;
+      case Op::ENDIF:
+        if (depth == 0 || is_loop.back()) return err("unmatched ENDIF");
+        --depth;
+        is_loop.pop_back();
+        break;
+      case Op::ENDWHILE:
+        if (!preg(i.c)) return err("bad preg");
+        if (depth == 0 || !is_loop.back()) return err("unmatched ENDWHILE");
+        --depth;
+        is_loop.pop_back();
+        break;
+      case Op::EXIT:
+        break;
+    }
+  }
+  if (depth != 0) return "unclosed IF/WHILE block";
+  return {};
+}
+
+LaunchStats launch_kernel(const Program& prog, MemorySpace& mem, unsigned grid,
+                          unsigned block) {
+  const std::string verr = prog.validate();
+  if (!verr.empty()) throw std::runtime_error("invalid kernel: " + verr);
+  const auto& code = prog.code();
+  LaunchStats stats;
+  FpContext* ctx = FpContext::current();
+  const FpDispatch precise_dispatch{};
+  const FpDispatch& disp = ctx ? ctx->dispatch() : precise_dispatch;
+
+  constexpr std::uint64_t kGuard = 200'000'000;  // runaway-loop backstop
+
+  for (unsigned cta = 0; cta < grid; ++cta) {
+    for (unsigned warp0 = 0; warp0 < block; warp0 += kWarpSize) {
+      const unsigned lanes =
+          std::min<unsigned>(kWarpSize, block - warp0);
+      WarpState w;
+      w.active = lanes == 32 ? ~0u : ((1u << lanes) - 1);
+
+      std::size_t pc = 0;
+      while (pc < code.size()) {
+        if (++stats.warp_instructions > kGuard)
+          throw std::runtime_error("kernel exceeded instruction guard");
+        const Instr& ins = code[pc];
+        const std::uint32_t m = w.active;
+        const auto n = static_cast<std::uint64_t>(popcount(m));
+        stats.dynamic_instructions += n;
+        stats.max_divergence_depth =
+            std::max(stats.max_divergence_depth, w.stack.size());
+
+        auto bump = [&](OpClass c) {
+          if (ctx && n) ctx->counters().bump(c, n);
+        };
+
+        switch (ins.op) {
+          case Op::FADD:
+            bump(OpClass::FAdd);
+            for_active(m, [&](int l) {
+              w.f[l][ins.dst] = disp.add(w.f[l][ins.a], w.f[l][ins.b]);
+            });
+            break;
+          case Op::FSUB:
+            bump(OpClass::FAdd);
+            for_active(m, [&](int l) {
+              w.f[l][ins.dst] = disp.sub(w.f[l][ins.a], w.f[l][ins.b]);
+            });
+            break;
+          case Op::FMUL:
+            bump(OpClass::FMul);
+            for_active(m, [&](int l) {
+              w.f[l][ins.dst] = disp.mul(w.f[l][ins.a], w.f[l][ins.b]);
+            });
+            break;
+          case Op::FDIV:
+            bump(OpClass::FDiv);
+            for_active(m, [&](int l) {
+              w.f[l][ins.dst] = disp.div(w.f[l][ins.a], w.f[l][ins.b]);
+            });
+            break;
+          case Op::FFMA:
+            bump(OpClass::FFma);
+            for_active(m, [&](int l) {
+              w.f[l][ins.dst] =
+                  disp.fma(w.f[l][ins.a], w.f[l][ins.b], w.f[l][ins.c]);
+            });
+            break;
+          case Op::RCP:
+            bump(OpClass::FRcp);
+            for_active(m, [&](int l) { w.f[l][ins.dst] = disp.rcp(w.f[l][ins.a]); });
+            break;
+          case Op::RSQRT:
+            bump(OpClass::FRsqrt);
+            for_active(m, [&](int l) { w.f[l][ins.dst] = disp.rsqrt(w.f[l][ins.a]); });
+            break;
+          case Op::SQRT:
+            bump(OpClass::FSqrt);
+            for_active(m, [&](int l) { w.f[l][ins.dst] = disp.sqrt(w.f[l][ins.a]); });
+            break;
+          case Op::LG2:
+            bump(OpClass::FLog2);
+            for_active(m, [&](int l) { w.f[l][ins.dst] = disp.log2(w.f[l][ins.a]); });
+            break;
+          case Op::EX2:
+            bump(OpClass::FLog2);  // the ex2 unit shares the SFU log stage
+            for_active(m, [&](int l) { w.f[l][ins.dst] = disp.exp2(w.f[l][ins.a]); });
+            break;
+          case Op::IADD:
+            bump(OpClass::IAdd);
+            for_active(m, [&](int l) {
+              w.r[l][ins.dst] = w.r[l][ins.a] + w.r[l][ins.b];
+            });
+            break;
+          case Op::ISUB:
+            bump(OpClass::IAdd);
+            for_active(m, [&](int l) {
+              w.r[l][ins.dst] = w.r[l][ins.a] - w.r[l][ins.b];
+            });
+            break;
+          case Op::IMUL:
+            bump(OpClass::IMul);
+            for_active(m, [&](int l) {
+              w.r[l][ins.dst] = w.r[l][ins.a] * w.r[l][ins.b];
+            });
+            break;
+          case Op::IMAD:
+            bump(OpClass::IMul);
+            for_active(m, [&](int l) {
+              w.r[l][ins.dst] = w.r[l][ins.a] * w.r[l][ins.b] + w.r[l][ins.c];
+            });
+            break;
+          case Op::FMOV:
+            for_active(m, [&](int l) { w.f[l][ins.dst] = w.f[l][ins.a]; });
+            break;
+          case Op::FMOVI:
+            for_active(m, [&](int l) { w.f[l][ins.dst] = ins.fimm; });
+            break;
+          case Op::IMOV:
+            for_active(m, [&](int l) { w.r[l][ins.dst] = w.r[l][ins.a]; });
+            break;
+          case Op::IMOVI:
+            for_active(m, [&](int l) { w.r[l][ins.dst] = ins.iimm; });
+            break;
+          case Op::CVT_I2F:
+            for_active(m, [&](int l) {
+              w.f[l][ins.dst] = static_cast<float>(w.r[l][ins.a]);
+            });
+            break;
+          case Op::CVT_F2I:
+            for_active(m, [&](int l) {
+              w.r[l][ins.dst] = static_cast<std::int32_t>(w.f[l][ins.a]);
+            });
+            break;
+          case Op::S2R_TID:
+            for_active(m, [&](int l) {
+              w.r[l][ins.dst] = static_cast<std::int32_t>(warp0) + l;
+            });
+            break;
+          case Op::S2R_CTAID:
+            for_active(m, [&](int l) { w.r[l][ins.dst] = static_cast<std::int32_t>(cta); });
+            break;
+          case Op::S2R_NTID:
+            for_active(m, [&](int l) { w.r[l][ins.dst] = static_cast<std::int32_t>(block); });
+            break;
+          case Op::S2R_GRIDDIM:
+            for_active(m, [&](int l) { w.r[l][ins.dst] = static_cast<std::int32_t>(grid); });
+            break;
+          case Op::LD:
+            bump(OpClass::Load);
+            for_active(m, [&](int l) {
+              const auto& buf = mem.buffers.at(ins.buf);
+              const auto addr = static_cast<std::size_t>(w.r[l][ins.a]);
+              if (addr >= buf.size())
+                throw std::runtime_error("LD out of range");
+              w.f[l][ins.dst] = buf[addr];
+            });
+            break;
+          case Op::ST:
+            bump(OpClass::Store);
+            for_active(m, [&](int l) {
+              auto& buf = mem.buffers.at(ins.buf);
+              const auto addr = static_cast<std::size_t>(w.r[l][ins.a]);
+              if (addr >= buf.size())
+                throw std::runtime_error("ST out of range");
+              buf[addr] = w.f[l][ins.b];
+            });
+            break;
+          case Op::SETP_LT:
+            for_active(m, [&](int l) {
+              w.p[l][ins.dst] = w.f[l][ins.a] < w.f[l][ins.b];
+            });
+            break;
+          case Op::SETP_LE:
+            for_active(m, [&](int l) {
+              w.p[l][ins.dst] = w.f[l][ins.a] <= w.f[l][ins.b];
+            });
+            break;
+          case Op::SETP_GT:
+            for_active(m, [&](int l) {
+              w.p[l][ins.dst] = w.f[l][ins.a] > w.f[l][ins.b];
+            });
+            break;
+          case Op::SETP_EQ:
+            for_active(m, [&](int l) {
+              w.p[l][ins.dst] = w.f[l][ins.a] == w.f[l][ins.b];
+            });
+            break;
+          case Op::ISETP_LT:
+            for_active(m, [&](int l) {
+              w.p[l][ins.dst] = w.r[l][ins.a] < w.r[l][ins.b];
+            });
+            break;
+          case Op::ISETP_EQ:
+            for_active(m, [&](int l) {
+              w.p[l][ins.dst] = w.r[l][ins.a] == w.r[l][ins.b];
+            });
+            break;
+          case Op::SELP:
+            for_active(m, [&](int l) {
+              w.f[l][ins.dst] = w.p[l][ins.c] ? w.f[l][ins.a] : w.f[l][ins.b];
+            });
+            break;
+          case Op::IF: {
+            MaskFrame fr;
+            fr.saved = m;
+            const std::uint32_t taken = pred_mask(w, m, ins.c);
+            fr.else_part = m & ~taken;
+            w.stack.push_back(fr);
+            w.active = taken;
+            break;
+          }
+          case Op::ELSE: {
+            MaskFrame& fr = w.stack.back();
+            w.active = fr.else_part & ~w.exited;
+            fr.else_part = 0;
+            break;
+          }
+          case Op::ENDIF: {
+            w.active = w.stack.back().saved & ~w.exited;
+            w.stack.pop_back();
+            break;
+          }
+          case Op::WHILE: {
+            MaskFrame fr;
+            fr.saved = m;
+            fr.loop_body = pc + 1;
+            fr.is_loop = true;
+            w.stack.push_back(fr);
+            w.active = pred_mask(w, m, ins.c);
+            break;
+          }
+          case Op::ENDWHILE: {
+            MaskFrame& fr = w.stack.back();
+            const std::uint32_t again =
+                pred_mask(w, w.active, ins.c) & ~w.exited;
+            if (again != 0) {
+              w.active = again;
+              pc = fr.loop_body;
+              continue;  // pc already set to the body start
+            }
+            w.active = fr.saved & ~w.exited;
+            w.stack.pop_back();
+            break;
+          }
+          case Op::EXIT:
+            w.exited |= m;
+            w.active = 0;
+            break;
+        }
+        ++pc;
+        // A fully retired warp with no pending structure is done.
+        if (w.active == 0 && w.stack.empty() &&
+            (w.exited | (lanes == 32 ? ~0u : ((1u << lanes) - 1))) == w.exited)
+          break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace ihw::gpu::isa

@@ -1,0 +1,184 @@
+#pragma once
+// A PTX-like SIMT instruction set and warp interpreter -- the
+// GPGPU-Sim-style execution substrate. Kernels are small programs over
+// per-thread register files; warps of 32 threads execute in lockstep with an
+// active-mask stack for structured divergence (IF/ELSE/ENDIF, WHILE/ENDWHILE).
+//
+// Every floating-point instruction routes through the active FpContext's
+// dispatcher, so an assembled kernel runs on precise or imprecise hardware
+// exactly like the SimReal-based workloads, and bumps the same performance
+// counters the power framework consumes.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/context.h"
+#include "gpu/simt.h"
+
+namespace ihw::gpu::isa {
+
+inline constexpr int kWarpSize = 32;
+inline constexpr int kNumFRegs = 32;
+inline constexpr int kNumIRegs = 16;
+inline constexpr int kNumPRegs = 4;
+
+enum class Op : std::uint8_t {
+  // Floating point (dispatched through the IHW configuration).
+  FADD, FSUB, FMUL, FDIV, FFMA,
+  RCP, RSQRT, SQRT, LG2, EX2,
+  // Integer.
+  IADD, ISUB, IMUL, IMAD,
+  // Moves / conversions.
+  FMOV, FMOVI, IMOV, IMOVI, CVT_I2F, CVT_F2I,
+  // Special registers: thread/block geometry.
+  S2R_TID, S2R_CTAID, S2R_NTID, S2R_GRIDDIM,
+  // Global memory: float element load/store, address = int register.
+  LD, ST,
+  // Predicates.
+  SETP_LT, SETP_LE, SETP_GT, SETP_EQ,   // float compares
+  ISETP_LT, ISETP_EQ,                   // int compares
+  SELP,                                 // dst = p ? a : b (float)
+  // Structured divergence.
+  IF,        // push mask &= p
+  ELSE,      // invert within enclosing mask
+  ENDIF,     // pop
+  WHILE,     // loop header: mask &= p, skip body if none active
+  ENDWHILE,  // re-evaluate p; loop while any thread active
+  EXIT,      // thread retires
+};
+
+const char* to_string(Op op);
+
+/// One instruction. Field use depends on the op; the Program builder methods
+/// below are the intended way to construct these.
+struct Instr {
+  Op op{};
+  std::uint8_t dst = 0;   // destination register (class per op)
+  std::uint8_t a = 0;     // source register a
+  std::uint8_t b = 0;     // source register b
+  std::uint8_t c = 0;     // source register c (FFMA/IMAD) or predicate
+  float fimm = 0.0f;      // FMOVI immediate
+  std::int32_t iimm = 0;  // IMOVI immediate
+  std::uint8_t buf = 0;   // LD/ST buffer binding slot
+};
+
+/// A kernel program plus a tiny builder API (an "assembler"):
+///
+///   Program k;
+///   k.s2r_tid(r0).s2r_ctaid(r1).s2r_ntid(r2);
+///   k.imad(r0, r1, r2, r0);           // global thread id
+///   k.ld(f0, BUF_X, r0).fmul(f0, f0, f0).st(BUF_Y, r0, f0);
+///   k.exit();
+class Program {
+ public:
+  const std::vector<Instr>& code() const { return code_; }
+
+  // -- floating point --
+  Program& fadd(int d, int a, int b) { return push({Op::FADD, u8(d), u8(a), u8(b)}); }
+  Program& fsub(int d, int a, int b) { return push({Op::FSUB, u8(d), u8(a), u8(b)}); }
+  Program& fmul(int d, int a, int b) { return push({Op::FMUL, u8(d), u8(a), u8(b)}); }
+  Program& fdiv(int d, int a, int b) { return push({Op::FDIV, u8(d), u8(a), u8(b)}); }
+  Program& ffma(int d, int a, int b, int c) {
+    return push({Op::FFMA, u8(d), u8(a), u8(b), u8(c)});
+  }
+  Program& rcp(int d, int a) { return push({Op::RCP, u8(d), u8(a)}); }
+  Program& rsqrt(int d, int a) { return push({Op::RSQRT, u8(d), u8(a)}); }
+  Program& sqrt(int d, int a) { return push({Op::SQRT, u8(d), u8(a)}); }
+  Program& lg2(int d, int a) { return push({Op::LG2, u8(d), u8(a)}); }
+  Program& ex2(int d, int a) { return push({Op::EX2, u8(d), u8(a)}); }
+  // -- integer --
+  Program& iadd(int d, int a, int b) { return push({Op::IADD, u8(d), u8(a), u8(b)}); }
+  Program& isub(int d, int a, int b) { return push({Op::ISUB, u8(d), u8(a), u8(b)}); }
+  Program& imul(int d, int a, int b) { return push({Op::IMUL, u8(d), u8(a), u8(b)}); }
+  Program& imad(int d, int a, int b, int c) {
+    return push({Op::IMAD, u8(d), u8(a), u8(b), u8(c)});
+  }
+  // -- moves --
+  Program& fmov(int d, int a) { return push({Op::FMOV, u8(d), u8(a)}); }
+  Program& fmovi(int d, float v) {
+    Instr i{Op::FMOVI, u8(d)};
+    i.fimm = v;
+    return push(i);
+  }
+  Program& imov(int d, int a) { return push({Op::IMOV, u8(d), u8(a)}); }
+  Program& imovi(int d, std::int32_t v) {
+    Instr i{Op::IMOVI, u8(d)};
+    i.iimm = v;
+    return push(i);
+  }
+  Program& cvt_i2f(int d, int a) { return push({Op::CVT_I2F, u8(d), u8(a)}); }
+  Program& cvt_f2i(int d, int a) { return push({Op::CVT_F2I, u8(d), u8(a)}); }
+  // -- specials --
+  Program& s2r_tid(int d) { return push({Op::S2R_TID, u8(d)}); }
+  Program& s2r_ctaid(int d) { return push({Op::S2R_CTAID, u8(d)}); }
+  Program& s2r_ntid(int d) { return push({Op::S2R_NTID, u8(d)}); }
+  Program& s2r_griddim(int d) { return push({Op::S2R_GRIDDIM, u8(d)}); }
+  // -- memory --
+  Program& ld(int fd, int buf, int addr_reg) {
+    Instr i{Op::LD, u8(fd), u8(addr_reg)};
+    i.buf = u8(buf);
+    return push(i);
+  }
+  Program& st(int buf, int addr_reg, int fsrc) {
+    Instr i{Op::ST, 0, u8(addr_reg), u8(fsrc)};
+    i.buf = u8(buf);
+    return push(i);
+  }
+  // -- predicates & divergence --
+  Program& setp_lt(int p, int a, int b) { return push({Op::SETP_LT, u8(p), u8(a), u8(b)}); }
+  Program& setp_le(int p, int a, int b) { return push({Op::SETP_LE, u8(p), u8(a), u8(b)}); }
+  Program& setp_gt(int p, int a, int b) { return push({Op::SETP_GT, u8(p), u8(a), u8(b)}); }
+  Program& setp_eq(int p, int a, int b) { return push({Op::SETP_EQ, u8(p), u8(a), u8(b)}); }
+  Program& isetp_lt(int p, int a, int b) { return push({Op::ISETP_LT, u8(p), u8(a), u8(b)}); }
+  Program& isetp_eq(int p, int a, int b) { return push({Op::ISETP_EQ, u8(p), u8(a), u8(b)}); }
+  Program& selp(int d, int a, int b, int p) {
+    return push({Op::SELP, u8(d), u8(a), u8(b), u8(p)});
+  }
+  Program& if_(int p) { return push({Op::IF, 0, 0, 0, u8(p)}); }
+  Program& else_() { return push({Op::ELSE}); }
+  Program& endif() { return push({Op::ENDIF}); }
+  Program& while_(int p) { return push({Op::WHILE, 0, 0, 0, u8(p)}); }
+  Program& endwhile(int p) { return push({Op::ENDWHILE, 0, 0, 0, u8(p)}); }
+  Program& exit() { return push({Op::EXIT}); }
+
+  /// Checks structural validity (matched IF/ENDIF, WHILE/ENDWHILE, register
+  /// indices in range, terminal EXIT). Returns an empty string when valid.
+  std::string validate() const;
+
+ private:
+  static std::uint8_t u8(int v) { return static_cast<std::uint8_t>(v); }
+  Program& push(Instr i) {
+    code_.push_back(i);
+    return *this;
+  }
+  std::vector<Instr> code_;
+};
+
+/// Global memory bound to a launch: float buffers addressed by element.
+struct MemorySpace {
+  std::vector<std::vector<float>> buffers;
+
+  int bind(std::size_t elements) {
+    buffers.emplace_back(elements, 0.0f);
+    return static_cast<int>(buffers.size() - 1);
+  }
+  int bind(std::vector<float> data) {
+    buffers.push_back(std::move(data));
+    return static_cast<int>(buffers.size() - 1);
+  }
+};
+
+struct LaunchStats {
+  std::uint64_t dynamic_instructions = 0;  // per-thread executed (active) slots
+  std::uint64_t warp_instructions = 0;     // issued warp-wide
+  std::uint64_t max_divergence_depth = 0;  // deepest mask-stack nesting
+};
+
+/// Executes the kernel over a 1-D grid of 1-D blocks, warp by warp.
+/// FP instructions dispatch through the active FpContext (if any) and bump
+/// its counters per active thread. Throws std::runtime_error on invalid
+/// programs or out-of-range memory accesses.
+LaunchStats launch_kernel(const Program& prog, MemorySpace& mem, unsigned grid,
+                          unsigned block);
+
+}  // namespace ihw::gpu::isa

@@ -1,0 +1,26 @@
+#pragma once
+// GTX480-class (Fermi GF100) machine description used by the timing and
+// power models -- the configuration GPGPU-Sim/GPUWattch ship for the paper's
+// experiments.
+namespace ihw::gpu {
+
+struct GpuConfig {
+  int num_sm = 15;           // streaming multiprocessors
+  int lanes_per_sm = 32;     // CUDA cores per SM
+  int sfu_per_sm = 4;        // special function units per SM
+  double core_clock_ghz = 0.7;    // GPUWattch core clock
+  double shader_clock_ghz = 1.4;  // ALU/FPU hot clock
+  double mem_bw_gbs = 177.4;      // GDDR5 bandwidth
+
+  /// Peak arithmetic throughputs in ops/ns.
+  double fpu_ops_per_ns() const {
+    return num_sm * lanes_per_sm * shader_clock_ghz;
+  }
+  double sfu_ops_per_ns() const { return num_sm * sfu_per_sm * shader_clock_ghz; }
+  double int_ops_per_ns() const { return fpu_ops_per_ns(); }
+  double mem_bytes_per_ns() const { return mem_bw_gbs; }
+
+  static GpuConfig gtx480() { return GpuConfig{}; }
+};
+
+}  // namespace ihw::gpu

@@ -1,0 +1,158 @@
+#pragma once
+// SimReal<T>: an instrumented real scalar. Arithmetic routes through the
+// active FpContext's dispatcher (precise or imprecise per the IhwConfig
+// knob) and bumps the matching performance counter -- the software analogue
+// of running the kernel on GPGPU-Sim with the modified functional units.
+// Without an active context, operations are precise and uncounted.
+#include <cmath>
+
+#include "gpu/context.h"
+
+namespace ihw::gpu {
+
+template <typename T>
+class SimReal {
+ public:
+  SimReal() = default;
+  SimReal(T v) : v_(v) {}                                  // NOLINT(runtime/explicit)
+  template <typename U>
+    requires(!std::is_same_v<U, T> && std::is_arithmetic_v<U>)
+  SimReal(U v) : v_(static_cast<T>(v)) {}                  // NOLINT(runtime/explicit)
+
+  T value() const { return v_; }
+  explicit operator T() const { return v_; }
+  template <typename U>
+    requires(!std::is_same_v<U, T> && std::is_arithmetic_v<U>)
+  explicit operator U() const { return static_cast<U>(v_); }
+
+  friend SimReal operator+(SimReal a, SimReal b) {
+    if (auto* c = FpContext::current()) {
+      c->bump(OpClass::FAdd);
+      return SimReal(c->dispatch().add(a.v_, b.v_));
+    }
+    return SimReal(a.v_ + b.v_);
+  }
+  friend SimReal operator-(SimReal a, SimReal b) {
+    if (auto* c = FpContext::current()) {
+      c->bump(OpClass::FAdd);
+      return SimReal(c->dispatch().sub(a.v_, b.v_));
+    }
+    return SimReal(a.v_ - b.v_);
+  }
+  friend SimReal operator*(SimReal a, SimReal b) {
+    if (auto* c = FpContext::current()) {
+      c->bump(OpClass::FMul);
+      return SimReal(c->dispatch().mul(a.v_, b.v_));
+    }
+    return SimReal(a.v_ * b.v_);
+  }
+  friend SimReal operator/(SimReal a, SimReal b) {
+    if (auto* c = FpContext::current()) {
+      c->bump(OpClass::FDiv);
+      return SimReal(c->dispatch().div(a.v_, b.v_));
+    }
+    return SimReal(a.v_ / b.v_);
+  }
+  SimReal operator-() const { return SimReal(-v_); }
+  SimReal& operator+=(SimReal o) { return *this = *this + o; }
+  SimReal& operator-=(SimReal o) { return *this = *this - o; }
+  SimReal& operator*=(SimReal o) { return *this = *this * o; }
+  SimReal& operator/=(SimReal o) { return *this = *this / o; }
+
+  friend bool operator==(SimReal a, SimReal b) { return a.v_ == b.v_; }
+  friend bool operator!=(SimReal a, SimReal b) { return a.v_ != b.v_; }
+  friend bool operator<(SimReal a, SimReal b) { return a.v_ < b.v_; }
+  friend bool operator<=(SimReal a, SimReal b) { return a.v_ <= b.v_; }
+  friend bool operator>(SimReal a, SimReal b) { return a.v_ > b.v_; }
+  friend bool operator>=(SimReal a, SimReal b) { return a.v_ >= b.v_; }
+
+  friend SimReal sqrt(SimReal x) {
+    if (auto* c = FpContext::current()) {
+      c->bump(OpClass::FSqrt);
+      return SimReal(c->dispatch().sqrt(x.v_));
+    }
+    return SimReal(std::sqrt(x.v_));
+  }
+  friend SimReal rsqrt(SimReal x) {
+    if (auto* c = FpContext::current()) {
+      c->bump(OpClass::FRsqrt);
+      return SimReal(c->dispatch().rsqrt(x.v_));
+    }
+    return SimReal(T(1) / std::sqrt(x.v_));
+  }
+  friend SimReal rcp(SimReal x) {
+    if (auto* c = FpContext::current()) {
+      c->bump(OpClass::FRcp);
+      return SimReal(c->dispatch().rcp(x.v_));
+    }
+    return SimReal(T(1) / x.v_);
+  }
+  friend SimReal log2(SimReal x) {
+    if (auto* c = FpContext::current()) {
+      c->bump(OpClass::FLog2);
+      return SimReal(c->dispatch().log2(x.v_));
+    }
+    return SimReal(std::log2(x.v_));
+  }
+  friend SimReal fma_op(SimReal a, SimReal b, SimReal x) {
+    if (auto* c = FpContext::current()) {
+      c->bump(OpClass::FFma);
+      return SimReal(c->dispatch().fma(a.v_, b.v_, x.v_));
+    }
+    return SimReal(a.v_ * b.v_ + x.v_);
+  }
+  friend SimReal fabs(SimReal x) { return SimReal(std::fabs(x.v_)); }
+  friend SimReal fmin(SimReal a, SimReal b) { return a.v_ < b.v_ ? a : b; }
+  friend SimReal fmax(SimReal a, SimReal b) { return a.v_ > b.v_ ? a : b; }
+
+ private:
+  T v_{};
+};
+
+using SimFloat = SimReal<float>;
+using SimDouble = SimReal<double>;
+
+// --- precise fallbacks so templated kernels instantiate with plain T ------
+inline float rsqrt(float x) { return 1.0f / std::sqrt(x); }
+inline double rsqrt(double x) { return 1.0 / std::sqrt(x); }
+inline float rcp(float x) { return 1.0f / x; }
+inline double rcp(double x) { return 1.0 / x; }
+inline float fma_op(float a, float b, float c) { return a * b + c; }
+inline double fma_op(double a, double b, double c) { return a * b + c; }
+
+// --- global-memory access tracking ----------------------------------------
+// Models one 4-byte global access per call (plus its address computation as
+// one integer op, as GPGPU-Sim's instruction mix would show).
+template <typename T>
+inline T gload(const T& ref) {
+  if (auto* c = FpContext::current()) {
+    c->bump(OpClass::Load);
+    c->bump(OpClass::IAdd);
+  }
+  return ref;
+}
+
+template <typename T>
+inline void gstore(T& ref, const T& v) {
+  if (auto* c = FpContext::current()) {
+    c->bump(OpClass::Store);
+    c->bump(OpClass::IAdd);
+  }
+  ref = v;
+}
+
+/// Explicit integer-work annotation (index arithmetic in kernels).
+inline void count_int_ops(std::uint64_t n) {
+  if (auto* c = FpContext::current()) c->counters().bump(OpClass::IAdd, n);
+}
+
+/// Explicit memory-traffic annotation for accesses that do not flow through
+/// gload/gstore (e.g. packed stores of 8-bit pixels).
+inline void count_mem(std::uint64_t loads, std::uint64_t stores) {
+  if (auto* c = FpContext::current()) {
+    c->counters().bump(OpClass::Load, loads);
+    c->counters().bump(OpClass::Store, stores);
+  }
+}
+
+}  // namespace ihw::gpu

@@ -1,0 +1,6 @@
+#include "gpu/simt.h"
+
+// The SIMT launcher is header-only; this TU anchors the library target.
+namespace ihw::gpu {
+static_assert(sizeof(Dim3) == 12);
+}  // namespace ihw::gpu

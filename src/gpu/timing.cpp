@@ -1,0 +1,26 @@
+#include "gpu/timing.h"
+
+#include <algorithm>
+
+namespace ihw::gpu {
+
+const char* KernelTime::bound_by() const {
+  if (total_ns == mem_ns) return "memory";
+  if (total_ns == sfu_ns) return "sfu";
+  if (total_ns == int_ns) return "int";
+  return "fpu";
+}
+
+KernelTime estimate_time(const PerfCounters& counters, const GpuConfig& gpu,
+                         double dram_fraction) {
+  KernelTime t;
+  t.fpu_ns = static_cast<double>(counters.fpu_ops()) / gpu.fpu_ops_per_ns();
+  t.sfu_ns = static_cast<double>(counters.sfu_ops()) / gpu.sfu_ops_per_ns();
+  t.int_ns = static_cast<double>(counters.int_ops()) / gpu.int_ops_per_ns();
+  t.mem_ns = static_cast<double>(counters.mem_bytes()) * dram_fraction /
+             gpu.mem_bytes_per_ns();
+  t.total_ns = std::max({t.fpu_ns, t.sfu_ns, t.int_ns, t.mem_ns, 1.0});
+  return t;
+}
+
+}  // namespace ihw::gpu

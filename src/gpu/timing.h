@@ -1,0 +1,26 @@
+#pragma once
+// Throughput/latency timing model: estimates kernel execution time from the
+// performance counters on a GTX480-class machine (roofline-style: the
+// busiest of FPU, SFU, INT issue and DRAM bandwidth bounds the kernel).
+#include "gpu/counters.h"
+#include "gpu/machine.h"
+
+namespace ihw::gpu {
+
+struct KernelTime {
+  double fpu_ns = 0.0;
+  double sfu_ns = 0.0;
+  double int_ns = 0.0;
+  double mem_ns = 0.0;
+  double total_ns = 0.0;
+
+  const char* bound_by() const;
+};
+
+/// `dram_fraction` is the fraction of counted 4-byte accesses that miss the
+/// on-chip hierarchy and consume DRAM bandwidth (tiled stencils re-use
+/// neighbours from shared memory / L1, so only the streaming traffic pays).
+KernelTime estimate_time(const PerfCounters& counters, const GpuConfig& gpu,
+                         double dram_fraction = 0.15);
+
+}  // namespace ihw::gpu

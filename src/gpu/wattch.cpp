@@ -1,0 +1,45 @@
+#include "gpu/wattch.h"
+
+namespace ihw::gpu {
+
+PowerBreakdown estimate_power(const PerfCounters& counters,
+                              const GpuConfig& gpu,
+                              const power::SynthesisDb& db,
+                              const GpuPowerParams& params) {
+  PowerBreakdown out;
+  out.time = estimate_time(counters, gpu, params.dram_fraction);
+  const double t_ns = out.time.total_ns;
+
+  // Dynamic arithmetic energy from the DWIP (precise) operating points.
+  double fpu_pj = 0.0, sfu_pj = 0.0;
+  for (int i = 0; i < power::kNumOpKinds; ++i) {
+    const auto op = static_cast<power::OpKind>(i);
+    const auto cls = power::unit_class(op);
+    if (cls == power::UnitClass::INT) continue;
+    const double e =
+        db.dwip(op).energy_pj() * static_cast<double>(counters.counts[i]);
+    if (cls == power::UnitClass::FPU)
+      fpu_pj += e;
+    else
+      sfu_pj += e;
+  }
+  const double alu_pj = params.int_pj * static_cast<double>(counters.int_ops());
+  const double fe_pj =
+      params.frontend_pj * static_cast<double>(counters.instructions());
+  const double mem_pj =
+      static_cast<double>(counters.mem_accesses()) *
+      (params.l1_pj + params.dram_fraction * params.dram_pj);
+
+  // pJ / ns == mW.
+  out.fpu_w = fpu_pj / t_ns * 1e-3;
+  out.sfu_w = sfu_pj / t_ns * 1e-3;
+  out.alu_w = alu_pj / t_ns * 1e-3;
+  out.frontend_w = fe_pj / t_ns * 1e-3;
+  out.mem_w = mem_pj / t_ns * 1e-3;
+  out.static_w = params.static_w;
+  out.total_w = out.fpu_w + out.sfu_w + out.alu_w + out.frontend_w +
+                out.mem_w + out.static_w;
+  return out;
+}
+
+}  // namespace ihw::gpu

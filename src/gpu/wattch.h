@@ -1,0 +1,50 @@
+#pragma once
+// GPUWattch-substitute component power model (see DESIGN.md substitutions):
+// dynamic energy = per-access energies x performance-counter activity,
+// average power = energy / modeled kernel time + constant leakage/clock
+// power. Arithmetic per-access energies come from the synthesized DWIP
+// operating points (the baseline/"Fig. 2" breakdown is always reported for
+// precise hardware). Calibrated so compute-intensive kernels land at the
+// paper's observed shares: FPU+SFU ~27-38%, integer lane < 10%.
+#include "gpu/counters.h"
+#include "gpu/machine.h"
+#include "gpu/timing.h"
+#include "power/nfm.h"
+#include "power/syspower.h"
+
+namespace ihw::gpu {
+
+struct GpuPowerParams {
+  double frontend_pj = 9.0;   ///< fetch/decode/schedule/RF, per instruction
+  double int_pj = 8.0;        ///< effective integer-lane energy per op
+  double l1_pj = 25.0;        ///< on-chip hierarchy energy per 4B access
+  double dram_pj = 320.0;     ///< DRAM energy per 4B access that misses
+  double static_w = 15.0;     ///< leakage + clock tree + idle
+  double dram_fraction = 0.15;  ///< fraction of accesses reaching DRAM
+};
+
+/// Average-power breakdown over one kernel (watts).
+struct PowerBreakdown {
+  double fpu_w = 0.0;
+  double sfu_w = 0.0;
+  double alu_w = 0.0;       // integer lane
+  double frontend_w = 0.0;  // fetch/decode/schedule/RF
+  double mem_w = 0.0;       // caches + NoC + MC + DRAM
+  double static_w = 0.0;
+  double total_w = 0.0;
+  KernelTime time;
+
+  double fpu_share() const { return fpu_w / total_w; }
+  double sfu_share() const { return sfu_w / total_w; }
+  double arith_share() const { return fpu_share() + sfu_share(); }
+  double alu_share() const { return alu_w / total_w; }
+
+  power::UnitShares unit_shares() const { return {fpu_share(), sfu_share()}; }
+};
+
+PowerBreakdown estimate_power(const PerfCounters& counters,
+                              const GpuConfig& gpu,
+                              const power::SynthesisDb& db,
+                              const GpuPowerParams& params = {});
+
+}  // namespace ihw::gpu

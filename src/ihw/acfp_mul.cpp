@@ -1,0 +1,8 @@
+#include "ihw/acfp_mul.h"
+
+namespace ihw {
+
+template float acfp_mul<float>(float, float, AcfpPath, int);
+template double acfp_mul<double>(double, double, AcfpPath, int);
+
+}  // namespace ihw

@@ -1,0 +1,81 @@
+#include "ihw/config.h"
+
+#include <sstream>
+
+namespace ihw {
+
+std::string to_string(MulMode m) {
+  switch (m) {
+    case MulMode::Precise: return "precise";
+    case MulMode::ImpreciseSimple: return "ifpmul";
+    case MulMode::MitchellLog: return "log_path";
+    case MulMode::MitchellFull: return "full_path";
+    case MulMode::BitTruncated: return "bit_trunc";
+  }
+  return "?";
+}
+
+IhwConfig IhwConfig::all_imprecise() {
+  IhwConfig c;
+  c.add_enabled = true;
+  c.add_th = kDefaultAddTh;
+  c.mul_mode = MulMode::ImpreciseSimple;
+  c.rcp_enabled = c.rsqrt_enabled = c.sqrt_enabled = c.log2_enabled =
+      c.div_enabled = c.fma_enabled = true;
+  return c;
+}
+
+IhwConfig IhwConfig::ray_conservative() {
+  IhwConfig c;
+  c.add_enabled = true;
+  c.rcp_enabled = true;
+  c.sqrt_enabled = true;
+  return c;
+}
+
+IhwConfig IhwConfig::ray_with_rsqrt() {
+  IhwConfig c = ray_conservative();
+  c.rsqrt_enabled = true;
+  return c;
+}
+
+IhwConfig IhwConfig::ray_with_full_path_mul(int trunc) {
+  IhwConfig c = ray_conservative();
+  c.mul_mode = MulMode::MitchellFull;
+  c.mul_trunc = trunc;
+  return c;
+}
+
+IhwConfig IhwConfig::mul_only(MulMode mode, int trunc) {
+  IhwConfig c;
+  c.mul_mode = mode;
+  c.mul_trunc = trunc;
+  return c;
+}
+
+std::string IhwConfig::describe() const {
+  std::ostringstream os;
+  bool first = true;
+  auto item = [&](const std::string& s) {
+    if (!first) os << ",";
+    os << s;
+    first = false;
+  };
+  if (add_enabled) item("add(TH=" + std::to_string(add_th) + ")");
+  if (mul_imprecise()) {
+    std::string m = "mul(" + to_string(mul_mode);
+    if (mul_trunc > 0) m += ",tr=" + std::to_string(mul_trunc);
+    item(m + ")");
+  }
+  if (rcp_enabled) item("rcp");
+  if (rsqrt_enabled) item("rsqrt");
+  if (sqrt_enabled) item("sqrt");
+  if (log2_enabled) item("log2");
+  if (exp2_enabled) item("exp2");
+  if (div_enabled) item("div");
+  if (fma_enabled) item("fma");
+  if (first) os << "precise";
+  return os.str();
+}
+
+}  // namespace ihw

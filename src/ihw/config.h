@@ -1,0 +1,69 @@
+#pragma once
+// Configuration knobs for the imprecise-hardware unit set (Table 1 and
+// Ch. 3.2). A config says, per operation class, whether the imprecise unit is
+// enabled and with which structural parameters -- mirroring the per-unit
+// enable knob the paper added to GPGPU-Sim.
+#include <string>
+
+namespace ihw {
+
+/// Which multiplier datapath services FP multiplications.
+enum class MulMode {
+  Precise,          ///< IEEE-754 round-to-nearest (DesignWare baseline)
+  ImpreciseSimple,  ///< Table 1: mantissa product ~ 1 + Ma + Mb (emax 25%)
+  MitchellLog,      ///< Ch. 3.2 log path: MA on the full significand (emax 11.11%)
+  MitchellFull,     ///< Ch. 3.2 full path: 1+Ma+Mb + MA(Ma*Mb) (emax 2.04%)
+  BitTruncated,     ///< Intuitive-truncation baseline: exact product, truncated result
+};
+
+std::string to_string(MulMode m);
+
+/// Default structural threshold for the imprecise adder (Ch. 3.1 uses TH=8
+/// for the headline 0.78% bound / 69% power saving operating point).
+inline constexpr int kDefaultAddTh = 8;
+
+struct IhwConfig {
+  // --- adder/subtractor ---
+  bool add_enabled = false;
+  int add_th = kDefaultAddTh;  ///< structural parameter TH in [1, 27]
+
+  // --- multiplier ---
+  MulMode mul_mode = MulMode::Precise;
+  int mul_trunc = 0;  ///< LSBs truncated inside the selected datapath
+
+  // --- special function unit ---
+  bool rcp_enabled = false;
+  bool rsqrt_enabled = false;
+  bool sqrt_enabled = false;
+  bool log2_enabled = false;
+  bool exp2_enabled = false;  ///< extension unit (thesis future work)
+  bool div_enabled = false;
+
+  // --- fused multiply-add (imprecise mul feeding imprecise add) ---
+  bool fma_enabled = false;
+
+  bool mul_imprecise() const { return mul_mode != MulMode::Precise; }
+  bool any_enabled() const {
+    return add_enabled || mul_imprecise() || rcp_enabled || rsqrt_enabled ||
+           sqrt_enabled || log2_enabled || exp2_enabled || div_enabled ||
+           fma_enabled;
+  }
+
+  /// Everything precise (the reference/baseline configuration).
+  static IhwConfig precise() { return IhwConfig{}; }
+  /// The full Table 1 set enabled: TH=8 adder, simple imprecise multiplier,
+  /// all SFU linear approximations, imprecise FMA.
+  static IhwConfig all_imprecise();
+  /// The RAY configuration of Fig. 17(b): rcp + add + sqrt only.
+  static IhwConfig ray_conservative();
+  /// Fig. 17(c): rcp + add + sqrt + rsqrt.
+  static IhwConfig ray_with_rsqrt();
+  /// Fig. 18(b): rcp + add + sqrt + full-path Mitchell multiplier.
+  static IhwConfig ray_with_full_path_mul(int trunc = 0);
+  /// Multiplier-only substitution (Ch. 5.3.2 CPU/GPU multiplier study).
+  static IhwConfig mul_only(MulMode mode, int trunc);
+
+  std::string describe() const;
+};
+
+}  // namespace ihw

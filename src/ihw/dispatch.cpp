@@ -1,0 +1,6 @@
+#include "ihw/dispatch.h"
+
+// FpDispatch is header-only; this TU anchors the library target.
+namespace ihw {
+static_assert(sizeof(FpDispatch) > 0);
+}  // namespace ihw

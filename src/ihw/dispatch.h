@@ -1,0 +1,91 @@
+#pragma once
+// Routes each floating-point operation class to its precise (host IEEE-754)
+// or imprecise implementation according to an IhwConfig -- the software
+// analogue of the per-unit enable knob the paper added to GPGPU-Sim.
+#include "ihw/acfp_mul.h"
+#include "ihw/config.h"
+#include "ihw/ifp_add.h"
+#include "ihw/ifp_mul.h"
+#include "ihw/sfu.h"
+#include "ihw/trunc_mul.h"
+
+#include <cmath>
+
+namespace ihw {
+
+class FpDispatch {
+ public:
+  FpDispatch() = default;
+  explicit FpDispatch(IhwConfig cfg) : cfg_(cfg) {}
+
+  const IhwConfig& config() const { return cfg_; }
+  void set_config(IhwConfig cfg) { cfg_ = cfg; }
+
+  template <typename T>
+  T add(T a, T b) const {
+    return cfg_.add_enabled ? ifp_add(a, b, cfg_.add_th) : a + b;
+  }
+
+  template <typename T>
+  T sub(T a, T b) const {
+    return cfg_.add_enabled ? ifp_sub(a, b, cfg_.add_th) : a - b;
+  }
+
+  template <typename T>
+  T mul(T a, T b) const {
+    switch (cfg_.mul_mode) {
+      case MulMode::Precise: return a * b;
+      case MulMode::ImpreciseSimple: return ifp_mul(a, b);
+      case MulMode::MitchellLog:
+        return acfp_mul(a, b, AcfpPath::Log, cfg_.mul_trunc);
+      case MulMode::MitchellFull:
+        return acfp_mul(a, b, AcfpPath::Full, cfg_.mul_trunc);
+      case MulMode::BitTruncated: return trunc_mul(a, b, cfg_.mul_trunc);
+    }
+    return a * b;
+  }
+
+  template <typename T>
+  T div(T a, T b) const {
+    return cfg_.div_enabled ? ifp_div(a, b) : a / b;
+  }
+
+  template <typename T>
+  T rcp(T x) const {
+    return cfg_.rcp_enabled ? ircp(x) : T(1) / x;
+  }
+
+  template <typename T>
+  T rsqrt(T x) const {
+    return cfg_.rsqrt_enabled ? irsqrt(x) : T(1) / std::sqrt(x);
+  }
+
+  template <typename T>
+  T sqrt(T x) const {
+    return cfg_.sqrt_enabled ? isqrt(x) : std::sqrt(x);
+  }
+
+  template <typename T>
+  T log2(T x) const {
+    return cfg_.log2_enabled ? ilog2(x) : std::log2(x);
+  }
+
+  template <typename T>
+  T exp2(T x) const {
+    return cfg_.exp2_enabled ? iexp2(x) : std::exp2(x);
+  }
+
+  template <typename T>
+  T fma(T a, T b, T c) const {
+    if (cfg_.fma_enabled) return ifp_fma(a, b, c, cfg_.add_th);
+    // A non-fused precise pipeline: mul then add through whatever those two
+    // units are configured as (matches how GPGPU-Sim decomposes MAD when the
+    // fused unit is disabled).
+    return add(mul(a, b), c);
+  }
+
+ private:
+  IhwConfig cfg_{};
+};
+
+}  // namespace ihw

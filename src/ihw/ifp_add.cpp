@@ -1,0 +1,8 @@
+#include "ihw/ifp_add.h"
+
+namespace ihw {
+
+template float ifp_add<float>(float, float, int, bool);
+template double ifp_add<double>(double, double, int, bool);
+
+}  // namespace ihw

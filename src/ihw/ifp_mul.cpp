@@ -1,0 +1,8 @@
+#include "ihw/ifp_mul.h"
+
+namespace ihw {
+
+template float ifp_mul<float>(float, float);
+template double ifp_mul<double>(double, double);
+
+}  // namespace ihw

@@ -1,0 +1,52 @@
+#pragma once
+// The original imprecise floating-point multiplier of Table 1 (Ch. 3.1):
+// the 24x24-bit mantissa multiplication is replaced by a 25-bit addition,
+//
+//   (1+Ma)(1+Mb) ~ 1 + Ma + Mb          (Ma + Mb <  1)
+//                ~ (1 + Ma + Mb) / 2    (Ma + Mb >= 1, exponent carry-in)
+//
+// i.e. the Ma*Mb cross term is dropped. Maximum relative error is 25%
+// (at Ma = Mb -> 1). No rounding unit; subnormals flush to zero; infinities
+// and NaNs are preserved.
+#include "fpcore/float_bits.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ihw {
+
+template <typename T>
+T ifp_mul(T a, T b) {
+  using Tr = fp::FloatTraits<T>;
+  using B = typename Tr::Bits;
+  constexpr int FB = Tr::frac_bits;
+
+  const bool sign = std::signbit(a) != std::signbit(b);
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<T>::quiet_NaN();
+  a = fp::flush_subnormal(a);
+  b = fp::flush_subnormal(b);
+  if (std::isinf(a) || std::isinf(b)) {
+    if (a == T(0) || b == T(0)) return std::numeric_limits<T>::quiet_NaN();
+    return sign ? -std::numeric_limits<T>::infinity()
+                : std::numeric_limits<T>::infinity();
+  }
+  if (a == T(0) || b == T(0)) return sign ? -T(0) : T(0);
+
+  const auto fa = fp::decompose(a);
+  const auto fb = fp::decompose(b);
+  int expz = fa.unbiased_exp() + fb.unbiased_exp();
+  const B s = fa.frac + fb.frac;  // Ma + Mb, FB+1 bits
+  B frac;
+  if (s < (B{1} << FB)) {
+    frac = s;  // 1 + Ma + Mb, already normalized
+  } else {
+    frac = (s - (B{1} << FB)) >> 1;  // (1+Ma+Mb)/2 = 1 + (Ma+Mb-1)/2
+    expz += 1;                       // cin of eq. (6)
+  }
+  return fp::compose_flushing<T>(sign, expz, frac);
+}
+
+extern template float ifp_mul<float>(float, float);
+extern template double ifp_mul<double>(double, double);
+
+}  // namespace ihw

@@ -1,0 +1,11 @@
+#pragma once
+// Umbrella header for the imprecise-hardware unit library (the paper's core
+// contribution). Include this to get every unit, the config type, and the
+// dispatcher.
+#include "ihw/acfp_mul.h"   // IWYU pragma: export
+#include "ihw/config.h"     // IWYU pragma: export
+#include "ihw/dispatch.h"   // IWYU pragma: export
+#include "ihw/ifp_add.h"    // IWYU pragma: export
+#include "ihw/ifp_mul.h"    // IWYU pragma: export
+#include "ihw/sfu.h"        // IWYU pragma: export
+#include "ihw/trunc_mul.h"  // IWYU pragma: export

@@ -1,0 +1,173 @@
+#include "ihw/sfu.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ihw {
+namespace {
+
+// Table 1 linear-approximation coefficients (curve-fitted to minimize mean
+// absolute error over the reduced range).
+constexpr double kRcpA = 2.823, kRcpB = 1.882;
+constexpr double kRsqA = 2.08, kRsqB = 1.1911;
+constexpr double kLogA = 0.9846, kLogB = 0.9196;
+
+}  // namespace
+
+template <typename T>
+T ircp(T x) {
+  if (std::isnan(x)) return std::numeric_limits<T>::quiet_NaN();
+  x = fp::flush_subnormal(x);
+  if (x == T(0))
+    return std::signbit(x) ? -std::numeric_limits<T>::infinity()
+                           : std::numeric_limits<T>::infinity();
+  if (std::isinf(x)) return std::signbit(x) ? -T(0) : T(0);
+
+  const auto f = fp::decompose(x);
+  // Range reduction: x = 2^(e+1) * x', x' = (1+M)/2 in [0.5, 1).
+  const double xr = (1.0 + std::ldexp(static_cast<double>(f.frac),
+                                      -fp::FloatTraits<T>::frac_bits)) * 0.5;
+  const double approx = kRcpA - kRcpB * xr;  // ~ 1/x'
+  const double y = std::ldexp(approx, -(f.unbiased_exp() + 1));
+  const T r = static_cast<T>(std::signbit(x) ? -y : y);
+  return fp::flush_subnormal(r);
+}
+
+template <typename T>
+T irsqrt(T x) {
+  if (std::isnan(x) || x < T(0)) return std::numeric_limits<T>::quiet_NaN();
+  x = fp::flush_subnormal(x);
+  if (x == T(0)) return std::numeric_limits<T>::infinity();
+  if (std::isinf(x)) return T(0);
+
+  const auto f = fp::decompose(x);
+  const int e = f.unbiased_exp();
+  const double m = 1.0 + std::ldexp(static_cast<double>(f.frac),
+                                    -fp::FloatTraits<T>::frac_bits);
+  // Even/odd exponent split so the reduced operand lands in [0.25, 1):
+  //   e even: x = 4^((e+2)/2) * (m/4),  m/4 in [0.25, 0.5)
+  //   e odd:  x = 4^((e+1)/2) * (m/2),  m/2 in [0.5, 1)
+  int k;
+  double xr;
+  if ((e & 1) == 0) {
+    k = e / 2 + 1;
+    xr = m * 0.25;
+  } else {
+    k = (e + 1) / 2;
+    xr = m * 0.5;
+  }
+  const double approx = kRsqA - kRsqB * xr;  // ~ 1/sqrt(x')
+  const T r = static_cast<T>(std::ldexp(approx, -k));
+  return fp::flush_subnormal(r);
+}
+
+template <typename T>
+T isqrt(T x) {
+  if (std::isnan(x) || x < T(0)) return std::numeric_limits<T>::quiet_NaN();
+  x = fp::flush_subnormal(x);
+  if (x == T(0)) return T(0);
+  if (std::isinf(x)) return std::numeric_limits<T>::infinity();
+
+  const auto f = fp::decompose(x);
+  const int e = f.unbiased_exp();
+  const double m = 1.0 + std::ldexp(static_cast<double>(f.frac),
+                                    -fp::FloatTraits<T>::frac_bits);
+  int k;
+  double xr;
+  if ((e & 1) == 0) {
+    k = e / 2 + 1;
+    xr = m * 0.25;
+  } else {
+    k = (e + 1) / 2;
+    xr = m * 0.5;
+  }
+  // sqrt(x') ~ x' * (1/sqrt(x')) with the same linear rsqrt segment.
+  const double approx = xr * (kRsqA - kRsqB * xr);
+  const T r = static_cast<T>(std::ldexp(approx, k));
+  return fp::flush_subnormal(r);
+}
+
+template <typename T>
+T ilog2(T x) {
+  if (std::isnan(x) || x < T(0)) return std::numeric_limits<T>::quiet_NaN();
+  x = fp::flush_subnormal(x);
+  if (x == T(0)) return -std::numeric_limits<T>::infinity();
+  if (std::isinf(x)) return std::numeric_limits<T>::infinity();
+
+  const auto f = fp::decompose(x);
+  const double m = 1.0 + std::ldexp(static_cast<double>(f.frac),
+                                    -fp::FloatTraits<T>::frac_bits);
+  // log2(x) = e + log2(m) ~ e + 0.9846 m - 0.9196 on m in [1,2).
+  const double y = static_cast<double>(f.unbiased_exp()) + kLogA * m - kLogB;
+  return fp::flush_subnormal(static_cast<T>(y));
+}
+
+template <typename T>
+T iexp2(T x) {
+  if (std::isnan(x)) return std::numeric_limits<T>::quiet_NaN();
+  if (std::isinf(x))
+    return std::signbit(x) ? T(0) : std::numeric_limits<T>::infinity();
+  // Split x = i + f with f in [0,1): 2^x = 2^i * 2^f ~ 2^i * (1 + f).
+  // The integer part lands in the exponent field; only the fraction is
+  // approximated -- the exact mirror of ilog2's datapath.
+  const double xd = static_cast<double>(x);
+  const double i = std::floor(xd);
+  const double f = xd - i;
+  if (i > 16000.0) return std::numeric_limits<T>::infinity();
+  if (i < -16000.0) return T(0);
+  const T r = static_cast<T>(std::ldexp(1.0 + f, static_cast<int>(i)));
+  return fp::flush_subnormal(r);
+}
+
+template <typename T>
+T ifp_div(T a, T b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<T>::quiet_NaN();
+  const bool sign = std::signbit(a) != std::signbit(b);
+  a = fp::flush_subnormal(a);
+  b = fp::flush_subnormal(b);
+  if (b == T(0)) {
+    if (a == T(0)) return std::numeric_limits<T>::quiet_NaN();
+    return sign ? -std::numeric_limits<T>::infinity()
+                : std::numeric_limits<T>::infinity();
+  }
+  if (std::isinf(b)) {
+    if (std::isinf(a)) return std::numeric_limits<T>::quiet_NaN();
+    return sign ? -T(0) : T(0);
+  }
+  if (a == T(0) || std::isinf(a)) return a == T(0) ? (sign ? -T(0) : T(0))
+                                                   : (sign ? -std::numeric_limits<T>::infinity()
+                                                           : std::numeric_limits<T>::infinity());
+
+  const auto fb = fp::decompose(b);
+  const double br = (1.0 + std::ldexp(static_cast<double>(fb.frac),
+                                      -fp::FloatTraits<T>::frac_bits)) * 0.5;
+  const double rcp = kRcpA - kRcpB * br;  // ~ 1/b'
+  // The division SFU owns a multiplier for a * rcp(b); modelled in double and
+  // truncated to T (its quantization is below the 5.88% approximation floor).
+  const double y = static_cast<double>(std::fabs(a)) *
+                   std::ldexp(rcp, -(fb.unbiased_exp() + 1));
+  const T r = static_cast<T>(sign ? -y : y);
+  return fp::flush_subnormal(r);
+}
+
+template <typename T>
+T ifp_fma(T a, T b, T c, int th) {
+  return ifp_add(ifp_mul(a, b), c, th);
+}
+
+template float ircp<float>(float);
+template double ircp<double>(double);
+template float irsqrt<float>(float);
+template double irsqrt<double>(double);
+template float isqrt<float>(float);
+template double isqrt<double>(double);
+template float ilog2<float>(float);
+template double ilog2<double>(double);
+template float iexp2<float>(float);
+template double iexp2<double>(double);
+template float ifp_div<float>(float, float);
+template double ifp_div<double>(double, double);
+template float ifp_fma<float>(float, float, float, int);
+template double ifp_fma<double>(double, double, double, int);
+
+}  // namespace ihw

@@ -1,0 +1,69 @@
+#pragma once
+// Imprecise special-function units (Table 1): single-segment linear
+// approximations after range reduction, replacing the table-lookup /
+// Newton-Raphson machinery of precise SFUs.
+//
+//   1/x      ~ 2.823  - 1.882  x   on x in [0.5, 1)   emax 5.88%
+//   1/sqrt x ~ 2.08   - 1.1911 x   on x in [0.25, 1)  emax 11.11%
+//   sqrt x   ~ x (2.08 - 1.1911 x) on x in [0.25, 1)  emax 11.11%
+//   log2 x   ~ e + 0.9846 m - 0.9196, m in [1,2)      unbounded (near log2=0)
+//   a / b    ~ a (2.823 - 1.882 b'), b' reduced       emax 5.88%
+//   fma      = imprecise mul feeding the TH-adder
+//
+// Range reduction is free in IEEE-754: it only rewrites the exponent field.
+// The functional models compute the linear form in double and truncate to T;
+// the hardware would use fixed-point constant multipliers, whose additional
+// quantization is below the approximation error floor by construction.
+#include "ihw/acfp_mul.h"
+#include "ihw/config.h"
+#include "ihw/ifp_add.h"
+#include "ihw/ifp_mul.h"
+
+namespace ihw {
+
+/// Imprecise reciprocal.
+template <typename T>
+T ircp(T x);
+
+/// Imprecise reciprocal square root. x < 0 -> NaN, x = 0 -> +inf.
+template <typename T>
+T irsqrt(T x);
+
+/// Imprecise square root. x < 0 -> NaN.
+template <typename T>
+T isqrt(T x);
+
+/// Imprecise base-2 logarithm. x < 0 -> NaN, x = 0 -> -inf.
+template <typename T>
+T ilog2(T x);
+
+/// Imprecise base-2 exponential (extension unit; the thesis's future-work
+/// "expand the design space" direction). Uses the Mitchell antilog segment
+/// 2^f ~ 1 + f on f in [0,1): emax = 6.15% at f = 1/ln2 - 1.
+template <typename T>
+T iexp2(T x);
+
+/// Imprecise division a/b = a * (linear reciprocal of b).
+template <typename T>
+T ifp_div(T a, T b);
+
+/// Imprecise fused multiply-add: ifp_mul feeding the TH-adder.
+template <typename T>
+T ifp_fma(T a, T b, T c, int th = kDefaultAddTh);
+
+extern template float ircp<float>(float);
+extern template double ircp<double>(double);
+extern template float irsqrt<float>(float);
+extern template double irsqrt<double>(double);
+extern template float isqrt<float>(float);
+extern template double isqrt<double>(double);
+extern template float ilog2<float>(float);
+extern template double ilog2<double>(double);
+extern template float iexp2<float>(float);
+extern template double iexp2<double>(double);
+extern template float ifp_div<float>(float, float);
+extern template double ifp_div<double>(double, double);
+extern template float ifp_fma<float>(float, float, float, int);
+extern template double ifp_fma<double>(double, double, double, int);
+
+}  // namespace ihw

@@ -1,0 +1,8 @@
+#include "ihw/trunc_mul.h"
+
+namespace ihw {
+
+template float trunc_mul<float>(float, float, int);
+template double trunc_mul<double>(double, double, int);
+
+}  // namespace ihw

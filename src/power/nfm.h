@@ -1,0 +1,90 @@
+#pragma once
+// Non-functional-metrics database: the (power, latency, area) matrix the
+// power-quality framework consumes (Fig. 11/12).
+//
+// The paper obtains these numbers from Synopsys DC + FreePDK45 + post-layout
+// HSIM SPICE runs of VHDL models and DesignWare IPs. We cannot run that
+// toolchain here, so this module substitutes:
+//   * the paper's *published* operating points (Tables 2, 3, 4) as anchors,
+//   * an analytical gate-level scaling model (adder power linear in width,
+//     array-multiplier power proportional to surviving partial-product
+//     cells, a fixed IEEE-754 infrastructure overhead) fitted through those
+//     anchors to interpolate the truncation sweeps of Figs. 14/19/20/21.
+// The framework itself only ever reads this matrix, exactly as in the paper.
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "ihw/config.h"
+
+namespace ihw::power {
+
+/// Operation classes tracked by the performance counters and priced by the
+/// database. FPU = {FAdd, FMul, FFma}; SFU = {FDiv, FRcp, FRsqrt, FSqrt,
+/// FLog2}; INT = {IAdd, IMul}.
+enum class OpKind : int {
+  FAdd = 0,
+  FMul,
+  FFma,
+  FDiv,
+  FRcp,
+  FRsqrt,
+  FSqrt,
+  FLog2,
+  IAdd,
+  IMul,
+  kCount
+};
+inline constexpr int kNumOpKinds = static_cast<int>(OpKind::kCount);
+
+enum class UnitClass { FPU, SFU, INT };
+UnitClass unit_class(OpKind op);
+std::string to_string(OpKind op);
+
+/// One synthesized operating point.
+struct UnitMetrics {
+  double power_mw = 0.0;
+  double latency_ns = 0.0;
+  double area = 0.0;  // normalized gate-equivalents (1.0 = DWIP counterpart)
+
+  double energy_pj() const { return power_mw * latency_ns; }
+  double edp() const { return energy_pj() * latency_ns; }
+};
+
+/// The synthesized-metrics matrix of Fig. 11, 45 nm, 32-bit units (64-bit
+/// multiplier variants included for the Ch. 5.3.2 study).
+class SynthesisDb {
+ public:
+  SynthesisDb();
+
+  /// IEEE-754 DesignWare baseline for an op.
+  UnitMetrics dwip(OpKind op) const;
+
+  /// Imprecise (Table 1) unit for an op. `add_th` only affects FAdd/FFma; the
+  /// Table 2 anchor is TH=8 and the adder datapath width scales with TH.
+  UnitMetrics ihw(OpKind op, int add_th = kDefaultAddTh) const;
+
+  /// Metrics of the FP multiplier family under a (mode, trunc) configuration.
+  /// is64 selects the double-precision design (Table 4 / Fig. 14b).
+  UnitMetrics multiplier(MulMode mode, int trunc, bool is64) const;
+
+  /// Metrics for an op under a full IHW configuration: routes FMul through
+  /// multiplier(), honours per-unit enables (disabled -> DWIP).
+  UnitMetrics for_config(OpKind op, const IhwConfig& cfg) const;
+
+  /// Table 3: the standalone 25-bit integer adder and 24-bit multiplier.
+  UnitMetrics int_adder25() const { return {0.24, 0.31, 25.0 / 576.0}; }
+  UnitMetrics int_mult24() const { return {8.50, 0.93, 1.0}; }
+
+ private:
+  std::array<UnitMetrics, kNumOpKinds> dwip_{};
+  std::array<UnitMetrics, kNumOpKinds> ihw_{};
+};
+
+/// Normalized Table 2 row (IHW / DWIP) for reporting.
+struct NormalizedNfm {
+  double power, latency, area, energy, edp;
+};
+NormalizedNfm normalized(const UnitMetrics& ihw, const UnitMetrics& dwip);
+
+}  // namespace ihw::power

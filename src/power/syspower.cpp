@@ -1,0 +1,86 @@
+#include "power/syspower.h"
+
+#include <cmath>
+
+namespace ihw::power {
+
+std::uint64_t OpCounts::total(UnitClass cls) const {
+  std::uint64_t t = 0;
+  for (int i = 0; i < kNumOpKinds; ++i)
+    if (unit_class(static_cast<OpKind>(i)) == cls) t += counts[i];
+  return t;
+}
+
+std::uint64_t OpCounts::total() const {
+  std::uint64_t t = 0;
+  for (auto c : counts) t += c;
+  return t;
+}
+
+double pipeline_latency_ns(std::uint64_t acc, double lat_ns) {
+  if (acc == 0) return 0.0;
+  const double period_ns = 1.0 / kCoreClockGhz;
+  const double lat_cycles = std::ceil(lat_ns / period_ns);
+  return (static_cast<double>(acc) - 1.0 + lat_cycles) * period_ns;
+}
+
+SystemSavings estimate_savings(const OpCounts& ops, const IhwConfig& cfg,
+                               const UnitShares& shares,
+                               const SynthesisDb& db) {
+  SystemSavings out;
+  double ihw_fpu_lat = 0.0, dw_fpu_lat = 0.0;
+  double ihw_sfu_lat = 0.0, dw_sfu_lat = 0.0;
+
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    const OpKind op = static_cast<OpKind>(i);
+    const UnitClass cls = unit_class(op);
+    if (cls == UnitClass::INT) continue;  // ALU left precise (Ch. 3.1)
+    const std::uint64_t acc = ops[op];
+    if (acc == 0) continue;
+
+    const UnitMetrics ihw_m = db.for_config(op, cfg);
+    const UnitMetrics dw_m = db.dwip(op);
+    const double i_lat = pipeline_latency_ns(acc, ihw_m.latency_ns);
+    const double d_lat = pipeline_latency_ns(acc, dw_m.latency_ns);
+    const double i_eng = ihw_m.power_mw * i_lat;  // mW*ns = pJ
+    const double d_eng = dw_m.power_mw * d_lat;
+
+    if (cls == UnitClass::FPU) {
+      out.ihw_fpu_energy_pj += i_eng;
+      out.dw_fpu_energy_pj += d_eng;
+      ihw_fpu_lat += i_lat;
+      dw_fpu_lat += d_lat;
+    } else {
+      out.ihw_sfu_energy_pj += i_eng;
+      out.dw_sfu_energy_pj += d_eng;
+      ihw_sfu_lat += i_lat;
+      dw_sfu_lat += d_lat;
+    }
+  }
+
+  // Application-specific average unit power = total energy / total latency
+  // spent in the unit; improvements are relative average-power reductions.
+  auto improvement = [](double ihw_eng, double ihw_lat, double dw_eng,
+                        double dw_lat) {
+    if (dw_lat == 0.0 || dw_eng == 0.0) return 0.0;
+    const double ihw_pwr = ihw_lat > 0.0 ? ihw_eng / ihw_lat : 0.0;
+    const double dw_pwr = dw_eng / dw_lat;
+    return (dw_pwr - ihw_pwr) / dw_pwr;
+  };
+  out.fpu_power_impr =
+      improvement(out.ihw_fpu_energy_pj, ihw_fpu_lat, out.dw_fpu_energy_pj, dw_fpu_lat);
+  out.sfu_power_impr =
+      improvement(out.ihw_sfu_energy_pj, ihw_sfu_lat, out.dw_sfu_energy_pj, dw_sfu_lat);
+
+  const double arith_share = shares.arith();
+  out.arith_power_impr =
+      arith_share > 0.0
+          ? (shares.fpu * out.fpu_power_impr + shares.sfu * out.sfu_power_impr) /
+                arith_share
+          : 0.0;
+  out.system_power_impr =
+      shares.fpu * out.fpu_power_impr + shares.sfu * out.sfu_power_impr;
+  return out;
+}
+
+}  // namespace ihw::power

@@ -1,0 +1,62 @@
+#pragma once
+// System-level power-savings estimator -- a faithful implementation of the
+// Fig. 12 algorithm: per-op access counts from the performance counters,
+// per-access power/latency from the synthesis matrix, continuously-operating
+// pipeline latency, energy -> average unit power -> percentage improvement,
+// then weighting by the GPUWattch unit power shares.
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "ihw/config.h"
+#include "power/nfm.h"
+
+namespace ihw::power {
+
+/// Per-op access counts (the `perf_counter` reads of Fig. 12).
+struct OpCounts {
+  std::array<std::uint64_t, kNumOpKinds> counts{};
+
+  std::uint64_t& operator[](OpKind op) { return counts[static_cast<int>(op)]; }
+  std::uint64_t operator[](OpKind op) const {
+    return counts[static_cast<int>(op)];
+  }
+  std::uint64_t total(UnitClass cls) const;
+  std::uint64_t total() const;
+};
+
+/// Execution-pipeline clock of the estimation model; 700 MHz, the GPUWattch
+/// core clock the paper uses.
+inline constexpr double kCoreClockGhz = 0.7;
+
+/// Result of the Fig. 12 estimation.
+struct SystemSavings {
+  double fpu_power_impr = 0.0;  ///< avg_fpu_pwr_impr: 1 - ihw/dw
+  double sfu_power_impr = 0.0;  ///< avg_sfu_pwr_impr
+  double arith_power_impr = 0.0;  ///< combined FPU+SFU improvement (Table 5 col 2)
+  double system_power_impr = 0.0;  ///< weighted by GPU power shares (col 1)
+
+  double ihw_fpu_energy_pj = 0.0, dw_fpu_energy_pj = 0.0;
+  double ihw_sfu_energy_pj = 0.0, dw_sfu_energy_pj = 0.0;
+};
+
+/// GPU power shares consumed by the weighting step (from the GPUWattch-like
+/// breakdown): fractions of *total* GPU power.
+struct UnitShares {
+  double fpu = 0.0;
+  double sfu = 0.0;
+  double arith() const { return fpu + sfu; }
+};
+
+/// Runs the Fig. 12 algorithm for the given op mix, IHW configuration and
+/// unit power shares.
+SystemSavings estimate_savings(const OpCounts& ops, const IhwConfig& cfg,
+                               const UnitShares& shares,
+                               const SynthesisDb& db);
+
+/// Pipeline latency (ns) of `acc` back-to-back operations on a unit with
+/// combinational latency `lat_ns`, on a continuously operating pipeline with
+/// no stalls (Fig. 12's i_pipe_lat expression).
+double pipeline_latency_ns(std::uint64_t acc, double lat_ns);
+
+}  // namespace ihw::power

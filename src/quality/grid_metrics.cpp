@@ -1,0 +1,59 @@
+#include "quality/grid_metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ihw::quality {
+
+double mae(const common::GridF& ref, const common::GridF& test) {
+  assert(ref.size() == test.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    sum += std::fabs(static_cast<double>(ref.data()[i]) - test.data()[i]);
+  return ref.size() ? sum / static_cast<double>(ref.size()) : 0.0;
+}
+
+double mse(const common::GridF& ref, const common::GridF& test) {
+  assert(ref.size() == test.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double d = static_cast<double>(ref.data()[i]) - test.data()[i];
+    sum += d * d;
+  }
+  return ref.size() ? sum / static_cast<double>(ref.size()) : 0.0;
+}
+
+double wed(const common::GridF& ref, const common::GridF& test) {
+  assert(ref.size() == test.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    worst = std::max(
+        worst, std::fabs(static_cast<double>(ref.data()[i]) - test.data()[i]));
+  return worst;
+}
+
+double psnr(const common::GridF& ref, const common::GridF& test, double peak) {
+  if (peak == 0.0) {
+    const auto [lo, hi] = std::minmax_element(ref.begin(), ref.end());
+    peak = static_cast<double>(*hi) - static_cast<double>(*lo);
+    if (peak == 0.0) peak = 1.0;
+  }
+  const double m = mse(ref, test);
+  if (m == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(peak * peak / m);
+}
+
+double max_rel_error(const common::GridF& ref, const common::GridF& test,
+                     double eps) {
+  assert(ref.size() == test.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double r = ref.data()[i];
+    if (std::fabs(r) <= eps) continue;
+    worst = std::max(worst, std::fabs((test.data()[i] - r) / r));
+  }
+  return worst;
+}
+
+}  // namespace ihw::quality

@@ -1,0 +1,119 @@
+#include "quality/pratt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace ihw::quality {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::max() / 4;
+
+// 1-D squared-distance transform (Felzenszwalb & Huttenlocher 2004).
+void edt_1d(const std::vector<float>& f, std::vector<float>& d) {
+  const int n = static_cast<int>(f.size());
+  d.assign(f.size(), 0.0f);
+  std::vector<int> v(f.size());
+  std::vector<float> z(f.size() + 1);
+  int k = 0;
+  v[0] = 0;
+  z[0] = -kInf;
+  z[1] = kInf;
+  for (int q = 1; q < n; ++q) {
+    float s;
+    while (true) {
+      const int p = v[static_cast<std::size_t>(k)];
+      s = ((f[static_cast<std::size_t>(q)] + q * q) -
+           (f[static_cast<std::size_t>(p)] + p * p)) /
+          (2.0f * (q - p));
+      if (s > z[static_cast<std::size_t>(k)]) break;
+      --k;
+    }
+    ++k;
+    v[static_cast<std::size_t>(k)] = q;
+    z[static_cast<std::size_t>(k)] = s;
+    z[static_cast<std::size_t>(k) + 1] = kInf;
+  }
+  k = 0;
+  for (int q = 0; q < n; ++q) {
+    while (z[static_cast<std::size_t>(k) + 1] < q) ++k;
+    const int p = v[static_cast<std::size_t>(k)];
+    d[static_cast<std::size_t>(q)] =
+        (q - p) * (q - p) + f[static_cast<std::size_t>(p)];
+  }
+}
+
+}  // namespace
+
+common::GridF distance_transform(const EdgeMap& mask) {
+  const std::size_t rows = mask.rows(), cols = mask.cols();
+  common::GridF sq(rows, cols);
+  // Initialize: 0 at edge pixels, +inf elsewhere; then 1-D EDT per column,
+  // then per row, gives exact squared Euclidean distance.
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      sq(r, c) = mask(r, c) ? 0.0f : kInf;
+
+  std::vector<float> f, d;
+  // Columns.
+  f.resize(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) f[r] = sq(r, c);
+    edt_1d(f, d);
+    for (std::size_t r = 0; r < rows; ++r) sq(r, c) = d[r];
+  }
+  // Rows.
+  f.resize(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) f[c] = sq(r, c);
+    edt_1d(f, d);
+    for (std::size_t c = 0; c < cols; ++c) sq(r, c) = d[c];
+  }
+  for (auto& v : sq) v = std::sqrt(v);
+  return sq;
+}
+
+double pratt_fom(const EdgeMap& ideal, const EdgeMap& detected, double alpha) {
+  assert(ideal.rows() == detected.rows() && ideal.cols() == detected.cols());
+  std::size_t n_ideal = 0, n_detected = 0;
+  for (auto v : ideal) n_ideal += v ? 1 : 0;
+  for (auto v : detected) n_detected += v ? 1 : 0;
+  if (n_ideal == 0 && n_detected == 0) return 1.0;
+  if (n_ideal == 0 || n_detected == 0) return 0.0;
+
+  const auto dist = distance_transform(ideal);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < detected.rows(); ++r)
+    for (std::size_t c = 0; c < detected.cols(); ++c)
+      if (detected(r, c)) {
+        const double d = dist(r, c);
+        sum += 1.0 / (1.0 + alpha * d * d);
+      }
+  return sum / static_cast<double>(std::max(n_ideal, n_detected));
+}
+
+EdgeMap sobel_edges(const common::GridF& img, double rel_threshold) {
+  const std::size_t rows = img.rows(), cols = img.cols();
+  common::GridF mag(rows, cols, 0.0f);
+  float max_mag = 0.0f;
+  for (std::size_t r = 1; r + 1 < rows; ++r)
+    for (std::size_t c = 1; c + 1 < cols; ++c) {
+      const float gx = (img(r - 1, c + 1) + 2.0f * img(r, c + 1) + img(r + 1, c + 1)) -
+                       (img(r - 1, c - 1) + 2.0f * img(r, c - 1) + img(r + 1, c - 1));
+      const float gy = (img(r + 1, c - 1) + 2.0f * img(r + 1, c) + img(r + 1, c + 1)) -
+                       (img(r - 1, c - 1) + 2.0f * img(r - 1, c) + img(r - 1, c + 1));
+      const float m = std::sqrt(gx * gx + gy * gy);
+      mag(r, c) = m;
+      max_mag = std::max(max_mag, m);
+    }
+  EdgeMap edges(rows, cols, 0);
+  if (max_mag == 0.0f) return edges;
+  const float th = static_cast<float>(rel_threshold) * max_mag;
+  for (std::size_t i = 0; i < mag.size(); ++i)
+    edges.data()[i] = mag.data()[i] > th ? 1 : 0;
+  return edges;
+}
+
+}  // namespace ihw::quality

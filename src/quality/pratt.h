@@ -1,0 +1,28 @@
+#pragma once
+// Pratt's figure of merit for binary edge maps (Pinho & Almeida's figures of
+// merit paper, as used for the SRAD segmentation study of Fig. 16):
+//
+//   FOM = 1/max(N_ideal, N_detected) * sum_i 1 / (1 + alpha * d_i^2)
+//
+// where d_i is the Euclidean distance from detected edge pixel i to the
+// nearest ideal edge pixel and alpha = 1/9. FOM in (0, 1], 1 = perfect.
+#include "common/image.h"
+
+namespace ihw::quality {
+
+/// Binary edge map: nonzero = edge pixel.
+using EdgeMap = common::Grid<std::uint8_t>;
+
+/// Pratt's figure of merit of `detected` against `ideal`.
+double pratt_fom(const EdgeMap& ideal, const EdgeMap& detected,
+                 double alpha = 1.0 / 9.0);
+
+/// Exact Euclidean distance transform (Felzenszwalb & Huttenlocher):
+/// distance from each pixel to the nearest nonzero pixel of `mask`.
+common::GridF distance_transform(const EdgeMap& mask);
+
+/// Sobel gradient-magnitude edge detector with a relative threshold in
+/// (0,1): pixels whose magnitude exceeds threshold * max_magnitude are edges.
+EdgeMap sobel_edges(const common::GridF& img, double rel_threshold = 0.25);
+
+}  // namespace ihw::quality

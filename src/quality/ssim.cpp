@@ -1,0 +1,90 @@
+#include "quality/ssim.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace ihw::quality {
+namespace {
+
+constexpr int kWin = 11;
+constexpr double kSigma = 1.5;
+constexpr double kK1 = 0.01;
+constexpr double kK2 = 0.03;
+
+std::array<double, kWin * kWin> gaussian_window() {
+  std::array<double, kWin * kWin> w{};
+  const int h = kWin / 2;
+  double sum = 0.0;
+  for (int y = -h; y <= h; ++y)
+    for (int x = -h; x <= h; ++x) {
+      const double g = std::exp(-(x * x + y * y) / (2.0 * kSigma * kSigma));
+      w[static_cast<std::size_t>((y + h) * kWin + (x + h))] = g;
+      sum += g;
+    }
+  for (auto& v : w) v /= sum;
+  return w;
+}
+
+}  // namespace
+
+double ssim(const common::GridF& ref, const common::GridF& test, double peak) {
+  assert(ref.rows() == test.rows() && ref.cols() == test.cols());
+  const auto rows = static_cast<int>(ref.rows());
+  const auto cols = static_cast<int>(ref.cols());
+  if (rows < kWin || cols < kWin) return ref.size() ? 1.0 : 0.0;
+
+  static const auto w = gaussian_window();
+  const double c1 = (kK1 * peak) * (kK1 * peak);
+  const double c2 = (kK2 * peak) * (kK2 * peak);
+  const int h = kWin / 2;
+
+  double total = 0.0;
+  long long windows = 0;
+  for (int cy = h; cy < rows - h; ++cy) {
+    for (int cx = h; cx < cols - h; ++cx) {
+      double mu_x = 0.0, mu_y = 0.0;
+      for (int dy = -h; dy <= h; ++dy)
+        for (int dx = -h; dx <= h; ++dx) {
+          const double wt = w[static_cast<std::size_t>((dy + h) * kWin + (dx + h))];
+          mu_x += wt * ref(static_cast<std::size_t>(cy + dy),
+                           static_cast<std::size_t>(cx + dx));
+          mu_y += wt * test(static_cast<std::size_t>(cy + dy),
+                            static_cast<std::size_t>(cx + dx));
+        }
+      double var_x = 0.0, var_y = 0.0, cov = 0.0;
+      for (int dy = -h; dy <= h; ++dy)
+        for (int dx = -h; dx <= h; ++dx) {
+          const double wt = w[static_cast<std::size_t>((dy + h) * kWin + (dx + h))];
+          const double a = ref(static_cast<std::size_t>(cy + dy),
+                               static_cast<std::size_t>(cx + dx)) - mu_x;
+          const double b = test(static_cast<std::size_t>(cy + dy),
+                                static_cast<std::size_t>(cx + dx)) - mu_y;
+          var_x += wt * a * a;
+          var_y += wt * b * b;
+          cov += wt * a * b;
+        }
+      const double s = ((2 * mu_x * mu_y + c1) * (2 * cov + c2)) /
+                       ((mu_x * mu_x + mu_y * mu_y + c1) * (var_x + var_y + c2));
+      total += s;
+      ++windows;
+    }
+  }
+  return windows ? total / static_cast<double>(windows) : 1.0;
+}
+
+common::GridF luma(const common::RgbImage& img) {
+  common::GridF out(img.height, img.width);
+  for (std::size_t y = 0; y < img.height; ++y)
+    for (std::size_t x = 0; x < img.width; ++x) {
+      const auto* p = img.at(x, y);
+      out(y, x) = 0.299f * p[0] + 0.587f * p[1] + 0.114f * p[2];
+    }
+  return out;
+}
+
+double ssim_rgb(const common::RgbImage& ref, const common::RgbImage& test) {
+  return ssim(luma(ref), luma(test), 255.0);
+}
+
+}  // namespace ihw::quality

@@ -1,0 +1,20 @@
+#pragma once
+// Structural similarity index (Wang et al. 2004), the image quality metric
+// used for the RayTracing study (Fig. 17). Implemented with the reference
+// 11x11 Gaussian window (sigma = 1.5) and the standard K1/K2 constants.
+#include "common/image.h"
+
+namespace ihw::quality {
+
+/// Mean SSIM between two single-channel images with dynamic range `peak`
+/// (255 for 8-bit content).
+double ssim(const common::GridF& ref, const common::GridF& test,
+            double peak = 255.0);
+
+/// Mean SSIM between two RGB images, computed on the Rec.601 luma channel.
+double ssim_rgb(const common::RgbImage& ref, const common::RgbImage& test);
+
+/// Extracts Rec.601 luma from an RGB image into a float grid (0..255).
+common::GridF luma(const common::RgbImage& img);
+
+}  // namespace ihw::quality

@@ -1,0 +1,104 @@
+#include "quality/tuner.h"
+
+namespace ihw::quality {
+namespace {
+
+// One back-off action; returns false if the knob was already off.
+using Knob = bool (*)(ihw::IhwConfig&);
+
+bool off_rsqrt(ihw::IhwConfig& c) {
+  if (!c.rsqrt_enabled) return false;
+  c.rsqrt_enabled = false;
+  return true;
+}
+bool off_sqrt(ihw::IhwConfig& c) {
+  if (!c.sqrt_enabled) return false;
+  c.sqrt_enabled = false;
+  return true;
+}
+bool off_mul(ihw::IhwConfig& c) {
+  if (c.mul_mode == ihw::MulMode::Precise) return false;
+  // First soften (simple -> full path), then fully back off.
+  if (c.mul_mode == ihw::MulMode::ImpreciseSimple ||
+      c.mul_mode == ihw::MulMode::MitchellLog) {
+    c.mul_mode = ihw::MulMode::MitchellFull;
+    c.mul_trunc = 0;
+    return true;
+  }
+  c.mul_mode = ihw::MulMode::Precise;
+  return true;
+}
+bool off_log2(ihw::IhwConfig& c) {
+  if (!c.log2_enabled) return false;
+  c.log2_enabled = false;
+  return true;
+}
+bool off_div(ihw::IhwConfig& c) {
+  if (!c.div_enabled) return false;
+  c.div_enabled = false;
+  return true;
+}
+bool off_rcp(ihw::IhwConfig& c) {
+  if (!c.rcp_enabled) return false;
+  c.rcp_enabled = false;
+  return true;
+}
+bool off_fma(ihw::IhwConfig& c) {
+  if (!c.fma_enabled) return false;
+  c.fma_enabled = false;
+  return true;
+}
+bool off_add(ihw::IhwConfig& c) {
+  if (!c.add_enabled) return false;
+  // TH back-off first (less truncation), then disable.
+  if (c.add_th < 16) {
+    c.add_th = 16;
+    return true;
+  }
+  c.add_enabled = false;
+  return true;
+}
+
+constexpr Knob kBackoffOrder[] = {off_rsqrt, off_sqrt, off_mul, off_mul,
+                                  off_log2,  off_div,  off_rcp, off_fma,
+                                  off_add,   off_add};
+
+}  // namespace
+
+TuneResult tune(const QualityEval& eval, double quality_constraint,
+                const ihw::IhwConfig& most_aggressive) {
+  TuneResult res;
+  ihw::IhwConfig cfg = most_aggressive;
+
+  auto evaluate = [&](const ihw::IhwConfig& c) {
+    TuneStep step;
+    step.config = c;
+    step.quality = eval(c);
+    step.met_constraint = step.quality >= quality_constraint;
+    res.history.push_back(step);
+    return step;
+  };
+
+  TuneStep step = evaluate(cfg);
+  std::size_t knob = 0;
+  while (!step.met_constraint && knob < std::size(kBackoffOrder)) {
+    if (!kBackoffOrder[knob](cfg)) {
+      ++knob;
+      continue;
+    }
+    ++knob;
+    step = evaluate(cfg);
+  }
+
+  if (!step.met_constraint && cfg.any_enabled()) {
+    cfg = ihw::IhwConfig::precise();
+    step = evaluate(cfg);
+  }
+
+  res.config = cfg;
+  res.quality = step.quality;
+  res.satisfied = step.met_constraint;
+  return res;
+}
+
+}  // namespace ihw::quality

@@ -1,0 +1,39 @@
+#pragma once
+// Iterative quality-tuning loop (Fig. 10): start from the most aggressive
+// IHW configuration, evaluate the application-specific quality metric, and
+// back off components in order of their characterized error magnitude until
+// the fidelity constraint is met.
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ihw/config.h"
+
+namespace ihw::quality {
+
+/// Evaluates the application under `cfg` and returns quality (higher=better).
+using QualityEval = std::function<double(const ihw::IhwConfig&)>;
+
+struct TuneStep {
+  ihw::IhwConfig config;
+  double quality = 0.0;
+  bool met_constraint = false;
+};
+
+struct TuneResult {
+  ihw::IhwConfig config;    ///< final accepted configuration
+  double quality = 0.0;     ///< its quality
+  bool satisfied = false;   ///< constraint achievable at all
+  std::vector<TuneStep> history;  ///< every evaluated step, in order
+};
+
+/// Runs the tuning loop. The back-off order follows the Ch. 4
+/// characterization (largest characterized error magnitude disabled first):
+/// rsqrt (11.1%) -> sqrt (11.1%) -> mul (25% / path-dependent) -> log2
+/// (unbounded) -> div (5.9%) -> rcp (5.9%) -> fma -> add (0.78%).
+/// Returns after the first configuration with quality >= constraint; if even
+/// fully precise fails, `satisfied` is false.
+TuneResult tune(const QualityEval& eval, double quality_constraint,
+                const ihw::IhwConfig& most_aggressive);
+
+}  // namespace ihw::quality

@@ -1,0 +1,159 @@
+// Tests for the accuracy-configurable Mitchell multiplier: the 11.11% (log
+// path) and 2.04% (full path, Ch. 4.1.2) bounds, truncation behaviour, and
+// specials -- for both precisions via typed tests.
+#include "ihw/acfp_mul.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace ihw {
+namespace {
+
+template <typename T>
+class AcfpMulTest : public ::testing::Test {};
+using FloatTypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(AcfpMulTest, FloatTypes);
+
+template <typename T>
+double sweep_max_err(AcfpPath path, int trunc, int n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  double max_rel = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const T a = static_cast<T>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-20, 20))));
+    const T b = static_cast<T>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-20, 20))));
+    const double exact = static_cast<double>(a) * static_cast<double>(b);
+    const double approx = static_cast<double>(acfp_mul(a, b, path, trunc));
+    max_rel = std::max(max_rel, std::fabs(approx - exact) / std::fabs(exact));
+  }
+  return max_rel;
+}
+
+TYPED_TEST(AcfpMulTest, LogPathBoundedByMitchellLimit) {
+  const double e = sweep_max_err<TypeParam>(AcfpPath::Log, 0, 400000, 31);
+  EXPECT_LE(e, 1.0 / 9.0 + 1e-7);
+  EXPECT_GT(e, 0.105);  // sweep reaches close to 11.11%
+}
+
+TYPED_TEST(AcfpMulTest, FullPathBoundedByTwoPointZeroFour) {
+  const double e = sweep_max_err<TypeParam>(AcfpPath::Full, 0, 400000, 32);
+  EXPECT_LE(e, 1.0 / 49.0 + 1e-4);  // 2.04% + alignment-truncation slack
+  EXPECT_GT(e, 0.017);
+}
+
+TYPED_TEST(AcfpMulTest, FullPathStrictlyMoreAccurateThanLogPathOnAverage) {
+  using T = TypeParam;
+  common::Xoshiro256 rng(33);
+  double sum_log = 0.0, sum_full = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    const T a = static_cast<T>(rng.uniform(1.0, 2.0));
+    const T b = static_cast<T>(rng.uniform(1.0, 2.0));
+    const double exact = static_cast<double>(a) * static_cast<double>(b);
+    sum_log += std::fabs(static_cast<double>(acfp_mul(a, b, AcfpPath::Log)) - exact);
+    sum_full += std::fabs(static_cast<double>(acfp_mul(a, b, AcfpPath::Full)) - exact);
+  }
+  EXPECT_LT(sum_full, sum_log * 0.5);
+}
+
+TYPED_TEST(AcfpMulTest, PowersOfTwoExactOnBothPaths) {
+  using T = TypeParam;
+  for (int i = -12; i <= 12; ++i) {
+    const T a = static_cast<T>(std::ldexp(1.0, i));
+    EXPECT_EQ(acfp_mul(a, T(8), AcfpPath::Log, 0), a * T(8));
+    EXPECT_EQ(acfp_mul(a, T(8), AcfpPath::Full, 0), a * T(8));
+  }
+}
+
+TYPED_TEST(AcfpMulTest, SignsAndSpecials) {
+  using T = TypeParam;
+  const T inf = std::numeric_limits<T>::infinity();
+  const T nan = std::numeric_limits<T>::quiet_NaN();
+  for (AcfpPath path : {AcfpPath::Log, AcfpPath::Full}) {
+    EXPECT_TRUE(std::isnan(acfp_mul(nan, T(2), path)));
+    EXPECT_TRUE(std::isnan(acfp_mul(inf, T(0), path)));
+    EXPECT_EQ(acfp_mul(inf, T(-2), path), -inf);
+    EXPECT_EQ(acfp_mul(T(0), T(5), path), T(0));
+    EXPECT_LT(acfp_mul(T(-1.5), T(1.5), path), T(0));
+    EXPECT_GT(acfp_mul(T(-1.5), T(-1.5), path), T(0));
+  }
+}
+
+TYPED_TEST(AcfpMulTest, Commutative) {
+  using T = TypeParam;
+  common::Xoshiro256 rng(34);
+  for (int i = 0; i < 100000; ++i) {
+    const T a = static_cast<T>(rng.uniform(0.1, 10.0));
+    const T b = static_cast<T>(rng.uniform(0.1, 10.0));
+    for (AcfpPath path : {AcfpPath::Log, AcfpPath::Full}) {
+      ASSERT_EQ(acfp_mul(a, b, path, 3), acfp_mul(b, a, path, 3));
+    }
+  }
+}
+
+// Truncation sweep: max error grows monotonically with truncated bits, and
+// the paper's calibration points reproduce.
+class AcfpTruncSweep32 : public ::testing::TestWithParam<int> {};
+
+TEST_P(AcfpTruncSweep32, ErrorGrowsWithTruncationAndStaysBounded) {
+  const int tr = GetParam();
+  const double e_log = sweep_max_err<float>(AcfpPath::Log, tr, 150000, 35);
+  const double e_log_more =
+      sweep_max_err<float>(AcfpPath::Log, tr + 2, 150000, 35);
+  EXPECT_LE(e_log, e_log_more + 1e-9);
+  // Log-path error <= Mitchell bound + input-truncation contribution.
+  EXPECT_LE(e_log, 1.0 / 9.0 + 2.0 * std::ldexp(1.0, tr - 23) + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(TruncGrid, AcfpTruncSweep32,
+                         ::testing::Values(0, 4, 8, 12, 15, 17, 19, 21));
+
+TEST(AcfpMul32, PaperCalibrationPoints) {
+  // Log path tr19 -> ~18% max error (paper); full path tr0 -> 2.04%.
+  EXPECT_NEAR(sweep_max_err<float>(AcfpPath::Log, 19, 400000, 36), 0.18, 0.012);
+  EXPECT_NEAR(sweep_max_err<float>(AcfpPath::Full, 0, 400000, 37), 0.0204,
+              0.0015);
+}
+
+TEST(AcfpMul64, PaperCalibrationPoints) {
+  // 64-bit log path tr48 -> ~18.07% (paper's 49X operating point).
+  EXPECT_NEAR(sweep_max_err<double>(AcfpPath::Log, 48, 300000, 38), 0.1807,
+              0.012);
+  EXPECT_NEAR(sweep_max_err<double>(AcfpPath::Full, 0, 300000, 39), 0.0204,
+              0.0015);
+}
+
+TEST(AcfpMul, TruncationClampedToFractionWidth) {
+  // trunc > frac_bits behaves as full truncation, not UB.
+  const float r = acfp_mul(1.9f, 1.9f, AcfpPath::Log, 99);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_EQ(r, acfp_mul(1.9f, 1.9f, AcfpPath::Log, 23));
+  EXPECT_EQ(acfp_mul(1.9f, 1.9f, AcfpPath::Full, -5),
+            acfp_mul(1.9f, 1.9f, AcfpPath::Full, 0));
+}
+
+TEST(AcfpMul, FullTruncationDegeneratesToExponentOnlyMultiply) {
+  // With every fraction bit truncated both paths see Ma = Mb = 0.
+  common::Xoshiro256 rng(40);
+  for (int i = 0; i < 50000; ++i) {
+    const float a = static_cast<float>(rng.uniform(1.0, 2.0));
+    const float b = static_cast<float>(rng.uniform(1.0, 2.0));
+    const float r = acfp_mul(a, b, AcfpPath::Log, 23);
+    // Result must be the product of the pure powers of two.
+    EXPECT_EQ(r, 1.0f);
+  }
+}
+
+TEST(AcfpMul, OverflowSaturatesUnderflowFlushes) {
+  const float big = std::ldexp(1.9f, 120);
+  EXPECT_TRUE(std::isinf(acfp_mul(big, big, AcfpPath::Full)));
+  const float small = std::ldexp(1.1f, -100);
+  EXPECT_EQ(acfp_mul(small, small, AcfpPath::Log), 0.0f);
+}
+
+}  // namespace
+}  // namespace ihw

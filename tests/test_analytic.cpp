@@ -1,0 +1,106 @@
+// Cross-checks the closed-form error analysis (Ch. 4.1) against the
+// numerical characterization -- the two halves of the paper's error
+// methodology must agree.
+#include "error/analytic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "error/characterize.h"
+
+namespace ihw::error::analytic {
+namespace {
+
+TEST(Analytic, PaperHeadlineValues) {
+  // The numbers printed in Table 1 and Ch. 3/4.
+  EXPECT_NEAR(rcp_emax(), 0.0588, 0.0006);
+  EXPECT_NEAR(rsqrt_emax(), 0.1111, 0.0010);
+  EXPECT_NEAR(sqrt_emax(), 0.1111, 0.0010);
+  EXPECT_NEAR(mitchell_emax(), 1.0 / 9.0, 1e-12);
+  EXPECT_NEAR(simple_mul_emax(), 0.25, 1e-12);
+  EXPECT_NEAR(full_path_emax(), 1.0 / 49.0, 1e-6);
+  EXPECT_NEAR(exp2_emax(), 0.0615, 0.0005);
+  // Residual extremes of the log2 fit: 0.0650 at m=1, -0.0282 interior.
+  EXPECT_NEAR(log2_abs_residual(), 0.0650, 0.001);
+}
+
+TEST(Analytic, AdderCaseBoundsAtThEight) {
+  // Ch. 4.1.1's worked values for TH = 8.
+  EXPECT_NEAR(adder_add_beyond_th(8), 1.0 / 129.0, 1e-12);   // < 0.775%
+  EXPECT_NEAR(adder_add_within_th(8), 1.0 / 512.0, 1e-12);   // ~ 0.2%
+  EXPECT_NEAR(adder_sub_beyond_th(8), 1.0 / 127.0, 1e-12);   // < 0.787%
+  EXPECT_LT(adder_add_beyond_th(8), 0.00776);
+  EXPECT_LT(adder_sub_beyond_th(8), 0.00788);
+}
+
+TEST(Analytic, AdderBoundsMonotoneInTh) {
+  for (int th = 2; th < 27; ++th) {
+    EXPECT_GT(adder_add_beyond_th(th), adder_add_beyond_th(th + 1));
+    EXPECT_GT(adder_sub_beyond_th(th), adder_sub_beyond_th(th + 1));
+    EXPECT_GT(adder_add_bound(th), adder_add_bound(th + 1));
+  }
+}
+
+TEST(Analytic, MeasuredMaxErrorsApproachAnalyticBounds) {
+  struct Case {
+    UnitKind kind;
+    int param;
+    double bound;
+  };
+  const Case cases[] = {
+      {UnitKind::Rcp, 0, rcp_emax()},
+      {UnitKind::Rsqrt, 0, rsqrt_emax()},
+      {UnitKind::Sqrt, 0, sqrt_emax()},
+      {UnitKind::Exp2, 0, exp2_emax()},
+      {UnitKind::FpMul, 0, simple_mul_emax()},
+      {UnitKind::AcfpLog, 0, mitchell_emax()},
+      {UnitKind::AcfpFull, 0, full_path_emax()},
+  };
+  for (const auto& c : cases) {
+    const auto res = characterize32(c.kind, c.param, 400000);
+    // Measured max never exceeds the analytic bound (plus float slack)...
+    EXPECT_LE(res.stats.max_rel(), c.bound * 1.005 + 1e-6) << res.label;
+    // ...and the quasi-MC sweep gets within 5% of it (tightness).
+    EXPECT_GE(res.stats.max_rel(), c.bound * 0.95) << res.label;
+  }
+}
+
+TEST(Analytic, AdderMeasuredWithinCaseBounds) {
+  for (int th : {4, 8, 12}) {
+    const auto res = characterize32(UnitKind::FpAdd, th, 300000);
+    EXPECT_LE(res.stats.max_rel(), adder_add_bound(th) * 1.005) << th;
+    EXPECT_GE(res.stats.max_rel(), adder_add_bound(th) * 0.5) << th;
+  }
+}
+
+TEST(Analytic, BitTruncBoundMatchesMeasurement) {
+  for (int tr : {8, 16, 21}) {
+    const auto res = characterize32(UnitKind::BitTrunc, tr, 300000);
+    const double bound = bit_trunc_emax(tr, 23);
+    EXPECT_LE(res.stats.max_rel(), bound);
+    EXPECT_GE(res.stats.max_rel(), bound * 0.7);
+  }
+}
+
+TEST(Analytic, FullPathDerivationSegmentsAgree) {
+  // The paper proves both the no-carry and the carry segment peak at 1/49;
+  // numerically scanning off the symmetric diagonal must not beat it.
+  double worst = 0.0;
+  for (double xa = 0.01; xa < 1.0; xa += 0.005) {
+    for (double xb = 0.01; xb < 1.0; xb += 0.005) {
+      double eps;
+      if (xa + xb < 1.0) {
+        eps = 1.0 / (9.0 / (xa * xb) + 3.0 / xa + 3.0 / xb + 1.0);
+      } else {
+        eps = (1.0 - xa) * (1.0 - xb) / ((3.0 + xa) * (3.0 + xb));
+      }
+      worst = std::max(worst, eps);
+    }
+  }
+  EXPECT_LE(worst, 1.0 / 49.0 + 1e-9);
+  EXPECT_NEAR(worst, 1.0 / 49.0, 2e-4);
+}
+
+}  // namespace
+}  // namespace ihw::error::analytic

@@ -1,0 +1,223 @@
+// Tests for the shared utilities: tables, CLI args, grids, image IO, RNG.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/args.h"
+#include "common/image.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace ihw::common {
+namespace {
+
+TEST(Table, AlignsColumnsAndFormatsNumbers) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1.25, 2);
+  t.row().add("b").add(42LL);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Every line begins a new row; "alpha" and its value share a line.
+  std::istringstream is(s);
+  std::string line;
+  bool found = false;
+  while (std::getline(is, line))
+    if (line.find("alpha") != std::string::npos) {
+      EXPECT_NE(line.find("1.25"), std::string::npos);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Table, CsvEmission) {
+  Table t({"a", "b"});
+  t.row().add("x").add(1LL);
+  t.row().add("y").add(2LL);
+  EXPECT_EQ(t.csv(), "a,b\nx,1\ny,2\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(pct(0.3206), "32.06%");
+  EXPECT_EQ(pct(1.0, 0), "100%");
+}
+
+TEST(Args, ParsesFlagsKeyValuesAndPositionals) {
+  const char* argv[] = {"prog", "--size=128", "--verbose", "input.txt",
+                        "--ratio=0.5", "--name=x"};
+  Args args(6, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("size", 0), 128);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 0.5);
+  EXPECT_EQ(args.get("name", ""), "x");
+  EXPECT_EQ(args.get("missing", "def"), "def");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_TRUE(args.has("size"));
+  EXPECT_FALSE(args.has("nope"));
+}
+
+TEST(Args, BoolFalseSpellings) {
+  const char* argv[] = {"prog", "--a=0", "--b=false", "--c=1"};
+  Args args(4, const_cast<char**>(argv));
+  EXPECT_FALSE(args.get_bool("a", true));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+}
+
+TEST(Grid, IndexingAndCast) {
+  Grid<double> g(3, 4, 1.5);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.cols(), 4u);
+  EXPECT_EQ(g.size(), 12u);
+  g(2, 3) = 9.0;
+  EXPECT_EQ(g(2, 3), 9.0);
+  EXPECT_EQ(g.data()[2 * 4 + 3], 9.0);
+  const auto f = g.cast<float>();
+  EXPECT_EQ(f(2, 3), 9.0f);
+  EXPECT_EQ(f(0, 0), 1.5f);
+}
+
+TEST(ImageIo, PgmRoundTripHeaderAndSize) {
+  GridF img(4, 6, 0.0f);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 6; ++c)
+      img(r, c) = static_cast<float>(r * 6 + c);
+  const std::string path = "/tmp/ihw_test_img.pgm";
+  ASSERT_TRUE(write_pgm(path, img));
+  std::ifstream is(path, std::ios::binary);
+  std::string magic;
+  std::size_t w = 0, h = 0;
+  int maxv = 0;
+  is >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 6u);
+  EXPECT_EQ(h, 4u);
+  EXPECT_EQ(maxv, 255);
+  is.get();  // single whitespace after header
+  std::vector<char> pixels(24);
+  is.read(pixels.data(), 24);
+  EXPECT_EQ(is.gcount(), 24);
+  // Autoscaling maps min -> 0 and max -> 255.
+  EXPECT_EQ(static_cast<unsigned char>(pixels[0]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(pixels[23]), 255u);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PgmReadBackRoundTripsValues) {
+  GridF img(5, 7);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    img.data()[i] = static_cast<float>((i * 37) % 256);
+  const std::string path = "/tmp/ihw_test_rt.pgm";
+  // Write without autoscale distortion: range already [0, 255].
+  ASSERT_TRUE(write_pgm(path, img, 0.0f, 255.0f));
+  const GridF back = read_pgm(path);
+  ASSERT_EQ(back.rows(), 5u);
+  ASSERT_EQ(back.cols(), 7u);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    ASSERT_NEAR(back.data()[i], img.data()[i], 1.0f);  // 8-bit quantization
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PgmReaderRejectsGarbage) {
+  EXPECT_EQ(read_pgm("/tmp/ihw_does_not_exist.pgm").size(), 0u);
+  const std::string path = "/tmp/ihw_bad.pgm";
+  {
+    std::ofstream os(path);
+    os << "P6\n2 2\n255\nxxxx";
+  }
+  EXPECT_EQ(read_pgm(path).size(), 0u);
+  {
+    std::ofstream os(path);
+    os << "P5\n4 4\n255\nshort";  // truncated payload
+  }
+  EXPECT_EQ(read_pgm(path).size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PgmReaderSkipsComments) {
+  const std::string path = "/tmp/ihw_comment.pgm";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "P5\n# a comment line\n2 1\n255\n";
+    os.put(static_cast<char>(10));
+    os.put(static_cast<char>(200));
+  }
+  const GridF img = read_pgm(path);
+  ASSERT_EQ(img.size(), 2u);
+  EXPECT_FLOAT_EQ(img(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(img(0, 1), 200.0f);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PpmRoundTrip) {
+  RgbImage img(3, 2);
+  img.at(0, 0)[0] = 255;
+  img.at(2, 1)[2] = 128;
+  const std::string path = "/tmp/ihw_test_img.ppm";
+  ASSERT_TRUE(write_ppm(path, img));
+  std::ifstream is(path, std::ios::binary);
+  std::string magic;
+  std::size_t w = 0, h = 0;
+  int maxv = 0;
+  is >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 3u);
+  EXPECT_EQ(h, 2u);
+  is.get();
+  std::vector<unsigned char> px(18);
+  is.read(reinterpret_cast<char*>(px.data()), 18);
+  EXPECT_EQ(px[0], 255u);
+  EXPECT_EQ(px[17], 128u);
+  std::remove(path.c_str());
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Xoshiro256 a2(123);
+  for (int i = 0; i < 100; ++i)
+    if (a2() != c()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformRangesRespectBounds) {
+  Xoshiro256 rng(7);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+    const float f = rng.uniformf();
+    ASSERT_GE(f, 0.0f);
+    ASSERT_LT(f, 1.0f);
+  }
+  EXPECT_LT(lo, 0.001);
+  EXPECT_GT(hi, 0.999);
+}
+
+TEST(Rng, RoughlyUniform) {
+  Xoshiro256 rng(11);
+  int bins[10] = {0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) bins[static_cast<int>(rng.uniform() * 10)]++;
+  for (int b : bins) EXPECT_NEAR(b, n / 10, n / 100);
+}
+
+}  // namespace
+}  // namespace ihw::common

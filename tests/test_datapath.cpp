@@ -1,0 +1,178 @@
+// Tests for the structural datapath primitives, plus the bit-exact
+// cross-verification of the structural unit models against the functional
+// models (the Fig. 11 "functional verification" step of the paper's flow).
+#include "arith/datapath.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ihw/ifp_add.h"
+
+namespace ihw::arith {
+namespace {
+
+TEST(PriorityEncoder, FindsLeadingOneWithinWidth) {
+  EXPECT_EQ(priority_encode(0, 16), -1);
+  EXPECT_EQ(priority_encode(1, 16), 0);
+  EXPECT_EQ(priority_encode(0b1010, 16), 3);
+  EXPECT_EQ(priority_encode(0xFFFF, 16), 15);
+  // Bits above the width are masked off, as in hardware.
+  EXPECT_EQ(priority_encode(0x10000, 16), -1);
+  EXPECT_EQ(priority_encode(0x1F000, 16), 15);  // 0xF000 remains
+  EXPECT_EQ(priority_encode(0x11000, 16), 12);
+}
+
+TEST(BarrelShifter, RightShiftSaturatesAtWidth) {
+  EXPECT_EQ(barrel_shift_right(0xFF, 4, 8), 0xFull);
+  EXPECT_EQ(barrel_shift_right(0xFF, 8, 8), 0ull);
+  EXPECT_EQ(barrel_shift_right(0xFF, 100, 8), 0ull);
+  EXPECT_EQ(barrel_shift_right(0x1FF, 0, 8), 0xFFull);  // masked to width
+}
+
+TEST(BarrelShifter, LeftShiftTruncatesToWidth) {
+  EXPECT_EQ(barrel_shift_left(0b1011, 2, 6), 0b101100ull & 0x3F);
+  EXPECT_EQ(barrel_shift_left(0xFF, 4, 8), 0xF0ull);
+  EXPECT_EQ(barrel_shift_left(1, 7, 8), 0x80ull);
+  EXPECT_EQ(barrel_shift_left(1, 8, 8), 0ull);
+}
+
+TEST(BarrelShifter, NegativeShiftsReverseDirection) {
+  EXPECT_EQ(barrel_shift_right(0x0F, -4, 8), 0xF0ull);
+  EXPECT_EQ(barrel_shift_left(0xF0, -4, 8), 0x0Full);
+}
+
+TEST(AdderN, SumAndCarryOut) {
+  auto r = add_n(0xFF, 0x01, false, 8);
+  EXPECT_EQ(r.sum, 0ull);
+  EXPECT_TRUE(r.carry_out);
+  r = add_n(0x7F, 0x01, false, 8);
+  EXPECT_EQ(r.sum, 0x80ull);
+  EXPECT_FALSE(r.carry_out);
+  r = add_n(0xFE, 0x01, true, 8);
+  EXPECT_EQ(r.sum, 0ull);
+  EXPECT_TRUE(r.carry_out);
+}
+
+TEST(AdderN, TwosComplementSubtraction) {
+  // a - b via a + ~b + 1 within the width.
+  const int w = 12;
+  common::Xoshiro256 rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t a = rng() & 0xFFF;
+    const std::uint64_t b = rng() & 0xFFF;
+    if (b > a) continue;
+    const auto r = add_n(a, ~b & 0xFFF, true, w);
+    EXPECT_EQ(r.sum, a - b);
+  }
+}
+
+TEST(ArrayMultiplier, ExactWithoutTruncation) {
+  common::Xoshiro256 rng(8);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng() >> 40;
+    const std::uint64_t b = rng() >> 40;
+    EXPECT_EQ(array_multiply(a, b, 24, 24, 0), exact_mul(a, b));
+  }
+}
+
+TEST(ArrayMultiplier, ColumnTruncationUnderestimatesBoundedly) {
+  common::Xoshiro256 rng(9);
+  for (int drop : {4, 8, 16, 24}) {
+    // Worst dropped mass: sum over columns s < drop of (s+1) cells at 2^s.
+    unsigned __int128 worst = 0;
+    for (int s = 0; s < drop; ++s)
+      worst += static_cast<unsigned __int128>(std::min(s + 1, 24)) << s;
+    for (int i = 0; i < 20000; ++i) {
+      const std::uint64_t a = rng() >> 40;
+      const std::uint64_t b = rng() >> 40;
+      const auto exact = exact_mul(a, b);
+      const auto approx = array_multiply(a, b, 24, 24, drop);
+      ASSERT_LE(approx, exact);
+      ASSERT_LE(exact - approx, worst);
+    }
+  }
+}
+
+TEST(ArrayMultiplier, CellCountMatchesClosedForm) {
+  EXPECT_EQ(array_cell_count(24, 24, 0), 576);
+  EXPECT_EQ(array_cell_count(53, 53, 0), 2809);
+  // Dropping below column c removes sum_{s<c} (cells in column s).
+  EXPECT_EQ(array_cell_count(24, 24, 1), 575);
+  EXPECT_EQ(array_cell_count(24, 24, 2), 573);
+  EXPECT_EQ(array_cell_count(24, 24, 47), 0);
+  long long manual = 0;
+  for (int s = 21; s <= 46; ++s)
+    manual += std::min({s + 1, 24, 47 - s});
+  EXPECT_EQ(array_cell_count(24, 24, 21), manual);
+}
+
+// ---------------------------------------------------------------------------
+// Structural vs functional cross-verification (the paper's VHDL-vs-C++ step).
+// ---------------------------------------------------------------------------
+
+class StructuralAdderMatch : public ::testing::TestWithParam<int> {};
+
+TEST_P(StructuralAdderMatch, BitExactAcrossRandomOperands) {
+  const int th = GetParam();
+  common::Xoshiro256 rng(100 + static_cast<std::uint64_t>(th));
+  for (int i = 0; i < 60000; ++i) {
+    const float a = static_cast<float>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-20, 20))) *
+        (rng.uniform() < 0.5 ? -1.0 : 1.0));
+    const float b = static_cast<float>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-20, 20))) *
+        (rng.uniform() < 0.5 ? -1.0 : 1.0));
+    const float f = ihw::ifp_add(a, b, th);
+    const float s = structural_ifp_add32(a, b, th);
+    ASSERT_EQ(fp::to_bits(f), fp::to_bits(s))
+        << "a=" << a << " b=" << b << " th=" << th;
+    const float fs = ihw::ifp_sub(a, b, th);
+    const float ss = structural_ifp_add32(a, b, th, /*subtract=*/true);
+    if (!std::isnan(fs) || !std::isnan(ss)) {
+      ASSERT_EQ(fp::to_bits(fs), fp::to_bits(ss));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThSweep, StructuralAdderMatch,
+                         ::testing::Values(1, 2, 4, 8, 12, 16, 20, 23, 27));
+
+struct AcfpCase {
+  ihw::AcfpPath path;
+  int trunc;
+};
+
+class StructuralAcfpMatch : public ::testing::TestWithParam<AcfpCase> {};
+
+TEST_P(StructuralAcfpMatch, BitExactAcrossRandomOperands) {
+  const auto [path, trunc] = GetParam();
+  common::Xoshiro256 rng(200 + static_cast<std::uint64_t>(trunc));
+  for (int i = 0; i < 60000; ++i) {
+    const float a = static_cast<float>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-20, 20))) *
+        (rng.uniform() < 0.5 ? -1.0 : 1.0));
+    const float b = static_cast<float>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-20, 20))));
+    const float f = ihw::acfp_mul(a, b, path, trunc);
+    const float s = structural_acfp_mul32(a, b, path, trunc);
+    ASSERT_EQ(fp::to_bits(f), fp::to_bits(s)) << "a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PathTruncSweep, StructuralAcfpMatch,
+    ::testing::Values(AcfpCase{ihw::AcfpPath::Log, 0},
+                      AcfpCase{ihw::AcfpPath::Log, 5},
+                      AcfpCase{ihw::AcfpPath::Log, 17},
+                      AcfpCase{ihw::AcfpPath::Log, 19},
+                      AcfpCase{ihw::AcfpPath::Log, 23},
+                      AcfpCase{ihw::AcfpPath::Full, 0},
+                      AcfpCase{ihw::AcfpPath::Full, 5},
+                      AcfpCase{ihw::AcfpPath::Full, 17},
+                      AcfpCase{ihw::AcfpPath::Full, 20},
+                      AcfpCase{ihw::AcfpPath::Full, 23}));
+
+}  // namespace
+}  // namespace ihw::arith

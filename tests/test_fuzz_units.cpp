@@ -1,0 +1,161 @@
+// Fuzz-style robustness tests: every imprecise unit is fed raw random bit
+// patterns (including NaN payloads, infinities, subnormals, and extreme
+// exponents) and must uphold its output contract -- well-formed results, the
+// flush-to-zero policy, sign rules, and no UB (exercised under the normal
+// build; the sweeps are also valuable under sanitizers).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "fpcore/float_bits.h"
+#include "ihw/ihw.h"
+
+namespace ihw {
+namespace {
+
+float random_bits_float(common::Xoshiro256& rng) {
+  return fp::from_bits<float>(static_cast<std::uint32_t>(rng()));
+}
+
+double random_bits_double(common::Xoshiro256& rng) {
+  return fp::from_bits<double>(rng());
+}
+
+// The output contract shared by all units: never a subnormal (flush-to-zero
+// designs), i.e. result is NaN, +-inf, +-0, or a normal number.
+template <typename T>
+::testing::AssertionResult well_formed(T v) {
+  if (std::isnan(v) || std::isinf(v) || v == T(0)) {
+    return ::testing::AssertionSuccess();
+  }
+  if (fp::is_subnormal(v))
+    return ::testing::AssertionFailure() << "subnormal output " << v;
+  return ::testing::AssertionSuccess();
+}
+
+constexpr int kIters = 300000;
+
+TEST(FuzzUnits, IfpAddNeverEmitsSubnormals) {
+  common::Xoshiro256 rng(1001);
+  for (int i = 0; i < kIters; ++i) {
+    const float a = random_bits_float(rng);
+    const float b = random_bits_float(rng);
+    const int th = 1 + static_cast<int>(rng() % 27);
+    EXPECT_TRUE(well_formed(ifp_add(a, b, th)));
+    EXPECT_TRUE(well_formed(ifp_sub(a, b, th)));
+  }
+}
+
+TEST(FuzzUnits, MultipliersRespectSignAndContract) {
+  common::Xoshiro256 rng(1002);
+  for (int i = 0; i < kIters; ++i) {
+    const float a = random_bits_float(rng);
+    const float b = random_bits_float(rng);
+    const int tr = static_cast<int>(rng() % 24);
+    const float r[4] = {ifp_mul(a, b), acfp_mul(a, b, AcfpPath::Log, tr),
+                        acfp_mul(a, b, AcfpPath::Full, tr),
+                        trunc_mul(a, b, tr)};
+    for (float v : r) {
+      ASSERT_TRUE(well_formed(v));
+      if (!std::isnan(v) && !std::isnan(a) && !std::isnan(b) && v != 0.0f) {
+        ASSERT_EQ(std::signbit(v), std::signbit(a) != std::signbit(b))
+            << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(FuzzUnits, SfusHandleArbitraryBits) {
+  common::Xoshiro256 rng(1003);
+  for (int i = 0; i < kIters; ++i) {
+    const float x = random_bits_float(rng);
+    EXPECT_TRUE(well_formed(ircp(x)));
+    EXPECT_TRUE(well_formed(irsqrt(x)));
+    EXPECT_TRUE(well_formed(isqrt(x)));
+    EXPECT_TRUE(well_formed(ilog2(x)));
+    EXPECT_TRUE(well_formed(iexp2(x)));
+    const float y = random_bits_float(rng);
+    EXPECT_TRUE(well_formed(ifp_div(x, y)));
+    EXPECT_TRUE(well_formed(ifp_fma(x, y, x, 8)));
+  }
+}
+
+TEST(FuzzUnits, DoublePrecisionSweep) {
+  common::Xoshiro256 rng(1004);
+  for (int i = 0; i < kIters / 2; ++i) {
+    const double a = random_bits_double(rng);
+    const double b = random_bits_double(rng);
+    const int tr = static_cast<int>(rng() % 53);
+    EXPECT_TRUE(well_formed(ifp_add(a, b, 8)));
+    EXPECT_TRUE(well_formed(ifp_mul(a, b)));
+    EXPECT_TRUE(well_formed(acfp_mul(a, b, AcfpPath::Log, tr)));
+    EXPECT_TRUE(well_formed(acfp_mul(a, b, AcfpPath::Full, tr)));
+    EXPECT_TRUE(well_formed(trunc_mul(a, b, tr)));
+    EXPECT_TRUE(well_formed(ircp(a)));
+    EXPECT_TRUE(well_formed(ilog2(a)));
+  }
+}
+
+TEST(FuzzUnits, NanPayloadsAlwaysPropagateAsNan) {
+  common::Xoshiro256 rng(1005);
+  for (int i = 0; i < 50000; ++i) {
+    // Random NaN payloads (quiet and signaling patterns).
+    const std::uint32_t payload =
+        0x7F800001u | (static_cast<std::uint32_t>(rng()) & 0x807FFFFFu);
+    const float nan = fp::from_bits<float>(payload);
+    ASSERT_TRUE(std::isnan(nan));
+    const float x = random_bits_float(rng);
+    EXPECT_TRUE(std::isnan(ifp_add(nan, x, 8)));
+    EXPECT_TRUE(std::isnan(ifp_mul(nan, x)));
+    EXPECT_TRUE(std::isnan(acfp_mul(nan, x, AcfpPath::Full, 0)));
+    EXPECT_TRUE(std::isnan(trunc_mul(nan, x, 5)));
+    EXPECT_TRUE(std::isnan(ircp(nan)));
+    EXPECT_TRUE(std::isnan(ifp_div(nan, x)));
+  }
+}
+
+TEST(FuzzUnits, SubnormalOperandsBehaveAsZero) {
+  common::Xoshiro256 rng(1006);
+  for (int i = 0; i < 50000; ++i) {
+    // A random subnormal: zero exponent, nonzero fraction.
+    const std::uint32_t bits =
+        (static_cast<std::uint32_t>(rng()) & 0x807FFFFFu) | 1u;
+    const float sub = fp::from_bits<float>(bits & ~0x7F800000u);
+    ASSERT_TRUE(fp::is_subnormal(sub) || sub == 0.0f);
+    const float x = 3.25f;
+    EXPECT_EQ(ifp_add(sub, x, 8), x);
+    EXPECT_EQ(ifp_mul(sub, x), std::signbit(sub) ? -0.0f : 0.0f);
+    EXPECT_EQ(acfp_mul(sub, x, AcfpPath::Log, 0),
+              std::signbit(sub) ? -0.0f : 0.0f);
+  }
+}
+
+TEST(FuzzUnits, DispatcherClosedOverRandomConfigs) {
+  common::Xoshiro256 rng(1007);
+  for (int i = 0; i < 20000; ++i) {
+    IhwConfig cfg;
+    cfg.add_enabled = rng() & 1;
+    cfg.add_th = 1 + static_cast<int>(rng() % 27);
+    cfg.mul_mode = static_cast<MulMode>(rng() % 5);
+    cfg.mul_trunc = static_cast<int>(rng() % 24);
+    cfg.rcp_enabled = rng() & 1;
+    cfg.rsqrt_enabled = rng() & 1;
+    cfg.sqrt_enabled = rng() & 1;
+    cfg.log2_enabled = rng() & 1;
+    cfg.div_enabled = rng() & 1;
+    cfg.fma_enabled = rng() & 1;
+    const FpDispatch d{cfg};
+    const float a = random_bits_float(rng);
+    const float b = random_bits_float(rng);
+    EXPECT_TRUE(well_formed(d.add(a, b)) || !cfg.add_enabled);
+    EXPECT_TRUE(well_formed(d.mul(a, b)) || cfg.mul_mode == MulMode::Precise);
+    (void)d.div(a, b);
+    (void)d.rcp(a);
+    (void)d.sqrt(std::fabs(a));
+    (void)d.fma(a, b, a);
+  }
+}
+
+}  // namespace
+}  // namespace ihw

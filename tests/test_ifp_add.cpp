@@ -1,0 +1,183 @@
+// Tests for the TH-threshold imprecise adder, including the four error-bound
+// cases of Ch. 4.1.1 as parameterized property sweeps.
+#include "ihw/ifp_add.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace ihw {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+
+TEST(IfpAdd, SpecialValues) {
+  EXPECT_TRUE(std::isnan(ifp_add(kNan, 1.0f, 8)));
+  EXPECT_TRUE(std::isnan(ifp_add(1.0f, kNan, 8)));
+  EXPECT_TRUE(std::isnan(ifp_add(kInf, -kInf, 8)));
+  EXPECT_EQ(ifp_add(kInf, 1.0f, 8), kInf);
+  EXPECT_EQ(ifp_add(-kInf, 1.0f, 8), -kInf);
+  EXPECT_EQ(ifp_add(kInf, kInf, 8), kInf);
+  EXPECT_EQ(ifp_add(0.0f, 3.5f, 8), 3.5f);
+  EXPECT_EQ(ifp_add(3.5f, 0.0f, 8), 3.5f);
+  EXPECT_EQ(ifp_add(0.0f, 0.0f, 8), 0.0f);
+}
+
+TEST(IfpAdd, SubnormalOperandsFlushToZero) {
+  const float sub = std::numeric_limits<float>::denorm_min();
+  EXPECT_EQ(ifp_add(sub, 0.0f, 8), 0.0f);
+  EXPECT_EQ(ifp_add(sub, sub, 8), 0.0f);
+  EXPECT_EQ(ifp_add(sub, 1.0f, 8), 1.0f);
+}
+
+TEST(IfpAdd, ExactCancellationGivesZero) {
+  EXPECT_EQ(ifp_add(1.5f, -1.5f, 8), 0.0f);
+  EXPECT_EQ(ifp_sub(2.75f, 2.75f, 8), 0.0f);
+}
+
+TEST(IfpAdd, SmallerOperandDroppedBeyondThreshold) {
+  // d = 10 >= TH = 8: b vanishes in the shifter.
+  EXPECT_EQ(ifp_add(1024.0f, 1.0f, 8), 1024.0f);
+  EXPECT_EQ(ifp_add(1.0f, 1024.0f, 8), 1024.0f);  // swap handled
+  EXPECT_EQ(ifp_sub(1024.0f, 1.0f, 8), 1024.0f);
+  // d = 7 < TH: contribution kept.
+  EXPECT_GT(ifp_add(128.0f, 1.0f, 8), 128.0f);
+}
+
+TEST(IfpAdd, CommutativeForAddition) {
+  common::Xoshiro256 rng(11);
+  for (int i = 0; i < 100000; ++i) {
+    const float a = static_cast<float>(rng.uniform(-100, 100));
+    const float b = static_cast<float>(rng.uniform(-100, 100));
+    EXPECT_EQ(ifp_add(a, b, 8), ifp_add(b, a, 8));
+  }
+}
+
+TEST(IfpAdd, NegationSymmetry) {
+  common::Xoshiro256 rng(12);
+  for (int i = 0; i < 100000; ++i) {
+    const float a = static_cast<float>(rng.uniform(-100, 100));
+    const float b = static_cast<float>(rng.uniform(-100, 100));
+    EXPECT_EQ(ifp_add(-a, -b, 8), -ifp_add(a, b, 8));
+  }
+}
+
+TEST(IfpAdd, ExactWhenOperandsFitTheDatapath) {
+  // Operands whose fractions fit in TH bits and align without loss add
+  // exactly.
+  EXPECT_EQ(ifp_add(1.5f, 1.25f, 8), 2.75f);
+  EXPECT_EQ(ifp_add(3.0f, 5.0f, 8), 8.0f);
+  EXPECT_EQ(ifp_sub(5.0f, 3.0f, 8), 2.0f);
+  EXPECT_EQ(ifp_add(0.5f, 0.5f, 8), 1.0f);
+}
+
+// --- Ch. 4.1.1 error-bound property sweeps --------------------------------
+
+class IfpAddBound : public ::testing::TestWithParam<int> {};
+
+// Case (a)+(b): effective addition, any exponent difference. Bound:
+// max(1/(2^(TH-1)+1), truncation of both operands) <= 2^-(TH-1).
+TEST_P(IfpAddBound, EffectiveAdditionBound) {
+  const int th = GetParam();
+  common::Xoshiro256 rng(1000 + static_cast<std::uint64_t>(th));
+  // Beyond TH = frac_bits+1 the datapath is limited by the fraction field
+  // itself (results are truncated, not rounded, into 23 bits).
+  const double bound = std::ldexp(1.0, -(std::min(th, 24) - 1)) + 1e-9;
+  for (int i = 0; i < 200000; ++i) {
+    const float a = static_cast<float>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-12, 12))));
+    const float b = static_cast<float>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-12, 12))));
+    const double exact = static_cast<double>(a) + static_cast<double>(b);
+    const double approx = ifp_add(a, b, th);
+    ASSERT_LE(std::fabs(approx - exact) / exact, bound)
+        << "a=" << a << " b=" << b << " th=" << th;
+  }
+}
+
+// Case (c): effective subtraction with d >= TH. Bound: 1/(2^(TH-1)-1).
+TEST_P(IfpAddBound, SubtractionBeyondThresholdBound) {
+  const int th = GetParam();
+  if (th < 2) GTEST_SKIP() << "bound degenerate at TH=1";
+  common::Xoshiro256 rng(2000 + static_cast<std::uint64_t>(th));
+  const double bound = 1.0 / (std::ldexp(1.0, th - 1) - 1.0) + 1e-9;
+  for (int i = 0; i < 100000; ++i) {
+    const int d = th + static_cast<int>(rng.uniform(0, 8));
+    const float a = static_cast<float>(std::ldexp(rng.uniform(1.0, 2.0), d));
+    const float b = static_cast<float>(rng.uniform(1.0, 2.0));
+    const double exact = static_cast<double>(a) - static_cast<double>(b);
+    const double approx = ifp_sub(a, b, th);
+    ASSERT_LE(std::fabs(approx - exact) / exact, bound);
+  }
+}
+
+// Case (d): near subtraction -- relative error unbounded but the *absolute*
+// error stays below the datapath truncation granule, so the output quality
+// impact is bounded (the paper's argument).
+TEST_P(IfpAddBound, NearSubtractionAbsoluteErrorBounded) {
+  const int th = GetParam();
+  common::Xoshiro256 rng(3000 + static_cast<std::uint64_t>(th));
+  for (int i = 0; i < 100000; ++i) {
+    const float a = static_cast<float>(rng.uniform(1.0, 2.0));
+    const float b = static_cast<float>(rng.uniform(1.0, 2.0));
+    const double exact = static_cast<double>(a) - static_cast<double>(b);
+    const double approx = ifp_sub(a, b, th);
+    // Both operands truncated at weight 2^-TH relative to exponent 0..1.
+    ASSERT_LE(std::fabs(approx - exact), std::ldexp(2.05, -th));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThSweep, IfpAddBound,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 10, 12, 16, 20,
+                                           23, 27));
+
+TEST(IfpAdd, Th8HeadlineBoundIsTight) {
+  // The paper quotes emax ~ 0.78% for TH=8 effective addition; the sweep
+  // should approach it.
+  common::Xoshiro256 rng(42);
+  double max_rel = 0.0;
+  for (int i = 0; i < 500000; ++i) {
+    const float a = static_cast<float>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-10, 10))));
+    const float b = static_cast<float>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-10, 10))));
+    const double exact = static_cast<double>(a) + static_cast<double>(b);
+    max_rel = std::max(max_rel, std::fabs(ifp_add(a, b, 8) - exact) / exact);
+  }
+  EXPECT_LE(max_rel, 0.0079);
+  EXPECT_GE(max_rel, 0.006);
+}
+
+TEST(IfpAdd, DoublePrecisionBoundsHold) {
+  common::Xoshiro256 rng(13);
+  for (int i = 0; i < 200000; ++i) {
+    const double a = std::ldexp(rng.uniform(1.0, 2.0),
+                                static_cast<int>(rng.uniform(-40, 40)));
+    const double b = std::ldexp(rng.uniform(1.0, 2.0),
+                                static_cast<int>(rng.uniform(-40, 40)));
+    const double approx = ifp_add(a, b, 8);
+    ASSERT_LE(std::fabs(approx - (a + b)) / (a + b), 0.0079);
+  }
+}
+
+TEST(IfpAdd, LargerThresholdNeverHurtsAccuracyOnAverage) {
+  common::Xoshiro256 rng(14);
+  double sum_err[2] = {0.0, 0.0};
+  for (int i = 0; i < 200000; ++i) {
+    const float a = static_cast<float>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-10, 10))));
+    const float b = static_cast<float>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-10, 10))));
+    const double exact = static_cast<double>(a) + static_cast<double>(b);
+    sum_err[0] += std::fabs(ifp_add(a, b, 4) - exact) / exact;
+    sum_err[1] += std::fabs(ifp_add(a, b, 12) - exact) / exact;
+  }
+  EXPECT_LT(sum_err[1], sum_err[0]);
+}
+
+}  // namespace
+}  // namespace ihw

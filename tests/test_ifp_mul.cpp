@@ -1,0 +1,127 @@
+// Tests for the original imprecise multiplier (mantissa product ~ 1+Ma+Mb).
+#include "ihw/ifp_mul.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace ihw {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+
+TEST(IfpMul, SpecialValues) {
+  EXPECT_TRUE(std::isnan(ifp_mul(kNan, 2.0f)));
+  EXPECT_TRUE(std::isnan(ifp_mul(kInf, 0.0f)));
+  EXPECT_TRUE(std::isnan(ifp_mul(0.0f, -kInf)));
+  EXPECT_EQ(ifp_mul(kInf, 2.0f), kInf);
+  EXPECT_EQ(ifp_mul(-kInf, 2.0f), -kInf);
+  EXPECT_EQ(ifp_mul(kInf, -2.0f), -kInf);
+  EXPECT_EQ(ifp_mul(0.0f, 5.0f), 0.0f);
+  EXPECT_TRUE(std::signbit(ifp_mul(-0.0f, 5.0f)));
+}
+
+TEST(IfpMul, SignRules) {
+  EXPECT_GT(ifp_mul(2.0f, 3.0f), 0.0f);
+  EXPECT_LT(ifp_mul(-2.0f, 3.0f), 0.0f);
+  EXPECT_LT(ifp_mul(2.0f, -3.0f), 0.0f);
+  EXPECT_GT(ifp_mul(-2.0f, -3.0f), 0.0f);
+}
+
+TEST(IfpMul, PowersOfTwoAreExact) {
+  // Ma = Mb = 0: no cross term dropped, product exact.
+  for (int i = -20; i <= 20; ++i)
+    for (int j = -20; j <= 20; ++j) {
+      const float a = std::ldexp(1.0f, i), b = std::ldexp(1.0f, j);
+      EXPECT_EQ(ifp_mul(a, b), a * b);
+    }
+}
+
+TEST(IfpMul, OnePowerOfTwoOperandIsExact) {
+  common::Xoshiro256 rng(21);
+  for (int i = 0; i < 100000; ++i) {
+    const float a = static_cast<float>(rng.uniform(1.0, 2.0));
+    const float p2 = std::ldexp(1.0f, static_cast<int>(rng.uniform(-10, 10)));
+    EXPECT_EQ(ifp_mul(a, p2), a * p2);
+  }
+}
+
+TEST(IfpMul, ErrorBoundedBy25Percent) {
+  common::Xoshiro256 rng(22);
+  double max_rel = 0.0;
+  for (int i = 0; i < 500000; ++i) {
+    const float a = static_cast<float>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-20, 20))));
+    const float b = static_cast<float>(
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform(-20, 20))));
+    const double exact = static_cast<double>(a) * static_cast<double>(b);
+    const double approx = ifp_mul(a, b);
+    const double rel = std::fabs(approx - exact) / exact;
+    ASSERT_LE(rel, 0.25 + 1e-7);
+    max_rel = std::max(max_rel, rel);
+  }
+  // The sweep should get close to the worst case at Ma = Mb -> 1.
+  EXPECT_GT(max_rel, 0.24);
+}
+
+TEST(IfpMul, WorstCaseAtMaxMantissas) {
+  // (2-eps)*(2-eps) ~ 4 but 1+Ma+Mb ~ 3: exactly the 25% corner.
+  const float a = std::nextafterf(2.0f, 0.0f);
+  const double exact = static_cast<double>(a) * a;
+  const double approx = ifp_mul(a, a);
+  EXPECT_NEAR(std::fabs(approx - exact) / exact, 0.25, 1e-4);
+}
+
+TEST(IfpMul, AlwaysUnderestimatesMagnitude) {
+  // The dropped Ma*Mb term is non-negative.
+  common::Xoshiro256 rng(23);
+  for (int i = 0; i < 200000; ++i) {
+    const float a = static_cast<float>(rng.uniform(1.0, 2.0));
+    const float b = static_cast<float>(rng.uniform(1.0, 2.0));
+    EXPECT_LE(ifp_mul(a, b), a * b * (1.0f + 1e-6f));
+  }
+}
+
+TEST(IfpMul, Commutative) {
+  common::Xoshiro256 rng(24);
+  for (int i = 0; i < 100000; ++i) {
+    const float a = static_cast<float>(rng.uniform(0.01, 100.0));
+    const float b = static_cast<float>(rng.uniform(0.01, 100.0));
+    EXPECT_EQ(ifp_mul(a, b), ifp_mul(b, a));
+  }
+}
+
+TEST(IfpMul, CarryCaseNormalizesCorrectly) {
+  // Ma + Mb >= 1 exercises eq. (6)'s exponent carry-in.
+  const float a = 1.75f, b = 1.75f;  // Ma = Mb = 0.75
+  // Mz = (1 + 1.5)/2 = 1.25, exp + 1 -> 2.5.
+  EXPECT_FLOAT_EQ(ifp_mul(a, b), 2.5f);
+  // No-carry case: 1.25 * 1.25 -> 1 + 0.5 = 1.5.
+  EXPECT_FLOAT_EQ(ifp_mul(1.25f, 1.25f), 1.5f);
+}
+
+TEST(IfpMul, DoublePrecisionBoundHolds) {
+  common::Xoshiro256 rng(25);
+  for (int i = 0; i < 200000; ++i) {
+    const double a = std::ldexp(rng.uniform(1.0, 2.0),
+                                static_cast<int>(rng.uniform(-100, 100)));
+    const double b = std::ldexp(rng.uniform(1.0, 2.0),
+                                static_cast<int>(rng.uniform(-100, 100)));
+    ASSERT_LE(std::fabs(ifp_mul(a, b) - a * b) / (a * b), 0.25 + 1e-12);
+  }
+}
+
+TEST(IfpMul, OverflowSaturatesUnderflowFlushes) {
+  const float big = std::ldexp(1.9f, 120);
+  EXPECT_TRUE(std::isinf(ifp_mul(big, big)));
+  const float small = std::ldexp(1.1f, -100);
+  EXPECT_EQ(ifp_mul(small, small), 0.0f);
+  EXPECT_TRUE(std::signbit(ifp_mul(small, -small)));
+}
+
+}  // namespace
+}  // namespace ihw

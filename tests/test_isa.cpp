@@ -1,0 +1,388 @@
+// Tests for the PTX-like SIMT ISA interpreter: program validation, lockstep
+// warp execution, structured divergence, loops, memory, counter integration,
+// and imprecise execution through the IHW dispatch.
+#include "gpu/isa.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "gpu/context.h"
+#include "gpu/simreal.h"
+
+namespace ihw::gpu::isa {
+namespace {
+
+// r0 := global thread id.
+void emit_gtid(Program& k, int r0 = 0) {
+  k.s2r_tid(r0).s2r_ctaid(1).s2r_ntid(2).imad(r0, 1, 2, r0);
+}
+
+TEST(IsaProgram, ValidationCatchesStructuralErrors) {
+  {
+    Program k;
+    k.if_(0);
+    EXPECT_NE(k.validate(), "");
+  }
+  {
+    Program k;
+    k.endif();
+    EXPECT_NE(k.validate(), "");
+  }
+  {
+    Program k;
+    k.while_(0).endif();
+    EXPECT_NE(k.validate(), "");
+  }
+  {
+    Program k;
+    k.if_(0).else_().endif().exit();
+    EXPECT_EQ(k.validate(), "");
+  }
+  {
+    Program k;
+    k.fadd(40, 0, 0);  // register out of range
+    EXPECT_NE(k.validate(), "");
+  }
+  {
+    Program k;
+    k.exit();
+    EXPECT_EQ(k.validate(), "");
+  }
+}
+
+TEST(IsaProgram, LaunchRejectsInvalidKernels) {
+  Program k;
+  k.if_(0);
+  MemorySpace mem;
+  EXPECT_THROW(launch_kernel(k, mem, 1, 32), std::runtime_error);
+}
+
+TEST(IsaExec, SaxpyMatchesHost) {
+  const std::size_t n = 1000;
+  std::vector<float> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(i) * 0.5f;
+    y[i] = static_cast<float>(i) - 200.0f;
+  }
+  MemorySpace mem;
+  const int bx = mem.bind(x), by = mem.bind(y), bout = mem.bind(n);
+
+  Program k;
+  emit_gtid(k);
+  // Guard: if gtid >= n, exit.
+  k.imovi(3, static_cast<std::int32_t>(n)).isetp_lt(0, 0, 3);
+  k.if_(0);
+  k.ld(0, bx, 0).ld(1, by, 0);
+  k.fmovi(2, 2.5f).ffma(3, 2, 0, 1);  // f3 = 2.5*x + y
+  k.st(bout, 0, 3);
+  k.endif();
+  k.exit();
+
+  const auto stats = launch_kernel(k, mem, (n + 255) / 256, 256);
+  EXPECT_GT(stats.warp_instructions, 0u);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_FLOAT_EQ(mem.buffers[static_cast<std::size_t>(bout)][i],
+                    2.5f * x[i] + y[i]);
+}
+
+TEST(IsaExec, PartialWarpAndGuardMaskOutOfRangeThreads) {
+  const std::size_t n = 37;  // not a multiple of the warp size
+  MemorySpace mem;
+  const int bout = mem.bind(n);
+  Program k;
+  emit_gtid(k);
+  k.imovi(3, static_cast<std::int32_t>(n)).isetp_lt(0, 0, 3);
+  k.if_(0);
+  k.cvt_i2f(0, 0).st(bout, 0, 0);
+  k.endif();
+  k.exit();
+  launch_kernel(k, mem, 2, 32);  // 64 threads, only 37 land
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_FLOAT_EQ(mem.buffers[static_cast<std::size_t>(bout)][i],
+                    static_cast<float>(i));
+}
+
+TEST(IsaExec, IfElseDivergenceBothPathsExecute) {
+  const std::size_t n = 64;
+  MemorySpace mem;
+  const int bout = mem.bind(n);
+  Program k;
+  emit_gtid(k);
+  // p0 = (tid & 1) == 0, via tid - 2*(tid/2)... simpler: tid < 32.
+  k.imovi(3, 32).isetp_lt(0, 0, 3);
+  k.if_(0);
+  k.fmovi(0, 1.0f);
+  k.else_();
+  k.fmovi(0, 2.0f);
+  k.endif();
+  k.st(bout, 0, 0).exit();
+  const auto stats = launch_kernel(k, mem, 2, 32);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_FLOAT_EQ(mem.buffers[static_cast<std::size_t>(bout)][i],
+                    i < 32 ? 1.0f : 2.0f);
+  EXPECT_GE(stats.max_divergence_depth, 1u);
+}
+
+TEST(IsaExec, IntraWarpDivergenceMasksLanes) {
+  // Threads within ONE warp take different paths: even lanes write 1, odd 2.
+  MemorySpace mem;
+  const int bout = mem.bind(32);
+  Program k;
+  k.s2r_tid(0);
+  // r1 = tid & 1 via tid - 2*(tid>>1): compute with imul/isub.
+  k.imovi(2, 2).imovi(3, 0);
+  // r4 = tid / 2 using float trick: f = tid * 0.5, truncate.
+  k.cvt_i2f(0, 0).fmovi(1, 0.5f).fmul(0, 0, 1).cvt_f2i(4, 0);
+  k.imul(4, 4, 2).s2r_tid(5).isub(4, 5, 4);  // r4 = tid - 2*(tid/2)
+  k.isetp_eq(0, 4, 3);                       // p0 = (tid odd-bit == 0)
+  k.if_(0);
+  k.fmovi(6, 1.0f);
+  k.else_();
+  k.fmovi(6, 2.0f);
+  k.endif();
+  k.st(bout, 5, 6).exit();
+  launch_kernel(k, mem, 1, 32);
+  for (std::size_t i = 0; i < 32; ++i)
+    ASSERT_FLOAT_EQ(mem.buffers[static_cast<std::size_t>(bout)][i],
+                    (i % 2 == 0) ? 1.0f : 2.0f);
+}
+
+TEST(IsaExec, WhileLoopPerThreadTripCounts) {
+  // Each thread loops tid times, incrementing a float accumulator.
+  MemorySpace mem;
+  const int bout = mem.bind(32);
+  Program k;
+  k.s2r_tid(0);
+  k.imovi(1, 0);           // r1 = loop counter
+  k.fmovi(0, 0.0f);        // f0 = accumulator
+  k.fmovi(1, 1.0f);
+  k.isetp_lt(0, 1, 0);     // p0 = counter < tid
+  k.while_(0);
+  k.fadd(0, 0, 1);         // acc += 1
+  k.imovi(2, 1).iadd(1, 1, 2);
+  k.isetp_lt(0, 1, 0);     // refresh predicate
+  k.endwhile(0);
+  k.st(bout, 0, 0).exit();
+  const auto stats = launch_kernel(k, mem, 1, 32);
+  for (std::size_t i = 0; i < 32; ++i)
+    ASSERT_FLOAT_EQ(mem.buffers[static_cast<std::size_t>(bout)][i],
+                    static_cast<float>(i));
+  // Warp runs as long as the slowest lane (31 iterations).
+  EXPECT_GT(stats.warp_instructions, 31u * 4);
+}
+
+TEST(IsaExec, NestedDivergence) {
+  MemorySpace mem;
+  const int bout = mem.bind(32);
+  Program k;
+  k.s2r_tid(0).cvt_i2f(0, 0);
+  k.fmovi(1, 16.0f).setp_lt(0, 0, 1);  // p0: tid < 16
+  k.fmovi(2, 8.0f).setp_lt(1, 0, 2);   // p1: tid < 8
+  k.if_(0);
+  /**/ k.if_(1);
+  /**/ k.fmovi(3, 1.0f);
+  /**/ k.else_();
+  /**/ k.fmovi(3, 2.0f);
+  /**/ k.endif();
+  k.else_();
+  k.fmovi(3, 3.0f);
+  k.endif();
+  k.s2r_tid(1).st(bout, 1, 3).exit();
+  const auto stats = launch_kernel(k, mem, 1, 32);
+  EXPECT_EQ(stats.max_divergence_depth, 2u);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const float expect = i < 8 ? 1.0f : (i < 16 ? 2.0f : 3.0f);
+    ASSERT_FLOAT_EQ(mem.buffers[static_cast<std::size_t>(bout)][i], expect);
+  }
+}
+
+TEST(IsaExec, EarlyExitRetiresLanesButOthersContinue) {
+  MemorySpace mem;
+  const int bout = mem.bind(std::vector<float>(32, -1.0f));
+  Program k;
+  k.s2r_tid(0).cvt_i2f(0, 0);
+  k.fmovi(1, 16.0f).setp_lt(0, 0, 1);
+  k.if_(0);
+  k.exit();  // lanes 0..15 retire inside the IF
+  k.endif();
+  k.fmovi(2, 9.0f).s2r_tid(1).st(bout, 1, 2);
+  k.exit();
+  launch_kernel(k, mem, 1, 32);
+  for (std::size_t i = 0; i < 32; ++i)
+    ASSERT_FLOAT_EQ(mem.buffers[static_cast<std::size_t>(bout)][i],
+                    i < 16 ? -1.0f : 9.0f);
+}
+
+TEST(IsaExec, SfuOpsAndSelp) {
+  MemorySpace mem;
+  const int bout = mem.bind(8);
+  Program k;
+  k.s2r_tid(0).cvt_i2f(0, 0);
+  k.fmovi(1, 1.0f).fadd(0, 0, 1);  // f0 = tid + 1
+  k.rsqrt(2, 0);                   // 1/sqrt(tid+1)
+  k.sqrt(3, 0);
+  k.fmul(4, 2, 3);                 // ~1
+  k.fmovi(5, 0.5f).setp_gt(0, 4, 5);
+  k.selp(6, 4, 5, 0);
+  k.s2r_tid(1).st(bout, 1, 6).exit();
+  launch_kernel(k, mem, 1, 8);
+  for (std::size_t i = 0; i < 8; ++i)
+    ASSERT_NEAR(mem.buffers[static_cast<std::size_t>(bout)][i], 1.0f, 1e-5);
+}
+
+TEST(IsaExec, CountersMatchInstructionMix) {
+  FpContext ctx{IhwConfig::precise()};
+  ScopedContext scope(ctx);
+  MemorySpace mem;
+  const int b = mem.bind(64);
+  Program k;
+  emit_gtid(k);
+  k.cvt_i2f(0, 0);
+  k.fmul(1, 0, 0).fadd(1, 1, 0).rcp(2, 1).st(b, 0, 2).exit();
+  launch_kernel(k, mem, 2, 32);
+  EXPECT_EQ(ctx.counters()[OpClass::FMul], 64u);
+  EXPECT_EQ(ctx.counters()[OpClass::FAdd], 64u);
+  EXPECT_EQ(ctx.counters()[OpClass::FRcp], 64u);
+  EXPECT_EQ(ctx.counters()[OpClass::Store], 64u);
+  EXPECT_EQ(ctx.counters()[OpClass::IMul], 64u);  // the IMAD of emit_gtid
+}
+
+TEST(IsaExec, ImpreciseConfigChangesResults) {
+  MemorySpace mem_p, mem_i;
+  const int bp = mem_p.bind(32), bi = mem_i.bind(32);
+  auto make = [](int buf) {
+    Program k;
+    k.s2r_tid(0).cvt_i2f(0, 0);
+    k.fmovi(1, 1.9f).fadd(0, 0, 1);  // f0 = tid + 1.9
+    k.fmul(2, 0, 0);                 // f0^2
+    k.st(buf, 0, 2).exit();
+    return k;
+  };
+  {
+    FpContext ctx{IhwConfig::precise()};
+    ScopedContext scope(ctx);
+    auto k = make(bp);
+    launch_kernel(k, mem_p, 1, 32);
+  }
+  {
+    FpContext ctx{IhwConfig::mul_only(MulMode::ImpreciseSimple, 0)};
+    ScopedContext scope(ctx);
+    auto k = make(bi);
+    launch_kernel(k, mem_i, 1, 32);
+  }
+  // Imprecise multiplication underestimates; results must differ and match
+  // the ifp_mul model exactly.
+  for (std::size_t i = 0; i < 32; ++i) {
+    const float x = static_cast<float>(i) + 1.9f;
+    ASSERT_FLOAT_EQ(mem_p.buffers[static_cast<std::size_t>(bp)][i], x * x);
+    ASSERT_FLOAT_EQ(mem_i.buffers[static_cast<std::size_t>(bi)][i],
+                    ihw::ifp_mul(x, x));
+  }
+}
+
+TEST(IsaExec, OutOfRangeMemoryThrows) {
+  MemorySpace mem;
+  const int b = mem.bind(4);
+  Program k;
+  k.imovi(0, 100).fmovi(0, 1.0f).st(b, 0, 0).exit();
+  EXPECT_THROW(launch_kernel(k, mem, 1, 1), std::runtime_error);
+}
+
+TEST(IsaExec, Ex2Lg2RoundTrip) {
+  MemorySpace mem;
+  const int b = mem.bind(16);
+  Program k;
+  k.s2r_tid(0).cvt_i2f(0, 0);
+  k.fmovi(1, 1.0f).fadd(0, 0, 1);  // tid+1
+  k.lg2(2, 0).ex2(3, 2);           // 2^(log2 x) ~ x
+  k.s2r_tid(1).st(b, 1, 3).exit();
+  launch_kernel(k, mem, 1, 16);
+  for (std::size_t i = 0; i < 16; ++i)
+    ASSERT_NEAR(mem.buffers[static_cast<std::size_t>(b)][i],
+                static_cast<float>(i + 1), 1e-3 * static_cast<float>(i + 1));
+}
+
+TEST(IsaExec, CoulombKernelMatchesSimFloatApp) {
+  // End-to-end substrate check: the CP inner loop written as ISA assembly
+  // must produce the same physics as a SimFloat loop, under precise AND
+  // imprecise hardware (same op sequence -> bit-exact agreement).
+  const std::size_t n_atoms = 24;
+  const std::size_t n_points = 64;
+  common::Xoshiro256 rng(97);
+  std::vector<float> ax(n_atoms), ay(n_atoms), aq(n_atoms), px(n_points),
+      py(n_points);
+  for (std::size_t i = 0; i < n_atoms; ++i) {
+    ax[i] = static_cast<float>(rng.uniform(0, 4));
+    ay[i] = static_cast<float>(rng.uniform(0, 4));
+    aq[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  for (std::size_t i = 0; i < n_points; ++i) {
+    px[i] = static_cast<float>(rng.uniform(0, 4));
+    py[i] = static_cast<float>(rng.uniform(0, 4));
+  }
+
+  // ISA kernel: one thread per lattice point, WHILE loop over the atoms.
+  Program k;
+  k.s2r_tid(0).s2r_ctaid(4).s2r_ntid(5);
+  k.imad(0, 4, 5, 0);                             // r0 = global point index
+  k.ld(0, 3, 0).ld(1, 4, 0);                      // f0 = px, f1 = py
+  k.fmovi(7, 0.0f);                               // f7 = acc
+  k.imovi(1, 0);                                  // r1 = atom index
+  k.imovi(2, static_cast<std::int32_t>(n_atoms));
+  k.isetp_lt(0, 1, 2);
+  k.while_(0);
+  {
+    k.ld(2, 0, 1).ld(3, 1, 1).ld(4, 2, 1);        // f2=ax f3=ay f4=q
+    k.fsub(2, 0, 2).fsub(3, 1, 3);                // deltas
+    k.fmul(5, 2, 2).ffma(5, 3, 3, 5);             // r2 = dx^2 + dy^2
+    k.fmovi(6, 0.0625f).fadd(5, 5, 6);            // softening
+    k.rsqrt(6, 5);
+    k.ffma(7, 4, 6, 7);                           // acc += q * rsqrt(r2)
+    k.imovi(3, 1).iadd(1, 1, 3);
+    k.isetp_lt(0, 1, 2);
+  }
+  k.endwhile(0);
+  k.st(5, 0, 7).exit();
+
+  for (const auto& cfg : {ihw::IhwConfig::precise(),
+                          ihw::IhwConfig::all_imprecise()}) {
+    // ISA execution.
+    MemorySpace mem;
+    mem.bind(ax);
+    mem.bind(ay);
+    mem.bind(aq);
+    mem.bind(px);
+    mem.bind(py);
+    mem.bind(n_points);  // buffer 5 = out
+    {
+      FpContext ctx(cfg);
+      ScopedContext scope(ctx);
+      launch_kernel(k, mem, 2, 32);
+    }
+    // SimFloat reference with the identical operation sequence.
+    std::vector<float> expect(n_points);
+    {
+      FpContext ctx(cfg);
+      ScopedContext scope(ctx);
+      for (std::size_t i = 0; i < n_points; ++i) {
+        SimFloat acc(0.0f);
+        for (std::size_t a = 0; a < n_atoms; ++a) {
+          const SimFloat dx = SimFloat(px[i]) - SimFloat(ax[a]);
+          const SimFloat dy = SimFloat(py[i]) - SimFloat(ay[a]);
+          SimFloat r2 = fma_op(dy, dy, dx * dx);
+          r2 = r2 + SimFloat(0.0625f);
+          acc = fma_op(SimFloat(aq[a]), rsqrt(r2), acc);
+        }
+        expect[i] = acc.value();
+      }
+    }
+    for (std::size_t i = 0; i < n_points; ++i)
+      ASSERT_EQ(mem.buffers[5][i], expect[i]) << cfg.describe() << " @" << i;
+  }
+}
+
+}  // namespace
+}  // namespace ihw::gpu::isa

@@ -1,0 +1,123 @@
+// Tests for Mitchell's-algorithm fixed-point multiplication: the 11.11%
+// bound (eq. 12 / Ch. 4.1.2), stage-level trace checks, and exactness on
+// power-of-two operands where the log approximation is error-free.
+#include "arith/mitchell.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "qmc/sobol.h"
+
+namespace ihw::arith {
+namespace {
+
+double rel_err(std::uint64_t a, std::uint64_t b) {
+  const u128 exact = exact_mul(a, b);
+  const u128 approx = mitchell_mul(a, b);
+  EXPECT_LE(approx, exact) << "Mitchell must underestimate";
+  return static_cast<double>(exact - approx) / static_cast<double>(exact);
+}
+
+TEST(Mitchell, ZeroOperandsGiveZero) {
+  EXPECT_EQ(mitchell_mul(0, 5), 0u);
+  EXPECT_EQ(mitchell_mul(7, 0), 0u);
+  EXPECT_EQ(mitchell_mul(0, 0), 0u);
+}
+
+TEST(Mitchell, PowersOfTwoAreExact) {
+  for (int i = 0; i <= 30; ++i)
+    for (int j = 0; j <= 30; ++j)
+      EXPECT_EQ(mitchell_mul(1ull << i, 1ull << j), exact_mul(1ull << i, 1ull << j));
+}
+
+TEST(Mitchell, OnePowerOfTwoOperandIsExact) {
+  // With one zero fraction, both piecewise segments are linear exactly.
+  common::Xoshiro256 rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = (rng() >> 44) | 1;
+    const int k = static_cast<int>(rng() % 20);
+    EXPECT_EQ(mitchell_mul(a, 1ull << k), exact_mul(a, 1ull << k));
+  }
+}
+
+TEST(Mitchell, WorstCaseErrorIsOneNinthAtMidpointFractions) {
+  // x1 = x2 = 0.5: D = 3 * 2^(k-1); error = 1/9.
+  const double e = rel_err(3, 3);  // 3*3=9 vs approx 8
+  EXPECT_NEAR(e, 1.0 / 9.0, 1e-12);
+  const double e2 = rel_err(3ull << 20, 3ull << 20);
+  EXPECT_NEAR(e2, 1.0 / 9.0, 1e-9);
+}
+
+TEST(Mitchell, ErrorBoundedByOneNinthRandomSweep) {
+  common::Xoshiro256 rng(3);
+  double max_e = 0.0;
+  for (int i = 0; i < 500000; ++i) {
+    const std::uint64_t a = (rng() >> 40) | 1;
+    const std::uint64_t b = (rng() >> 40) | 1;
+    max_e = std::max(max_e, rel_err(a, b));
+  }
+  EXPECT_LE(max_e, 1.0 / 9.0 + 1e-12);
+  EXPECT_GT(max_e, 0.10);  // the sweep should get close to the bound
+}
+
+TEST(Mitchell, ErrorBoundHoldsForLargeOperands) {
+  common::Xoshiro256 rng(4);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t a = (rng() >> 11) | (1ull << 52);  // 53-bit operands
+    const std::uint64_t b = (rng() >> 11) | (1ull << 52);
+    EXPECT_LE(rel_err(a, b), 1.0 / 9.0 + 1e-12);
+  }
+}
+
+TEST(Mitchell, Commutative) {
+  common::Xoshiro256 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t a = rng() >> 42;
+    const std::uint64_t b = rng() >> 42;
+    EXPECT_EQ(mitchell_mul(a, b), mitchell_mul(b, a));
+  }
+}
+
+TEST(Mitchell, TraceReportsLeadingOnesAndCarry) {
+  MitchellTrace tr;
+  mitchell_mul_traced(6, 5, &tr);  // 110 * 101
+  EXPECT_EQ(tr.k1, 2);
+  EXPECT_EQ(tr.k2, 2);
+  // x1 = 0.5, x2 = 0.25 -> no carry, product ~ 2^4 * 1.75 = 28 (exact 30).
+  EXPECT_FALSE(tr.carry);
+  EXPECT_EQ(static_cast<std::uint64_t>(tr.product), 28u);
+
+  mitchell_mul_traced(7, 7, &tr);  // x1 = x2 = 0.75 -> carry
+  EXPECT_TRUE(tr.carry);
+  // 2^(2+2+1) * (0.75+0.75-1+1) = 32*1.5 = 48 (exact 49).
+  EXPECT_EQ(static_cast<std::uint64_t>(tr.product), 48u);
+}
+
+TEST(Mitchell, MatchesEquation12Segments) {
+  // No-carry segment: 2^(k1+k2) * (1 + x1 + x2).
+  // a = 5 (k=2, x=0.25), b = 9 (k=3, x=0.125):
+  // approx = 2^5 * (1 + 0.375) = 44; exact 45.
+  EXPECT_EQ(static_cast<std::uint64_t>(mitchell_mul(5, 9)), 44u);
+  // Carry segment: a = b = 15 (k=3, x=0.875):
+  // approx = 2^7 * (0.875 + 0.875) = 224; exact 225.
+  EXPECT_EQ(static_cast<std::uint64_t>(mitchell_mul(15, 15)), 224u);
+}
+
+TEST(Mitchell, QuasiMonteCarloBoundSweep) {
+  qmc::Sobol sobol(2);
+  double p[2];
+  double max_e = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    sobol.next(p);
+    const auto a = static_cast<std::uint64_t>(p[0] * (1 << 24)) | (1ull << 24);
+    const auto b = static_cast<std::uint64_t>(p[1] * (1 << 24)) | (1ull << 24);
+    max_e = std::max(max_e, rel_err(a, b));
+  }
+  EXPECT_LE(max_e, 1.0 / 9.0 + 1e-12);
+  EXPECT_NEAR(max_e, 1.0 / 9.0, 0.002);  // QMC should find the worst case
+}
+
+}  // namespace
+}  // namespace ihw::arith

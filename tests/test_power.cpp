@@ -1,0 +1,224 @@
+// Tests for the synthesis database (Tables 2/3/4 anchors), the multiplier
+// power curves, and the Fig. 12 system-savings estimator.
+#include "power/nfm.h"
+#include "power/syspower.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ihw::power {
+namespace {
+
+TEST(SynthesisDb, DwMultiplierAnchorsMatchTableFour) {
+  const SynthesisDb db;
+  EXPECT_NEAR(db.multiplier(MulMode::Precise, 0, false).power_mw, 36.63, 1e-9);
+  EXPECT_NEAR(db.multiplier(MulMode::Precise, 0, true).power_mw, 119.9, 1e-9);
+  EXPECT_NEAR(db.multiplier(MulMode::MitchellFull, 0, false).power_mw, 17.93,
+              0.01);
+  EXPECT_NEAR(db.multiplier(MulMode::MitchellFull, 0, true).power_mw, 38.17,
+              0.01);
+}
+
+TEST(SynthesisDb, TableTwoRatiosReproduced) {
+  const SynthesisDb db;
+  const struct {
+    OpKind op;
+    double power, latency;
+  } rows[] = {
+      {OpKind::FAdd, 0.31, 0.74},  {OpKind::FDiv, 0.84, 0.85},
+      {OpKind::FRcp, 0.20, 0.34},  {OpKind::FRsqrt, 0.061, 0.109},
+      {OpKind::FSqrt, 1.16, 0.33}, {OpKind::FLog2, 0.30, 0.79},
+      {OpKind::FFma, 0.08, 0.70},
+  };
+  for (const auto& r : rows) {
+    const auto n = normalized(db.ihw(r.op), db.dwip(r.op));
+    EXPECT_NEAR(n.power, r.power, 1e-9) << to_string(r.op);
+    EXPECT_NEAR(n.latency, r.latency, 1e-9) << to_string(r.op);
+  }
+  // The simple multiplier (Table 2's ifpmul row): ~0.040 power ratio.
+  const auto m = normalized(db.multiplier(MulMode::ImpreciseSimple, 0, false),
+                            db.dwip(OpKind::FMul));
+  EXPECT_NEAR(m.power, 0.040, 0.002);
+  EXPECT_NEAR(m.latency, 0.218, 0.01);
+}
+
+TEST(SynthesisDb, TableThreeIntegerUnits) {
+  const SynthesisDb db;
+  EXPECT_NEAR(db.int_adder25().power_mw, 0.24, 1e-9);
+  EXPECT_NEAR(db.int_mult24().power_mw, 8.50, 1e-9);
+  EXPECT_NEAR(db.int_mult24().power_mw / db.int_adder25().power_mw, 35.4, 0.1);
+  EXPECT_NEAR(db.int_mult24().latency_ns / db.int_adder25().latency_ns, 3.0,
+              0.1);
+}
+
+TEST(SynthesisDb, LogPathHitsPaperOperatingPoints) {
+  const SynthesisDb db;
+  // >25X at tr19 for 32-bit (paper: "more than 25X ... 26X").
+  const double red32 = db.multiplier(MulMode::Precise, 0, false).power_mw /
+                       db.multiplier(MulMode::MitchellLog, 19, false).power_mw;
+  EXPECT_GT(red32, 25.0);
+  EXPECT_LT(red32, 32.0);
+  // ~49X at tr48 for 64-bit.
+  const double red64 = db.multiplier(MulMode::Precise, 0, true).power_mw /
+                       db.multiplier(MulMode::MitchellLog, 48, true).power_mw;
+  EXPECT_NEAR(red64, 49.0, 1.5);
+}
+
+TEST(SynthesisDb, BitTruncationSaturatesNearPaperPoint) {
+  const SynthesisDb db;
+  const double dw = db.multiplier(MulMode::Precise, 0, false).power_mw;
+  // ~2.3X at tr=21, and the curve can never beat the fixed IEEE overhead.
+  EXPECT_NEAR(dw / db.multiplier(MulMode::BitTruncated, 21, false).power_mw,
+              2.3, 0.15);
+  EXPECT_LT(dw / db.multiplier(MulMode::BitTruncated, 23, false).power_mw,
+            2.5);
+}
+
+TEST(SynthesisDb, MultiplierPowerMonotonicInTruncation) {
+  const SynthesisDb db;
+  for (MulMode mode : {MulMode::MitchellLog, MulMode::MitchellFull,
+                       MulMode::BitTruncated}) {
+    for (bool is64 : {false, true}) {
+      double prev = db.multiplier(mode, 0, is64).power_mw;
+      const int fb = is64 ? 52 : 23;
+      for (int tr = 1; tr <= fb; ++tr) {
+        const double cur = db.multiplier(mode, tr, is64).power_mw;
+        ASSERT_LE(cur, prev + 1e-12)
+            << to_string(mode) << " tr=" << tr << " is64=" << is64;
+        prev = cur;
+      }
+    }
+  }
+}
+
+TEST(SynthesisDb, ImpreciseUnitsNeverExceedLatencyOfBaseline) {
+  const SynthesisDb db;
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    const auto op = static_cast<OpKind>(i);
+    EXPECT_LE(db.ihw(op).latency_ns, db.dwip(op).latency_ns + 1e-12);
+  }
+}
+
+TEST(SynthesisDb, ForConfigRoutesPerUnitEnables) {
+  const SynthesisDb db;
+  IhwConfig cfg;
+  cfg.rcp_enabled = true;
+  EXPECT_EQ(db.for_config(OpKind::FRcp, cfg).power_mw,
+            db.ihw(OpKind::FRcp).power_mw);
+  EXPECT_EQ(db.for_config(OpKind::FSqrt, cfg).power_mw,
+            db.dwip(OpKind::FSqrt).power_mw);
+  cfg.mul_mode = MulMode::MitchellLog;
+  cfg.mul_trunc = 19;
+  EXPECT_EQ(db.for_config(OpKind::FMul, cfg).power_mw,
+            db.multiplier(MulMode::MitchellLog, 19, false).power_mw);
+}
+
+TEST(SynthesisDb, AdderThresholdScalesPowerAroundAnchor) {
+  const SynthesisDb db;
+  const double p8 = db.ihw(OpKind::FAdd, 8).power_mw;
+  EXPECT_LT(db.ihw(OpKind::FAdd, 4).power_mw, p8);
+  EXPECT_GT(db.ihw(OpKind::FAdd, 16).power_mw, p8);
+}
+
+TEST(PipelineLatency, MatchesFigTwelveExpression) {
+  // acc ops on a continuously operating pipeline: (acc-1+ceil(lat))*period.
+  const double period = 1.0 / kCoreClockGhz;
+  EXPECT_DOUBLE_EQ(pipeline_latency_ns(0, 1.7), 0.0);
+  EXPECT_DOUBLE_EQ(pipeline_latency_ns(1, 1.7), 2.0 * period);
+  EXPECT_DOUBLE_EQ(pipeline_latency_ns(100, 1.7), 101.0 * period);
+  EXPECT_DOUBLE_EQ(pipeline_latency_ns(100, 0.37), 100.0 * period);
+}
+
+TEST(EstimateSavings, PreciseConfigSavesNothing) {
+  const SynthesisDb db;
+  OpCounts ops;
+  ops[OpKind::FAdd] = 1000;
+  ops[OpKind::FMul] = 1000;
+  ops[OpKind::FRcp] = 300;
+  const auto s = estimate_savings(ops, IhwConfig::precise(), {0.25, 0.10}, db);
+  EXPECT_NEAR(s.fpu_power_impr, 0.0, 1e-12);
+  EXPECT_NEAR(s.sfu_power_impr, 0.0, 1e-12);
+  EXPECT_NEAR(s.system_power_impr, 0.0, 1e-12);
+}
+
+TEST(EstimateSavings, AllImpreciseSavingsInUnitRange) {
+  const SynthesisDb db;
+  OpCounts ops;
+  ops[OpKind::FAdd] = 9000;
+  ops[OpKind::FMul] = 5000;
+  ops[OpKind::FRcp] = 3000;
+  const auto s =
+      estimate_savings(ops, IhwConfig::all_imprecise(), {0.25, 0.10}, db);
+  EXPECT_GT(s.fpu_power_impr, 0.5);
+  EXPECT_LT(s.fpu_power_impr, 1.0);
+  EXPECT_GT(s.sfu_power_impr, 0.5);
+  EXPECT_LT(s.sfu_power_impr, 1.0);
+  // System savings bounded by the arithmetic share.
+  EXPECT_LE(s.system_power_impr, 0.35 + 1e-12);
+  EXPECT_GT(s.system_power_impr, 0.15);
+}
+
+TEST(EstimateSavings, SystemSavingsIsShareWeightedSum) {
+  const SynthesisDb db;
+  OpCounts ops;
+  ops[OpKind::FMul] = 10000;
+  ops[OpKind::FRcp] = 10000;
+  const UnitShares shares{0.3, 0.2};
+  const auto s = estimate_savings(ops, IhwConfig::all_imprecise(), shares, db);
+  EXPECT_NEAR(s.system_power_impr,
+              shares.fpu * s.fpu_power_impr + shares.sfu * s.sfu_power_impr,
+              1e-12);
+}
+
+TEST(EstimateSavings, MulOnlyConfigOnlyTouchesFpu) {
+  const SynthesisDb db;
+  OpCounts ops;
+  ops[OpKind::FMul] = 10000;
+  ops[OpKind::FRcp] = 10000;
+  const auto s = estimate_savings(
+      ops, IhwConfig::mul_only(MulMode::MitchellLog, 19), {0.3, 0.2}, db);
+  EXPECT_GT(s.fpu_power_impr, 0.9);
+  EXPECT_NEAR(s.sfu_power_impr, 0.0, 1e-12);
+}
+
+TEST(EstimateSavings, IsqrtCanCostPower) {
+  // isqrt's power ratio is 1.16: a sqrt-only workload under an sqrt-enabled
+  // config shows a (small) negative SFU improvement, as Table 2 implies.
+  const SynthesisDb db;
+  OpCounts ops;
+  ops[OpKind::FSqrt] = 10000;
+  IhwConfig cfg;
+  cfg.sqrt_enabled = true;
+  const auto s = estimate_savings(ops, cfg, {0.1, 0.2}, db);
+  EXPECT_LT(s.sfu_power_impr, 0.0);
+}
+
+TEST(OpCounts, ClassTotals) {
+  OpCounts ops;
+  ops[OpKind::FAdd] = 1;
+  ops[OpKind::FMul] = 2;
+  ops[OpKind::FFma] = 3;
+  ops[OpKind::FRcp] = 4;
+  ops[OpKind::IAdd] = 5;
+  EXPECT_EQ(ops.total(UnitClass::FPU), 6u);
+  EXPECT_EQ(ops.total(UnitClass::SFU), 4u);
+  EXPECT_EQ(ops.total(UnitClass::INT), 5u);
+  EXPECT_EQ(ops.total(), 15u);
+}
+
+TEST(UnitClassification, MatchesPaperGrouping) {
+  EXPECT_EQ(unit_class(OpKind::FAdd), UnitClass::FPU);
+  EXPECT_EQ(unit_class(OpKind::FMul), UnitClass::FPU);
+  EXPECT_EQ(unit_class(OpKind::FFma), UnitClass::FPU);
+  EXPECT_EQ(unit_class(OpKind::FDiv), UnitClass::SFU);
+  EXPECT_EQ(unit_class(OpKind::FRcp), UnitClass::SFU);
+  EXPECT_EQ(unit_class(OpKind::FRsqrt), UnitClass::SFU);
+  EXPECT_EQ(unit_class(OpKind::FSqrt), UnitClass::SFU);
+  EXPECT_EQ(unit_class(OpKind::FLog2), UnitClass::SFU);
+  EXPECT_EQ(unit_class(OpKind::IAdd), UnitClass::INT);
+  EXPECT_EQ(unit_class(OpKind::IMul), UnitClass::INT);
+}
+
+}  // namespace
+}  // namespace ihw::power

@@ -1,0 +1,186 @@
+// Tests for the quality metrics: grid metrics, SSIM, Pratt's figure of
+// merit, distance transform, and the Sobel edge detector.
+#include "quality/grid_metrics.h"
+#include "quality/pratt.h"
+#include "quality/ssim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ihw::quality {
+namespace {
+
+common::GridF constant_grid(std::size_t n, float v) {
+  return common::GridF(n, n, v);
+}
+
+TEST(GridMetrics, KnownValues) {
+  common::GridF a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b = a;
+  EXPECT_DOUBLE_EQ(mae(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(mse(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(wed(a, b), 0.0);
+  b(1, 1) = 6;  // one cell off by 2
+  EXPECT_DOUBLE_EQ(mae(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(mse(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(wed(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(max_rel_error(a, b), 0.5);
+}
+
+TEST(GridMetrics, PsnrInfiniteForIdenticalAndFiniteOtherwise) {
+  const auto a = constant_grid(8, 10.0f);
+  auto b = a;
+  EXPECT_TRUE(std::isinf(psnr(a, b, 255.0)));
+  b(0, 0) = 11.0f;
+  const double p = psnr(a, b, 255.0);
+  EXPECT_GT(p, 40.0);
+  EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(Ssim, IdenticalImagesScoreOne) {
+  common::Xoshiro256 rng(71);
+  common::GridF img(32, 32);
+  for (auto& v : img) v = static_cast<float>(rng.uniform(0, 255));
+  EXPECT_DOUBLE_EQ(ssim(img, img, 255.0), 1.0);
+}
+
+TEST(Ssim, DegradesMonotonicallyWithNoise) {
+  common::Xoshiro256 rng(72);
+  common::GridF img(64, 64);
+  for (std::size_t r = 0; r < 64; ++r)
+    for (std::size_t c = 0; c < 64; ++c)
+      img(r, c) = static_cast<float>(128 + 100 * std::sin(r * 0.3) *
+                                               std::cos(c * 0.2));
+  double prev = 1.0;
+  for (double amp : {5.0, 20.0, 60.0}) {
+    common::Xoshiro256 nrng(73);
+    auto noisy = img;
+    for (auto& v : noisy)
+      v += static_cast<float>(nrng.uniform(-amp, amp));
+    const double s = ssim(img, noisy, 255.0);
+    EXPECT_LT(s, prev);
+    EXPECT_GT(s, 0.0);
+    prev = s;
+  }
+}
+
+TEST(Ssim, MeanShiftPenalizedLessThanStructureChange) {
+  common::GridF img(48, 48);
+  common::Xoshiro256 rng(74);
+  for (auto& v : img) v = static_cast<float>(rng.uniform(50, 200));
+  auto shifted = img;
+  for (auto& v : shifted) v += 10.0f;  // luminance shift
+  auto scrambled = img;
+  common::Xoshiro256 rng2(75);
+  for (auto& v : scrambled) v = static_cast<float>(rng2.uniform(50, 200));
+  EXPECT_GT(ssim(img, shifted, 255.0), ssim(img, scrambled, 255.0));
+}
+
+TEST(Ssim, RgbUsesLuma) {
+  common::RgbImage a(32, 32), b(32, 32);
+  common::Xoshiro256 rng(76);
+  for (std::size_t i = 0; i < a.pixels.size(); ++i)
+    a.pixels[i] = b.pixels[i] = static_cast<std::uint8_t>(rng() & 0xFF);
+  EXPECT_DOUBLE_EQ(ssim_rgb(a, b), 1.0);
+  const auto l = luma(a);
+  EXPECT_EQ(l.rows(), 32u);
+  for (auto v : l) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 255.0f);
+  }
+}
+
+TEST(DistanceTransform, ExactAgainstBruteForce) {
+  common::Xoshiro256 rng(77);
+  EdgeMap mask(24, 24, 0);
+  for (int i = 0; i < 12; ++i)
+    mask(static_cast<std::size_t>(rng.uniform(0, 24)),
+         static_cast<std::size_t>(rng.uniform(0, 24))) = 1;
+  const auto dist = distance_transform(mask);
+  for (std::size_t r = 0; r < 24; ++r)
+    for (std::size_t c = 0; c < 24; ++c) {
+      double best = 1e18;
+      for (std::size_t rr = 0; rr < 24; ++rr)
+        for (std::size_t cc = 0; cc < 24; ++cc)
+          if (mask(rr, cc)) {
+            const double dr = static_cast<double>(r) - static_cast<double>(rr);
+            const double dc = static_cast<double>(c) - static_cast<double>(cc);
+            best = std::min(best, dr * dr + dc * dc);
+          }
+      ASSERT_NEAR(dist(r, c), std::sqrt(best), 1e-4) << r << "," << c;
+    }
+}
+
+TEST(PrattFom, PerfectDetectionScoresOne) {
+  EdgeMap ideal(16, 16, 0);
+  for (std::size_t c = 2; c < 14; ++c) ideal(8, c) = 1;
+  EXPECT_DOUBLE_EQ(pratt_fom(ideal, ideal), 1.0);
+}
+
+TEST(PrattFom, EmptyMapsEdgeCases) {
+  EdgeMap empty(8, 8, 0);
+  EdgeMap some(8, 8, 0);
+  some(4, 4) = 1;
+  EXPECT_DOUBLE_EQ(pratt_fom(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(pratt_fom(empty, some), 0.0);
+  EXPECT_DOUBLE_EQ(pratt_fom(some, empty), 0.0);
+}
+
+TEST(PrattFom, ShiftedEdgePenalizedByDistance) {
+  EdgeMap ideal(32, 32, 0), shift1(32, 32, 0), shift3(32, 32, 0);
+  for (std::size_t c = 0; c < 32; ++c) {
+    ideal(16, c) = 1;
+    shift1(17, c) = 1;
+    shift3(19, c) = 1;
+  }
+  const double f1 = pratt_fom(ideal, shift1);
+  const double f3 = pratt_fom(ideal, shift3);
+  // d=1 with alpha=1/9: each pixel contributes 1/(1+1/9) = 0.9.
+  EXPECT_NEAR(f1, 0.9, 1e-9);
+  EXPECT_NEAR(f3, 1.0 / 2.0, 1e-9);  // d=3 -> 1/(1+1) = 0.5
+  EXPECT_LT(f3, f1);
+}
+
+TEST(PrattFom, OverDetectionDilutesScore) {
+  EdgeMap ideal(16, 16, 0), over(16, 16, 0);
+  for (std::size_t c = 0; c < 16; ++c) {
+    ideal(8, c) = 1;
+    over(8, c) = 1;
+    over(0, c) = 1;  // spurious far edge
+  }
+  const double f = pratt_fom(ideal, over);
+  EXPECT_LT(f, 0.6);
+  EXPECT_GT(f, 0.4);  // the true half still counts fully
+}
+
+TEST(SobelEdges, DetectsAStepEdge) {
+  common::GridF img(32, 32, 0.0f);
+  for (std::size_t r = 0; r < 32; ++r)
+    for (std::size_t c = 16; c < 32; ++c) img(r, c) = 200.0f;
+  const auto e = sobel_edges(img, 0.25);
+  // Edge pixels cluster around column 15/16.
+  std::size_t on = 0, near_edge = 0;
+  for (std::size_t r = 1; r < 31; ++r)
+    for (std::size_t c = 1; c < 31; ++c)
+      if (e(r, c)) {
+        ++on;
+        if (c >= 14 && c <= 17) ++near_edge;
+      }
+  EXPECT_GT(on, 0u);
+  EXPECT_EQ(on, near_edge);
+}
+
+TEST(SobelEdges, FlatImageHasNoEdges) {
+  const auto e = sobel_edges(constant_grid(16, 42.0f), 0.25);
+  for (auto v : e) EXPECT_EQ(v, 0);
+}
+
+}  // namespace
+}  // namespace ihw::quality
