@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_add_th"
+  "../bench/ablation_add_th.pdb"
+  "CMakeFiles/ablation_add_th.dir/ablation_add_th.cpp.o"
+  "CMakeFiles/ablation_add_th.dir/ablation_add_th.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_add_th.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

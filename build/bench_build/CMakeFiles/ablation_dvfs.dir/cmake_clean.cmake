@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dvfs"
+  "../bench/ablation_dvfs.pdb"
+  "CMakeFiles/ablation_dvfs.dir/ablation_dvfs.cpp.o"
+  "CMakeFiles/ablation_dvfs.dir/ablation_dvfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

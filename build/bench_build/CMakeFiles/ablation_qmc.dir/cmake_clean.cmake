@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_qmc"
+  "../bench/ablation_qmc.pdb"
+  "CMakeFiles/ablation_qmc.dir/ablation_qmc.cpp.o"
+  "CMakeFiles/ablation_qmc.dir/ablation_qmc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ray_depth"
+  "../bench/ablation_ray_depth.pdb"
+  "CMakeFiles/ablation_ray_depth.dir/ablation_ray_depth.cpp.o"
+  "CMakeFiles/ablation_ray_depth.dir/ablation_ray_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ray_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

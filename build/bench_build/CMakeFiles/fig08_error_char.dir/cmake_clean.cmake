@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_error_char"
+  "../bench/fig08_error_char.pdb"
+  "CMakeFiles/fig08_error_char.dir/fig08_error_char.cpp.o"
+  "CMakeFiles/fig08_error_char.dir/fig08_error_char.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_error_char.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_acfpmul_error_char"
+  "../bench/fig09_acfpmul_error_char.pdb"
+  "CMakeFiles/fig09_acfpmul_error_char.dir/fig09_acfpmul_error_char.cpp.o"
+  "CMakeFiles/fig09_acfpmul_error_char.dir/fig09_acfpmul_error_char.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_acfpmul_error_char.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

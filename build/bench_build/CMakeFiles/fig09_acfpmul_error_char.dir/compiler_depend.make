@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_acfpmul_error_char.
+# This may be replaced when dependencies are built.

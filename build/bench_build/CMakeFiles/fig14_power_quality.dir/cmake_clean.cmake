@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_power_quality"
+  "../bench/fig14_power_quality.pdb"
+  "CMakeFiles/fig14_power_quality.dir/fig14_power_quality.cpp.o"
+  "CMakeFiles/fig14_power_quality.dir/fig14_power_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_power_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

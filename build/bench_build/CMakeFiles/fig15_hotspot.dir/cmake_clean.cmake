@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_hotspot"
+  "../bench/fig15_hotspot.pdb"
+  "CMakeFiles/fig15_hotspot.dir/fig15_hotspot.cpp.o"
+  "CMakeFiles/fig15_hotspot.dir/fig15_hotspot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

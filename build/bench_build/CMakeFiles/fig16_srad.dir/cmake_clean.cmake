@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_srad"
+  "../bench/fig16_srad.pdb"
+  "CMakeFiles/fig16_srad.dir/fig16_srad.cpp.o"
+  "CMakeFiles/fig16_srad.dir/fig16_srad.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_srad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

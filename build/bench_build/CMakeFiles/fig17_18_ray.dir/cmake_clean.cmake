@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_18_ray"
+  "../bench/fig17_18_ray.pdb"
+  "CMakeFiles/fig17_18_ray.dir/fig17_18_ray.cpp.o"
+  "CMakeFiles/fig17_18_ray.dir/fig17_18_ray.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_18_ray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

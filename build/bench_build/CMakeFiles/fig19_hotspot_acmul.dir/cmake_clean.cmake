@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_hotspot_acmul"
+  "../bench/fig19_hotspot_acmul.pdb"
+  "CMakeFiles/fig19_hotspot_acmul.dir/fig19_hotspot_acmul.cpp.o"
+  "CMakeFiles/fig19_hotspot_acmul.dir/fig19_hotspot_acmul.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_hotspot_acmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

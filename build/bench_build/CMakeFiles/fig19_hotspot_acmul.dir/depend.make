@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_hotspot_acmul.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_cp"
+  "../bench/fig20_cp.pdb"
+  "CMakeFiles/fig20_cp.dir/fig20_cp.cpp.o"
+  "CMakeFiles/fig20_cp.dir/fig20_cp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_art_gromacs"
+  "../bench/fig21_art_gromacs.pdb"
+  "CMakeFiles/fig21_art_gromacs.dir/fig21_art_gromacs.cpp.o"
+  "CMakeFiles/fig21_art_gromacs.dir/fig21_art_gromacs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_art_gromacs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

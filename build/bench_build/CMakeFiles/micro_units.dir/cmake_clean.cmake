@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_units"
+  "../bench/micro_units.pdb"
+  "CMakeFiles/micro_units.dir/micro_units.cpp.o"
+  "CMakeFiles/micro_units.dir/micro_units.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

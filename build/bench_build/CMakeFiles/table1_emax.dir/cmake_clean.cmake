@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_emax"
+  "../bench/table1_emax.pdb"
+  "CMakeFiles/table1_emax.dir/table1_emax.cpp.o"
+  "CMakeFiles/table1_emax.dir/table1_emax.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_emax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_fig13_nfm"
+  "../bench/table2_fig13_nfm.pdb"
+  "CMakeFiles/table2_fig13_nfm.dir/table2_fig13_nfm.cpp.o"
+  "CMakeFiles/table2_fig13_nfm.dir/table2_fig13_nfm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fig13_nfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_int_units"
+  "../bench/table3_int_units.pdb"
+  "CMakeFiles/table3_int_units.dir/table3_int_units.cpp.o"
+  "CMakeFiles/table3_int_units.dir/table3_int_units.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_int_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_acfpmul_nfm"
+  "../bench/table4_acfpmul_nfm.pdb"
+  "CMakeFiles/table4_acfpmul_nfm.dir/table4_acfpmul_nfm.cpp.o"
+  "CMakeFiles/table4_acfpmul_nfm.dir/table4_acfpmul_nfm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_acfpmul_nfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

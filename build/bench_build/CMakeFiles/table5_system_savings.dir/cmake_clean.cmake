@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_system_savings"
+  "../bench/table5_system_savings.pdb"
+  "CMakeFiles/table5_system_savings.dir/table5_system_savings.cpp.o"
+  "CMakeFiles/table5_system_savings.dir/table5_system_savings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_system_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_sphinx"
+  "../bench/table7_sphinx.pdb"
+  "CMakeFiles/table7_sphinx.dir/table7_sphinx.cpp.o"
+  "CMakeFiles/table7_sphinx.dir/table7_sphinx.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_sphinx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

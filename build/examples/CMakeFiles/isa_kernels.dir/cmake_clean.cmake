@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_kernels.dir/isa_kernels.cpp.o"
+  "CMakeFiles/isa_kernels.dir/isa_kernels.cpp.o.d"
+  "isa_kernels"
+  "isa_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

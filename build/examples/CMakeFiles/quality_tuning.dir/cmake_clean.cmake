@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_tuning.dir/quality_tuning.cpp.o"
+  "CMakeFiles/quality_tuning.dir/quality_tuning.cpp.o.d"
+  "quality_tuning"
+  "quality_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_recognition.dir/speech_recognition.cpp.o"
+  "CMakeFiles/speech_recognition.dir/speech_recognition.cpp.o.d"
+  "speech_recognition"
+  "speech_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_sim.dir/thermal_sim.cpp.o"
+  "CMakeFiles/thermal_sim.dir/thermal_sim.cpp.o.d"
+  "thermal_sim"
+  "thermal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/art.cpp" "src/apps/CMakeFiles/ihw_apps.dir/art.cpp.o" "gcc" "src/apps/CMakeFiles/ihw_apps.dir/art.cpp.o.d"
+  "/root/repo/src/apps/cp.cpp" "src/apps/CMakeFiles/ihw_apps.dir/cp.cpp.o" "gcc" "src/apps/CMakeFiles/ihw_apps.dir/cp.cpp.o.d"
+  "/root/repo/src/apps/gromacs.cpp" "src/apps/CMakeFiles/ihw_apps.dir/gromacs.cpp.o" "gcc" "src/apps/CMakeFiles/ihw_apps.dir/gromacs.cpp.o.d"
+  "/root/repo/src/apps/hotspot.cpp" "src/apps/CMakeFiles/ihw_apps.dir/hotspot.cpp.o" "gcc" "src/apps/CMakeFiles/ihw_apps.dir/hotspot.cpp.o.d"
+  "/root/repo/src/apps/ray.cpp" "src/apps/CMakeFiles/ihw_apps.dir/ray.cpp.o" "gcc" "src/apps/CMakeFiles/ihw_apps.dir/ray.cpp.o.d"
+  "/root/repo/src/apps/runner.cpp" "src/apps/CMakeFiles/ihw_apps.dir/runner.cpp.o" "gcc" "src/apps/CMakeFiles/ihw_apps.dir/runner.cpp.o.d"
+  "/root/repo/src/apps/sphinx.cpp" "src/apps/CMakeFiles/ihw_apps.dir/sphinx.cpp.o" "gcc" "src/apps/CMakeFiles/ihw_apps.dir/sphinx.cpp.o.d"
+  "/root/repo/src/apps/srad.cpp" "src/apps/CMakeFiles/ihw_apps.dir/srad.cpp.o" "gcc" "src/apps/CMakeFiles/ihw_apps.dir/srad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/ihw_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/ihw_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ihw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ihw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/ihw/CMakeFiles/ihw_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/ihw_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpcore/CMakeFiles/ihw_fpcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

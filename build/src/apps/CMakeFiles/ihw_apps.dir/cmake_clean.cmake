@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ihw_apps.dir/art.cpp.o"
+  "CMakeFiles/ihw_apps.dir/art.cpp.o.d"
+  "CMakeFiles/ihw_apps.dir/cp.cpp.o"
+  "CMakeFiles/ihw_apps.dir/cp.cpp.o.d"
+  "CMakeFiles/ihw_apps.dir/gromacs.cpp.o"
+  "CMakeFiles/ihw_apps.dir/gromacs.cpp.o.d"
+  "CMakeFiles/ihw_apps.dir/hotspot.cpp.o"
+  "CMakeFiles/ihw_apps.dir/hotspot.cpp.o.d"
+  "CMakeFiles/ihw_apps.dir/ray.cpp.o"
+  "CMakeFiles/ihw_apps.dir/ray.cpp.o.d"
+  "CMakeFiles/ihw_apps.dir/runner.cpp.o"
+  "CMakeFiles/ihw_apps.dir/runner.cpp.o.d"
+  "CMakeFiles/ihw_apps.dir/sphinx.cpp.o"
+  "CMakeFiles/ihw_apps.dir/sphinx.cpp.o.d"
+  "CMakeFiles/ihw_apps.dir/srad.cpp.o"
+  "CMakeFiles/ihw_apps.dir/srad.cpp.o.d"
+  "libihw_apps.a"
+  "libihw_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ihw_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ihw_arith.dir/datapath.cpp.o"
+  "CMakeFiles/ihw_arith.dir/datapath.cpp.o.d"
+  "CMakeFiles/ihw_arith.dir/mitchell.cpp.o"
+  "CMakeFiles/ihw_arith.dir/mitchell.cpp.o.d"
+  "libihw_arith.a"
+  "libihw_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ihw_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

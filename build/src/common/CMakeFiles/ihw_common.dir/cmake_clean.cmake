@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ihw_common.dir/args.cpp.o"
+  "CMakeFiles/ihw_common.dir/args.cpp.o.d"
+  "CMakeFiles/ihw_common.dir/image.cpp.o"
+  "CMakeFiles/ihw_common.dir/image.cpp.o.d"
+  "CMakeFiles/ihw_common.dir/table.cpp.o"
+  "CMakeFiles/ihw_common.dir/table.cpp.o.d"
+  "libihw_common.a"
+  "libihw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ihw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/error/analytic.cpp" "src/error/CMakeFiles/ihw_error.dir/analytic.cpp.o" "gcc" "src/error/CMakeFiles/ihw_error.dir/analytic.cpp.o.d"
+  "/root/repo/src/error/characterize.cpp" "src/error/CMakeFiles/ihw_error.dir/characterize.cpp.o" "gcc" "src/error/CMakeFiles/ihw_error.dir/characterize.cpp.o.d"
+  "/root/repo/src/error/metrics.cpp" "src/error/CMakeFiles/ihw_error.dir/metrics.cpp.o" "gcc" "src/error/CMakeFiles/ihw_error.dir/metrics.cpp.o.d"
+  "/root/repo/src/error/pmf.cpp" "src/error/CMakeFiles/ihw_error.dir/pmf.cpp.o" "gcc" "src/error/CMakeFiles/ihw_error.dir/pmf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpcore/CMakeFiles/ihw_fpcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/ihw/CMakeFiles/ihw_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/qmc/CMakeFiles/ihw_qmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ihw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/ihw_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

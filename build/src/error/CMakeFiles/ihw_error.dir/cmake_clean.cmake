@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ihw_error.dir/analytic.cpp.o"
+  "CMakeFiles/ihw_error.dir/analytic.cpp.o.d"
+  "CMakeFiles/ihw_error.dir/characterize.cpp.o"
+  "CMakeFiles/ihw_error.dir/characterize.cpp.o.d"
+  "CMakeFiles/ihw_error.dir/metrics.cpp.o"
+  "CMakeFiles/ihw_error.dir/metrics.cpp.o.d"
+  "CMakeFiles/ihw_error.dir/pmf.cpp.o"
+  "CMakeFiles/ihw_error.dir/pmf.cpp.o.d"
+  "libihw_error.a"
+  "libihw_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ihw_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

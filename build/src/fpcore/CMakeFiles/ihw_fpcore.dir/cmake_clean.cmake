@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ihw_fpcore.dir/float_bits.cpp.o"
+  "CMakeFiles/ihw_fpcore.dir/float_bits.cpp.o.d"
+  "libihw_fpcore.a"
+  "libihw_fpcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ihw_fpcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/context.cpp" "src/gpu/CMakeFiles/ihw_gpu.dir/context.cpp.o" "gcc" "src/gpu/CMakeFiles/ihw_gpu.dir/context.cpp.o.d"
+  "/root/repo/src/gpu/counters.cpp" "src/gpu/CMakeFiles/ihw_gpu.dir/counters.cpp.o" "gcc" "src/gpu/CMakeFiles/ihw_gpu.dir/counters.cpp.o.d"
+  "/root/repo/src/gpu/isa.cpp" "src/gpu/CMakeFiles/ihw_gpu.dir/isa.cpp.o" "gcc" "src/gpu/CMakeFiles/ihw_gpu.dir/isa.cpp.o.d"
+  "/root/repo/src/gpu/simt.cpp" "src/gpu/CMakeFiles/ihw_gpu.dir/simt.cpp.o" "gcc" "src/gpu/CMakeFiles/ihw_gpu.dir/simt.cpp.o.d"
+  "/root/repo/src/gpu/timing.cpp" "src/gpu/CMakeFiles/ihw_gpu.dir/timing.cpp.o" "gcc" "src/gpu/CMakeFiles/ihw_gpu.dir/timing.cpp.o.d"
+  "/root/repo/src/gpu/wattch.cpp" "src/gpu/CMakeFiles/ihw_gpu.dir/wattch.cpp.o" "gcc" "src/gpu/CMakeFiles/ihw_gpu.dir/wattch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ihw/CMakeFiles/ihw_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ihw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ihw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/ihw_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpcore/CMakeFiles/ihw_fpcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ihw_gpu.dir/context.cpp.o"
+  "CMakeFiles/ihw_gpu.dir/context.cpp.o.d"
+  "CMakeFiles/ihw_gpu.dir/counters.cpp.o"
+  "CMakeFiles/ihw_gpu.dir/counters.cpp.o.d"
+  "CMakeFiles/ihw_gpu.dir/isa.cpp.o"
+  "CMakeFiles/ihw_gpu.dir/isa.cpp.o.d"
+  "CMakeFiles/ihw_gpu.dir/simt.cpp.o"
+  "CMakeFiles/ihw_gpu.dir/simt.cpp.o.d"
+  "CMakeFiles/ihw_gpu.dir/timing.cpp.o"
+  "CMakeFiles/ihw_gpu.dir/timing.cpp.o.d"
+  "CMakeFiles/ihw_gpu.dir/wattch.cpp.o"
+  "CMakeFiles/ihw_gpu.dir/wattch.cpp.o.d"
+  "libihw_gpu.a"
+  "libihw_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ihw_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

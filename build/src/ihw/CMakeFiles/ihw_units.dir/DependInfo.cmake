@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ihw/acfp_mul.cpp" "src/ihw/CMakeFiles/ihw_units.dir/acfp_mul.cpp.o" "gcc" "src/ihw/CMakeFiles/ihw_units.dir/acfp_mul.cpp.o.d"
+  "/root/repo/src/ihw/config.cpp" "src/ihw/CMakeFiles/ihw_units.dir/config.cpp.o" "gcc" "src/ihw/CMakeFiles/ihw_units.dir/config.cpp.o.d"
+  "/root/repo/src/ihw/dispatch.cpp" "src/ihw/CMakeFiles/ihw_units.dir/dispatch.cpp.o" "gcc" "src/ihw/CMakeFiles/ihw_units.dir/dispatch.cpp.o.d"
+  "/root/repo/src/ihw/ifp_add.cpp" "src/ihw/CMakeFiles/ihw_units.dir/ifp_add.cpp.o" "gcc" "src/ihw/CMakeFiles/ihw_units.dir/ifp_add.cpp.o.d"
+  "/root/repo/src/ihw/ifp_mul.cpp" "src/ihw/CMakeFiles/ihw_units.dir/ifp_mul.cpp.o" "gcc" "src/ihw/CMakeFiles/ihw_units.dir/ifp_mul.cpp.o.d"
+  "/root/repo/src/ihw/sfu.cpp" "src/ihw/CMakeFiles/ihw_units.dir/sfu.cpp.o" "gcc" "src/ihw/CMakeFiles/ihw_units.dir/sfu.cpp.o.d"
+  "/root/repo/src/ihw/trunc_mul.cpp" "src/ihw/CMakeFiles/ihw_units.dir/trunc_mul.cpp.o" "gcc" "src/ihw/CMakeFiles/ihw_units.dir/trunc_mul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpcore/CMakeFiles/ihw_fpcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/ihw_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ihw_units.dir/acfp_mul.cpp.o"
+  "CMakeFiles/ihw_units.dir/acfp_mul.cpp.o.d"
+  "CMakeFiles/ihw_units.dir/config.cpp.o"
+  "CMakeFiles/ihw_units.dir/config.cpp.o.d"
+  "CMakeFiles/ihw_units.dir/dispatch.cpp.o"
+  "CMakeFiles/ihw_units.dir/dispatch.cpp.o.d"
+  "CMakeFiles/ihw_units.dir/ifp_add.cpp.o"
+  "CMakeFiles/ihw_units.dir/ifp_add.cpp.o.d"
+  "CMakeFiles/ihw_units.dir/ifp_mul.cpp.o"
+  "CMakeFiles/ihw_units.dir/ifp_mul.cpp.o.d"
+  "CMakeFiles/ihw_units.dir/sfu.cpp.o"
+  "CMakeFiles/ihw_units.dir/sfu.cpp.o.d"
+  "CMakeFiles/ihw_units.dir/trunc_mul.cpp.o"
+  "CMakeFiles/ihw_units.dir/trunc_mul.cpp.o.d"
+  "libihw_units.a"
+  "libihw_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ihw_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

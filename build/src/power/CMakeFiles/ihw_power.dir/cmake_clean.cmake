@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ihw_power.dir/nfm.cpp.o"
+  "CMakeFiles/ihw_power.dir/nfm.cpp.o.d"
+  "CMakeFiles/ihw_power.dir/syspower.cpp.o"
+  "CMakeFiles/ihw_power.dir/syspower.cpp.o.d"
+  "libihw_power.a"
+  "libihw_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ihw_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

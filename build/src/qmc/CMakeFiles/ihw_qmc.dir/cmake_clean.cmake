@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ihw_qmc.dir/halton.cpp.o"
+  "CMakeFiles/ihw_qmc.dir/halton.cpp.o.d"
+  "CMakeFiles/ihw_qmc.dir/sobol.cpp.o"
+  "CMakeFiles/ihw_qmc.dir/sobol.cpp.o.d"
+  "libihw_qmc.a"
+  "libihw_qmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ihw_qmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

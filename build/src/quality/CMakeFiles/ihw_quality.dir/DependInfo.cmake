@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quality/grid_metrics.cpp" "src/quality/CMakeFiles/ihw_quality.dir/grid_metrics.cpp.o" "gcc" "src/quality/CMakeFiles/ihw_quality.dir/grid_metrics.cpp.o.d"
+  "/root/repo/src/quality/pratt.cpp" "src/quality/CMakeFiles/ihw_quality.dir/pratt.cpp.o" "gcc" "src/quality/CMakeFiles/ihw_quality.dir/pratt.cpp.o.d"
+  "/root/repo/src/quality/ssim.cpp" "src/quality/CMakeFiles/ihw_quality.dir/ssim.cpp.o" "gcc" "src/quality/CMakeFiles/ihw_quality.dir/ssim.cpp.o.d"
+  "/root/repo/src/quality/tuner.cpp" "src/quality/CMakeFiles/ihw_quality.dir/tuner.cpp.o" "gcc" "src/quality/CMakeFiles/ihw_quality.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ihw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ihw/CMakeFiles/ihw_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/ihw_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpcore/CMakeFiles/ihw_fpcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

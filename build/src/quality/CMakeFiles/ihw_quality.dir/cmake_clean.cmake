@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ihw_quality.dir/grid_metrics.cpp.o"
+  "CMakeFiles/ihw_quality.dir/grid_metrics.cpp.o.d"
+  "CMakeFiles/ihw_quality.dir/pratt.cpp.o"
+  "CMakeFiles/ihw_quality.dir/pratt.cpp.o.d"
+  "CMakeFiles/ihw_quality.dir/ssim.cpp.o"
+  "CMakeFiles/ihw_quality.dir/ssim.cpp.o.d"
+  "CMakeFiles/ihw_quality.dir/tuner.cpp.o"
+  "CMakeFiles/ihw_quality.dir/tuner.cpp.o.d"
+  "libihw_quality.a"
+  "libihw_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ihw_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

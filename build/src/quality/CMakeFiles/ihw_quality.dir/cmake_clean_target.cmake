@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libihw_quality.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acfp_mul.dir/test_acfp_mul.cpp.o"
+  "CMakeFiles/test_acfp_mul.dir/test_acfp_mul.cpp.o.d"
+  "test_acfp_mul"
+  "test_acfp_mul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acfp_mul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_dispatch.dir/test_config_dispatch.cpp.o"
+  "CMakeFiles/test_config_dispatch.dir/test_config_dispatch.cpp.o.d"
+  "test_config_dispatch"
+  "test_config_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float_bits.dir/test_float_bits.cpp.o"
+  "CMakeFiles/test_float_bits.dir/test_float_bits.cpp.o.d"
+  "test_float_bits"
+  "test_float_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

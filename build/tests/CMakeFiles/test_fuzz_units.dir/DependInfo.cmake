@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fuzz_units.cpp" "tests/CMakeFiles/test_fuzz_units.dir/test_fuzz_units.cpp.o" "gcc" "tests/CMakeFiles/test_fuzz_units.dir/test_fuzz_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ihw_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ihw_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/ihw_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ihw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/error/CMakeFiles/ihw_error.dir/DependInfo.cmake"
+  "/root/repo/build/src/ihw/CMakeFiles/ihw_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/ihw_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/qmc/CMakeFiles/ihw_qmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpcore/CMakeFiles/ihw_fpcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ihw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_units.dir/test_fuzz_units.cpp.o"
+  "CMakeFiles/test_fuzz_units.dir/test_fuzz_units.cpp.o.d"
+  "test_fuzz_units"
+  "test_fuzz_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ifp_add.dir/test_ifp_add.cpp.o"
+  "CMakeFiles/test_ifp_add.dir/test_ifp_add.cpp.o.d"
+  "test_ifp_add"
+  "test_ifp_add.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ifp_add.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

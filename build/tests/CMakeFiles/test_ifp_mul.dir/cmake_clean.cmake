@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ifp_mul.dir/test_ifp_mul.cpp.o"
+  "CMakeFiles/test_ifp_mul.dir/test_ifp_mul.cpp.o.d"
+  "test_ifp_mul"
+  "test_ifp_mul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ifp_mul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mitchell.dir/test_mitchell.cpp.o"
+  "CMakeFiles/test_mitchell.dir/test_mitchell.cpp.o.d"
+  "test_mitchell"
+  "test_mitchell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mitchell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qmc.dir/test_qmc.cpp.o"
+  "CMakeFiles/test_qmc.dir/test_qmc.cpp.o.d"
+  "test_qmc"
+  "test_qmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfu.dir/test_sfu.cpp.o"
+  "CMakeFiles/test_sfu.dir/test_sfu.cpp.o.d"
+  "test_sfu"
+  "test_sfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trunc_mul.dir/test_trunc_mul.cpp.o"
+  "CMakeFiles/test_trunc_mul.dir/test_trunc_mul.cpp.o.d"
+  "test_trunc_mul"
+  "test_trunc_mul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trunc_mul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
