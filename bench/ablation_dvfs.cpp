@@ -9,6 +9,7 @@
 #include "apps/runner.h"
 #include "common/args.h"
 #include "common/table.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 using namespace ihw::apps;
@@ -34,6 +35,8 @@ Operating apply_dvfs(const gpu::PowerBreakdown& b, double ihw_saving,
 
 int main(int argc, char** argv) {
   common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   HotspotParams p;
   p.rows = p.cols = static_cast<std::size_t>(args.get_int("size", 192));
   p.iterations = 20;

@@ -12,6 +12,7 @@
 #include "ihw/acfp_mul.h"
 #include "qmc/halton.h"
 #include "qmc/sobol.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 
@@ -27,6 +28,8 @@ double observe(float a, float b) {
 
 int main(int argc, char** argv) {
   common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   const auto max_n = static_cast<std::uint64_t>(args.get_int("samples", 1u << 20));
   const double truth = 1.0 / 49.0;  // the Ch. 4.1.2 bound
 

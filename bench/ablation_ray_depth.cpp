@@ -9,12 +9,15 @@
 #include "common/args.h"
 #include "common/table.h"
 #include "quality/ssim.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 using namespace ihw::apps;
 
 int main(int argc, char** argv) {
   common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   const auto size = static_cast<std::size_t>(args.get_int("size", 160));
 
   common::Table t({"max_depth", "shadows", "SSIM (rcp,add,sqrt)",

@@ -11,6 +11,7 @@
 #include "apps/srad.h"
 #include "common/args.h"
 #include "common/table.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 using namespace ihw::apps;
@@ -27,6 +28,8 @@ struct BenchRun {
 
 int main(int argc, char** argv) {
   common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   const auto scale = args.get_double("scale", 1.0);
 
   std::vector<BenchRun> runs;

@@ -8,6 +8,7 @@
 #include "common/table.h"
 #include "error/characterize.h"
 #include "power/nfm.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 
@@ -54,6 +55,8 @@ void sweep(bool is64, std::uint64_t samples, const power::SynthesisDb& db) {
 
 int main(int argc, char** argv) {
   common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   const auto samples =
       static_cast<std::uint64_t>(args.get_int("samples", 400'000));
   const power::SynthesisDb db;

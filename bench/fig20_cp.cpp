@@ -10,12 +10,15 @@
 #include "common/table.h"
 #include "power/nfm.h"
 #include "quality/grid_metrics.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 using namespace ihw::apps;
 
 int main(int argc, char** argv) {
   common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   CpParams p;
   p.grid = static_cast<std::size_t>(args.get_int("grid", 128));
   p.natoms = static_cast<std::size_t>(args.get_int("atoms", 192));

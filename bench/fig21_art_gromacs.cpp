@@ -9,12 +9,15 @@
 #include "common/args.h"
 #include "common/table.h"
 #include "power/nfm.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 using namespace ihw::apps;
 
 int main(int argc, char** argv) {
   common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   const power::SynthesisDb db;
   const double dw64 = db.multiplier(MulMode::Precise, 0, true).power_mw;
 

@@ -3,10 +3,16 @@
 // host-CPU cost of the bit-level models, not the modeled hardware).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "arith/datapath.h"
 #include "arith/mitchell.h"
+#include "common/args.h"
 #include "common/rng.h"
+#include "gpu/simreal.h"
+#include "gpu/simt.h"
 #include "ihw/ihw.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 
@@ -96,6 +102,53 @@ void BM_MitchellFixed(benchmark::State& state) {
 }
 BENCHMARK(BM_MitchellFixed);
 
+// Block-parallel SIMT throughput: one HotSpot-shaped stencil sweep through
+// the instrumented SimFloat path under the runtime scheduler. Arg = worker
+// count (1 = the exact serial gpu::launch path), so the reported times are a
+// direct serial-vs-parallel speedup measurement for the runtime.
+void BM_ParallelStencil(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr std::size_t kN = 512;
+  std::vector<float> in(kN * kN, 1.0f), out(kN * kN, 0.0f);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in[i] = 1.0f + static_cast<float>(i % 97) * 0.01f;
+  const ihw::gpu::Dim3 block(16, 16);
+  const ihw::gpu::Dim3 grid(kN / 16, kN / 16);
+
+  ihw::gpu::FpContext ctx(IhwConfig::all_imprecise());
+  ihw::gpu::ScopedContext scope(ctx);
+  for (auto _ : state) {
+    ihw::runtime::parallel_launch(
+        grid, block,
+        [&](const ihw::gpu::ThreadCtx& tc) {
+          using ihw::gpu::SimFloat;
+          const std::size_t x = tc.global_x(), y = tc.global_y();
+          const std::size_t xe = x + 1 < kN ? x + 1 : x;
+          const std::size_t ys = y + 1 < kN ? y + 1 : y;
+          const SimFloat c = ihw::gpu::gload(in[y * kN + x]);
+          const SimFloat e = ihw::gpu::gload(in[y * kN + xe]);
+          const SimFloat s = ihw::gpu::gload(in[ys * kN + x]);
+          const SimFloat v = (c + e + s) * rcp(SimFloat(3.0f));
+          ihw::gpu::gstore(out[y * kN + x], static_cast<float>(v.value()));
+        },
+        threads);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kN * kN));
+}
+BENCHMARK(BM_ParallelStencil)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  // --threads=N sets the default worker count for anything not using an
+  // explicit per-benchmark count, and is echoed into the report context.
+  ihw::common::Args args(argc, argv);
+  const int threads = ihw::runtime::configure_threads_from_args(args);
+  benchmark::AddCustomContext("runtime_threads", std::to_string(threads));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

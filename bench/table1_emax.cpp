@@ -7,11 +7,14 @@
 #include "common/table.h"
 #include "error/analytic.h"
 #include "error/characterize.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 
 int main(int argc, char** argv) {
   common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   const auto samples =
       static_cast<std::uint64_t>(args.get_int("samples", 2'000'000));
 

@@ -6,11 +6,16 @@
 
 #include "common/table.h"
 #include "power/nfm.h"
+#include "common/args.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 using power::OpKind;
 
-int main() {
+int main(int argc, char** argv) {
+  common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   const power::SynthesisDb db;
   const struct {
     OpKind op;

@@ -6,10 +6,15 @@
 #include "arith/datapath.h"
 #include "common/table.h"
 #include "power/nfm.h"
+#include "common/args.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 
-int main() {
+int main(int argc, char** argv) {
+  common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   const power::SynthesisDb db;
   const auto add = db.int_adder25();
   const auto mul = db.int_mult24();

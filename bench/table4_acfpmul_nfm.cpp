@@ -5,10 +5,15 @@
 
 #include "common/table.h"
 #include "power/nfm.h"
+#include "common/args.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 
-int main() {
+int main(int argc, char** argv) {
+  common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   const power::SynthesisDb db;
   common::Table t({"configuration", "power(mW)", "latency(ns)", "norm. area"});
   auto row = [&](const char* name, power::UnitMetrics m) {

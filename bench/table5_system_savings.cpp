@@ -9,12 +9,15 @@
 #include "apps/srad.h"
 #include "common/args.h"
 #include "common/table.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 using namespace ihw::apps;
 
 int main(int argc, char** argv) {
   common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   const double scale = args.get_double("scale", 1.0);
 
   common::Table t({"application", "config", "sys saving", "paper",

@@ -11,6 +11,8 @@
 #include "apps/runner.h"
 #include "apps/sphinx.h"
 #include "common/table.h"
+#include "common/args.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 using namespace ihw::apps;
@@ -30,7 +32,10 @@ std::string count_str(std::uint64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   common::Table t({"benchmark", "precision", "fp mults", "quality metric",
                    "domain"});
 

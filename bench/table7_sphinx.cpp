@@ -7,6 +7,7 @@
 #include "apps/sphinx.h"
 #include "common/args.h"
 #include "common/table.h"
+#include "runtime/parallel.h"
 
 using namespace ihw;
 using namespace ihw::apps;
@@ -23,6 +24,8 @@ int run_cfg(const SphinxParams& p, const SphinxCorpus& c, MulMode m, int tr) {
 
 int main(int argc, char** argv) {
   common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
   SphinxParams p;
   const auto corpus =
       make_sphinx_corpus(p, static_cast<std::uint64_t>(args.get_int("seed", 42)));

@@ -1,8 +1,10 @@
 #include "apps/art.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
+#include "runtime/parallel.h"
 
 namespace ihw::apps {
 namespace {
@@ -68,9 +70,12 @@ ArtResult run_art(const ArtParams& p, const ArtInput& input) {
   }
   norm_w = std::sqrt(norm_w);
 
-  ArtResult res;
-  double best = -1.0;
-  for (std::size_t r0 = 0; r0 <= span; ++r0) {
+  // Placements are independent (each writes only its own vigilance cell), so
+  // rows of the search grid fan out over the parallel runtime; the winning
+  // placement is then selected serially in the exact row-major order the
+  // serial loop used, preserving its first-strict-maximum tie-breaking.
+  std::vector<double> vigilance((span + 1) * (span + 1));
+  runtime::parallel_for(span + 1, [&](std::uint64_t r0) {
     for (std::size_t c0 = 0; c0 <= span; ++c0) {
       // Resonance test: normalized bottom-up activation of the category.
       Real dot_iw(0.0);
@@ -81,15 +86,22 @@ ArtResult run_art(const ArtParams& p, const ArtInput& input) {
           dot_iw += Real(ivd) * weights(r, c);
           norm_i += ivd * ivd;
         }
-      const double vig =
+      vigilance[static_cast<std::size_t>(r0) * (span + 1) + c0] =
           static_cast<double>(dot_iw) / (std::sqrt(norm_i) * norm_w);
+    }
+  });
+
+  ArtResult res;
+  double best = -1.0;
+  for (std::size_t r0 = 0; r0 <= span; ++r0)
+    for (std::size_t c0 = 0; c0 <= span; ++c0) {
+      const double vig = vigilance[r0 * (span + 1) + c0];
       if (vig > best) {
         best = vig;
         res.found_r = r0;
         res.found_c = c0;
       }
     }
-  }
   res.vigilance = best;
   res.correct = res.found_r == input.true_r && res.found_c == input.true_c;
   return res;

@@ -2,6 +2,7 @@
 
 #include "common/rng.h"
 #include "gpu/simt.h"
+#include "runtime/parallel.h"
 
 namespace ihw::apps {
 namespace {
@@ -35,7 +36,7 @@ common::GridF run_cp(const CpParams& p, const std::vector<CpAtom>& atoms) {
   const gpu::Dim3 grid(static_cast<unsigned>((n + 15) / 16),
                        static_cast<unsigned>((n + 15) / 16));
 
-  gpu::launch(grid, block, [&](const gpu::ThreadCtx& tc) {
+  runtime::parallel_launch(grid, block, [&](const gpu::ThreadCtx& tc) {
     const std::size_t i = tc.global_x();
     const std::size_t j = tc.global_y();
     if (i >= n || j >= n) return;

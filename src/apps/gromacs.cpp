@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "runtime/parallel.h"
 
 namespace ihw::apps {
 namespace {
@@ -71,6 +72,11 @@ MdResult run_md(const MdParams& p, const MdState& initial) {
   };
 
   Real potential(0.0);
+  // The half-loop force kernel stays serial: the symmetric i/j accumulation
+  // order is part of the observable floating-point result (fx[j] receives
+  // contributions interleaved with other pairs), so block-parallelizing it
+  // would break the bit-identity contract of the runtime. The per-particle
+  // integration loops below are independent and do fan out.
   auto compute_forces = [&]() {
     for (std::size_t i = 0; i < n; ++i) fx[i] = fy[i] = fz[i] = Real(0.0);
     potential = Real(0.0);
@@ -112,22 +118,26 @@ MdResult run_md(const MdParams& p, const MdState& initial) {
   double pot_sum = 0.0, kin_sum = 0.0;
   int samples = 0;
   for (int step = 0; step < p.steps; ++step) {
-    for (std::size_t i = 0; i < n; ++i) {
+    runtime::parallel_for(n, [&](std::uint64_t i) {
       vx[i] += half_dt * fx[i];
       vy[i] += half_dt * fy[i];
       vz[i] += half_dt * fz[i];
       x[i] = wrap(x[i] + dt * vx[i]);
       y[i] = wrap(y[i] + dt * vy[i]);
       z[i] = wrap(z[i] + dt * vz[i]);
-    }
+    });
     compute_forces();
-    Real kinetic(0.0);
-    for (std::size_t i = 0; i < n; ++i) {
+    runtime::parallel_for(n, [&](std::uint64_t i) {
       vx[i] += half_dt * fx[i];
       vy[i] += half_dt * fy[i];
       vz[i] += half_dt * fz[i];
+    });
+    // Kinetic-energy reduction: serial in ascending i so the accumulation
+    // order (and thus the imprecise-arithmetic result) matches the serial
+    // path exactly.
+    Real kinetic(0.0);
+    for (std::size_t i = 0; i < n; ++i)
       kinetic += vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i];
-    }
     if (step >= p.steps / 2) {
       pot_sum += static_cast<double>(potential) / static_cast<double>(n);
       kin_sum += 0.5 * static_cast<double>(kinetic) / static_cast<double>(n);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "runtime/parallel.h"
 
 namespace ihw::apps {
 namespace {
@@ -117,7 +118,7 @@ common::GridF run_hotspot(const HotspotParams& p, const HotspotInput& input) {
                        static_cast<unsigned>((rows + 15) / 16));
 
   for (int it = 0; it < p.iterations; ++it) {
-    gpu::launch(grid, block, [&](const gpu::ThreadCtx& tc) {
+    runtime::parallel_launch(grid, block, [&](const gpu::ThreadCtx& tc) {
       const std::size_t c = tc.global_x();
       const std::size_t r = tc.global_y();
       if (r >= rows || c >= cols) return;
@@ -192,7 +193,7 @@ common::GridF run_hotspot_tiled(const HotspotParams& p,
   };
 
   for (int it = 0; it < p.iterations; ++it) {
-    gpu::launch_blocks(grid, block, [&](const gpu::BlockCtx& blk) {
+    runtime::parallel_launch_blocks(grid, block, [&](const gpu::BlockCtx& blk) {
       std::vector<Real> tile(TB * TB, Real(0.0f));
       auto tix = [&](unsigned ty, unsigned tx) -> Real& {
         return tile[ty * TB + tx];

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "gpu/simt.h"
+#include "runtime/parallel.h"
 
 namespace ihw::apps {
 namespace {
@@ -186,7 +187,7 @@ common::RgbImage render_ray(const RayParams& p) {
   const float aspect =
       static_cast<float>(p.width) / static_cast<float>(p.height);
 
-  gpu::launch(grid, block, [&](const gpu::ThreadCtx& tc) {
+  runtime::parallel_launch(grid, block, [&](const gpu::ThreadCtx& tc) {
     const std::size_t x = tc.global_x();
     const std::size_t y = tc.global_y();
     if (x >= p.width || y >= p.height) return;

@@ -6,6 +6,7 @@
 #include "gpu/context.h"
 #include "gpu/wattch.h"
 #include "power/syspower.h"
+#include "runtime/parallel.h"
 
 namespace ihw::apps {
 
@@ -26,6 +27,22 @@ GpuRunReport analyze_gpu_run(const gpu::PerfCounters& counters,
 /// and returns the collected counters.
 template <typename Body>
 gpu::PerfCounters run_with_config(const ihw::IhwConfig& config, Body&& body) {
+  gpu::FpContext ctx(config);
+  gpu::ScopedContext scope(ctx);
+  body();
+  return ctx.counters();
+}
+
+/// As run_with_config, but pins the parallel runtime's worker count for the
+/// duration of `body`: threads == 1 forces the exact serial path, 0 keeps
+/// the process default (--threads / hardware concurrency). Counters from all
+/// workers arrive merged in deterministic shard order, so the returned
+/// PerfCounters are identical to a serial run.
+template <typename Body>
+gpu::PerfCounters run_with_config_parallel(const ihw::IhwConfig& config,
+                                           int threads, Body&& body) {
+  runtime::ScopedThreads scoped(threads > 0 ? threads
+                                            : runtime::default_threads());
   gpu::FpContext ctx(config);
   gpu::ScopedContext scope(ctx);
   body();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "runtime/parallel.h"
 
 namespace ihw::apps {
 namespace {
@@ -80,7 +81,11 @@ SphinxResult run_sphinx(const SphinxParams& p, const SphinxCorpus& corpus) {
   res.recognized.resize(static_cast<std::size_t>(p.vocab), -1);
 
   const Real half(0.5);
-  for (int spoken = 0; spoken < p.vocab; ++spoken) {
+  // Each utterance is scored against the whole vocabulary independently
+  // (only recognized[spoken] is written), so utterances fan out over the
+  // parallel runtime; the accuracy tally happens serially afterwards.
+  runtime::parallel_for(static_cast<std::uint64_t>(p.vocab), [&](std::uint64_t sp) {
+    const int spoken = static_cast<int>(sp);
     const auto& u = corpus.utterances[static_cast<std::size_t>(spoken)];
     double best_score = -1e300;
     int best_word = -1;
@@ -109,8 +114,10 @@ SphinxResult run_sphinx(const SphinxParams& p, const SphinxCorpus& corpus) {
       }
     }
     res.recognized[static_cast<std::size_t>(spoken)] = best_word;
-    if (best_word == spoken) ++res.correct;
-  }
+  });
+  for (int spoken = 0; spoken < p.vocab; ++spoken)
+    if (res.recognized[static_cast<std::size_t>(spoken)] == spoken)
+      ++res.correct;
   return res;
 }
 

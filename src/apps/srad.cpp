@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "gpu/simt.h"
+#include "runtime/parallel.h"
 
 namespace ihw::apps {
 namespace {
@@ -97,7 +98,7 @@ common::GridF run_srad(const SradParams& p, const common::GridF& image) {
         (var / (mean * mean)) * (1.0 + var / (mean * mean))));
 
     // Kernel 1: directional derivatives + diffusion coefficient.
-    gpu::launch(grid, block, [&](const gpu::ThreadCtx& tc) {
+    runtime::parallel_launch(grid, block, [&](const gpu::ThreadCtx& tc) {
       const std::size_t c = tc.global_x();
       const std::size_t r = tc.global_y();
       if (r >= rows || c >= cols) return;
@@ -132,7 +133,7 @@ common::GridF run_srad(const SradParams& p, const common::GridF& image) {
     });
 
     // Kernel 2: divergence update.
-    gpu::launch(grid, block, [&](const gpu::ThreadCtx& tc) {
+    runtime::parallel_launch(grid, block, [&](const gpu::ThreadCtx& tc) {
       const std::size_t c = tc.global_x();
       const std::size_t r = tc.global_y();
       if (r >= rows || c >= cols) return;
@@ -199,7 +200,7 @@ common::GridF run_srad_tiled(const SradParams& p, const common::GridF& image) {
         (var / (mean * mean)) * (1.0 + var / (mean * mean))));
 
     // Kernel 1, tiled: stage a haloed J tile per block, barrier, compute.
-    gpu::launch_blocks(grid, block, [&](const gpu::BlockCtx& blk) {
+    runtime::parallel_launch_blocks(grid, block, [&](const gpu::BlockCtx& blk) {
       std::vector<Real> tile(TB * TB, Real(0.0f));
       auto tix = [&](unsigned ty, unsigned tx) -> Real& {
         return tile[ty * TB + tx];
@@ -251,7 +252,7 @@ common::GridF run_srad_tiled(const SradParams& p, const common::GridF& image) {
     });
 
     // Kernel 2 unchanged (its reuse is modest).
-    gpu::launch(grid, block, [&](const gpu::ThreadCtx& tc) {
+    runtime::parallel_launch(grid, block, [&](const gpu::ThreadCtx& tc) {
       const std::size_t c = tc.global_x();
       const std::size_t r = tc.global_y();
       if (r >= rows || c >= cols) return;

@@ -41,6 +41,10 @@ double Args::get_double(const std::string& key, double def) const {
   return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
 }
 
+int Args::threads() const {
+  return static_cast<int>(get_int("threads", 0));
+}
+
 bool Args::get_bool(const std::string& key, bool def) const {
   auto it = kv_.find(key);
   if (it == kv_.end()) return def;

@@ -18,6 +18,11 @@ class Args {
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;
 
+  /// The shared `--threads=N` flag of every bench binary: worker count for
+  /// the parallel runtime. 0 (or absent) means hardware concurrency; 1 is
+  /// the exact serial fallback. Results are bit-identical for any value.
+  int threads() const;
+
   /// Positional (non `--`) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -1,10 +1,13 @@
 #include "error/characterize.h"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "fpcore/float_bits.h"
 #include "ihw/ihw.h"
 #include "qmc/sobol.h"
+#include "runtime/parallel.h"
 
 namespace ihw::error {
 namespace {
@@ -20,28 +23,15 @@ T scatter(double u, double v, int exp_spread) {
   return static_cast<T>(std::ldexp(mant, e));
 }
 
+/// One quasi-MC sample of the unit under test: maps the Sobol point p to
+/// operands and evaluates both the exact and the approximate implementation.
 template <typename T>
-CharResult run(UnitKind kind, int param, std::uint64_t samples) {
-  CharResult res{to_string(kind) + (param ? "(" + std::to_string(param) + ")" : ""),
-                 {}, ErrorPmf{}};
-  const bool unary = kind == UnitKind::Rcp || kind == UnitKind::Rsqrt ||
-                     kind == UnitKind::Sqrt || kind == UnitKind::Log2 ||
-                     kind == UnitKind::Exp2;
-  const bool ternary = kind == UnitKind::Fma;
-  // The adder needs exponent spread to hit every d-vs-TH case; multipliers
-  // and SFUs are characterized over [1,2)x[1,2) as in Ch. 4.2 (their error
-  // is exponent-invariant).
-  const int spread =
-      (kind == UnitKind::FpAdd || kind == UnitKind::FpSub) ? 12 : 0;
-
-  qmc::Sobol sobol(ternary ? 6 : 4);
-  double p[6];
-  for (std::uint64_t i = 0; i < samples; ++i) {
-    sobol.next(p);
-    const T a = scatter<T>(p[0], p[1], spread);
-    const T b = scatter<T>(p[2], p[3], spread);
-    double exact = 0.0, approx = 0.0;
-    switch (kind) {
+std::pair<double, double> sample_unit(UnitKind kind, int param, int spread,
+                                      const double* p) {
+  const T a = scatter<T>(p[0], p[1], spread);
+  const T b = scatter<T>(p[2], p[3], spread);
+  double exact = 0.0, approx = 0.0;
+  switch (kind) {
       case UnitKind::FpAdd:
         exact = static_cast<double>(a) + static_cast<double>(b);
         approx = static_cast<double>(ifp_add(a, b, param ? param : kDefaultAddTh));
@@ -96,16 +86,66 @@ CharResult run(UnitKind kind, int param, std::uint64_t samples) {
         exact = static_cast<double>(a) * static_cast<double>(b);
         approx = static_cast<double>(acfp_mul(a, b, AcfpPath::Full, param));
         break;
-      case UnitKind::BitTrunc:
-        exact = static_cast<double>(a) * static_cast<double>(b);
-        approx = static_cast<double>(trunc_mul(a, b, param));
-        break;
-    }
-    (void)unary;  // unary kinds simply ignore operand b
-    res.stats.observe(exact, approx);
-    if (exact != 0.0 && std::isfinite(exact))
-      res.pmf.observe_rel_error(std::fabs(approx - exact) / std::fabs(exact));
+    case UnitKind::BitTrunc:
+      exact = static_cast<double>(a) * static_cast<double>(b);
+      approx = static_cast<double>(trunc_mul(a, b, param));
+      break;
   }
+  return {exact, approx};
+}
+
+// Chunk granularity of the parallel sweep. Fixed (never derived from the
+// thread count) so the accumulation stream fed to ErrorStats/ErrorPmf is
+// identical for every --threads value, including the serial path.
+constexpr std::uint64_t kCharChunk = 1 << 16;
+
+template <typename T>
+CharResult run(UnitKind kind, int param, std::uint64_t samples) {
+  // Built piecewise: chained operator+ trips the GCC 12 -Wrestrict false
+  // positive (see the matching note in common/args.cpp).
+  std::string label = to_string(kind);
+  if (param != 0) {
+    label += '(';
+    label += std::to_string(param);
+    label += ')';
+  }
+  CharResult res{std::move(label), {}, ErrorPmf{}};
+  const bool ternary = kind == UnitKind::Fma;
+  // The adder needs exponent spread to hit every d-vs-TH case; multipliers
+  // and SFUs are characterized over [1,2)x[1,2) as in Ch. 4.2 (their error
+  // is exponent-invariant). Unary kinds simply ignore operand b.
+  const int spread =
+      (kind == UnitKind::FpAdd || kind == UnitKind::FpSub) ? 12 : 0;
+  const int dims = ternary ? 6 : 4;
+
+  // Sample evaluation is pure, so chunks fan out over the parallel runtime
+  // (each worker seeks its own Sobol stream to the chunk offset in O(log n));
+  // the streaming statistics consume the (exact, approx) pairs on this
+  // thread in ascending sample order -- a deterministic ordered reduction
+  // that is bit-identical to the serial loop at any thread count.
+  using Chunk = std::vector<std::pair<double, double>>;
+  runtime::ordered_chunks<Chunk>(
+      samples, kCharChunk,
+      [&](std::uint64_t begin, std::uint64_t end) {
+        qmc::Sobol sobol(dims);
+        sobol.seek(begin);
+        Chunk out;
+        out.reserve(static_cast<std::size_t>(end - begin));
+        double p[6];
+        for (std::uint64_t i = begin; i < end; ++i) {
+          sobol.next(p);
+          out.push_back(sample_unit<T>(kind, param, spread, p));
+        }
+        return out;
+      },
+      [&](Chunk&& chunk) {
+        for (const auto& [exact, approx] : chunk) {
+          res.stats.observe(exact, approx);
+          if (exact != 0.0 && std::isfinite(exact))
+            res.pmf.observe_rel_error(std::fabs(approx - exact) /
+                                      std::fabs(exact));
+        }
+      });
   return res;
 }
 

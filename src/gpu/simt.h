@@ -5,6 +5,7 @@
 // barrier semantics); timing is modeled separately in timing.h from the
 // performance counters.
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -15,7 +16,11 @@ struct Dim3 {
   constexpr Dim3() = default;
   constexpr Dim3(unsigned x_, unsigned y_ = 1, unsigned z_ = 1)
       : x(x_), y(y_), z(z_) {}
-  constexpr unsigned count() const { return x * y * z; }
+  /// Total extent. Widened to 64 bits: x * y * z in `unsigned` overflows for
+  /// production-scale grids (e.g. 65536 x 65536 blocks).
+  constexpr std::uint64_t count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
 };
 
 /// Per-thread coordinates, as a CUDA kernel sees them.

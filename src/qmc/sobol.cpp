@@ -58,9 +58,22 @@ void Sobol::next(double* out) {
   for (int d = 0; d < dims_; ++d) x_[d] ^= dir_[d][c];
 }
 
-void Sobol::skip(std::uint64_t n) {
-  double tmp[kMaxDims];
-  for (std::uint64_t i = 0; i < n; ++i) next(tmp);
+void Sobol::seek(std::uint64_t index) {
+  // After n Gray-code steps the state is XOR_{k set in gray(n)} v_k, because
+  // step i flips exactly the direction number of bit countr_one(i), and each
+  // bit k has been flipped an odd number of times iff bit k of n^(n>>1) is
+  // set. The sequence uses 32-bit direction numbers, so the state (though
+  // not the index) wraps with period 2^32.
+  const std::uint64_t gray = index ^ (index >> 1);
+  for (int d = 0; d < dims_; ++d) {
+    std::uint32_t x = 0;
+    for (int k = 0; k < kBits; ++k)
+      if ((gray >> k) & 1u) x ^= dir_[d][k];
+    x_[d] = x;
+  }
+  index_ = index;
 }
+
+void Sobol::skip(std::uint64_t n) { seek(index_ + n); }
 
 }  // namespace ihw::qmc

@@ -29,7 +29,14 @@ class Sobol {
     return p;
   }
 
-  /// Skips ahead n points (O(n); used only for small offsets in tests).
+  /// Repositions the generator so the next() call emits point `index` of the
+  /// sequence, in O(log index) via the Gray-code closed form (the state after
+  /// n steps is the XOR of the direction numbers selected by gray(n)). This
+  /// is what lets the parallel error sweeps start a chunk mid-stream at the
+  /// cost of a few XORs instead of replaying the prefix.
+  void seek(std::uint64_t index);
+
+  /// Skips ahead n points (seek(index + n); O(log n)).
   void skip(std::uint64_t n);
 
  private:

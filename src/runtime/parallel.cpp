@@ -1,0 +1,117 @@
+#include "runtime/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/args.h"
+#include "runtime/thread_pool.h"
+
+namespace ihw::runtime {
+namespace {
+
+std::atomic<int> g_default_threads{0};  // 0 = hardware_threads()
+
+// Set while a shard body runs, so nested parallel regions degrade to inline
+// serial execution instead of blocking a pool worker on the pool.
+thread_local bool t_in_shard = false;
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int default_threads() {
+  const int n = g_default_threads.load(std::memory_order_relaxed);
+  return n <= 0 ? hardware_threads() : n;
+}
+
+void set_default_threads(int n) {
+  g_default_threads.store(n <= 0 ? 0 : n, std::memory_order_relaxed);
+}
+
+int configure_threads_from_args(const common::Args& args) {
+  set_default_threads(static_cast<int>(args.get_int("threads", 0)));
+  return default_threads();
+}
+
+namespace detail {
+
+int resolve_shards(int threads, std::uint64_t work) {
+  if (work == 0) return 1;
+  std::uint64_t n =
+      static_cast<std::uint64_t>(threads <= 0 ? default_threads() : threads);
+  if (n > work) n = work;
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void run_sharded(int shards, const std::function<void(int)>& body) {
+  gpu::FpContext* caller = gpu::FpContext::current();
+
+  if (shards <= 1 || t_in_shard) {
+    for (int s = 0; s < shards; ++s) body(s);
+    return;
+  }
+
+  // Per-shard context clones; merged into the caller's context below, in
+  // shard order, so the merge result never depends on completion order.
+  std::vector<std::unique_ptr<gpu::FpContext>> shard_ctx(
+      static_cast<std::size_t>(shards));
+
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining = 0;
+    std::exception_ptr error;
+  } sync;
+  sync.remaining = shards - 1;
+
+  auto run_one = [&](int s) {
+    t_in_shard = true;
+    try {
+      if (caller != nullptr) {
+        auto& ctx = shard_ctx[static_cast<std::size_t>(s)];
+        ctx = std::make_unique<gpu::FpContext>(caller->config());
+        gpu::ScopedContext scope(*ctx);
+        body(s);
+      } else {
+        body(s);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(sync.mu);
+      if (!sync.error) sync.error = std::current_exception();
+    }
+    t_in_shard = false;
+  };
+
+  ThreadPool& pool = ThreadPool::global();
+  pool.ensure_workers(shards - 1);
+  for (int s = 1; s < shards; ++s) {
+    pool.submit([&, s] {
+      run_one(s);
+      std::lock_guard<std::mutex> lock(sync.mu);
+      if (--sync.remaining == 0) sync.cv.notify_one();
+    });
+  }
+  run_one(0);  // the caller takes the first shard itself
+  {
+    std::unique_lock<std::mutex> lock(sync.mu);
+    sync.cv.wait(lock, [&] { return sync.remaining == 0; });
+  }
+
+  if (caller != nullptr) {
+    for (int s = 0; s < shards; ++s) {
+      const auto& ctx = shard_ctx[static_cast<std::size_t>(s)];
+      if (ctx) caller->counters() += ctx->counters();
+    }
+  }
+  if (sync.error) std::rethrow_exception(sync.error);
+}
+
+}  // namespace detail
+}  // namespace ihw::runtime

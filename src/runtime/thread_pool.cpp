@@ -1,0 +1,57 @@
+#include "runtime/thread_pool.h"
+
+#include <utility>
+
+namespace ihw::runtime {
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::ensure_workers(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < n && !stop_)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  // Function-local static: started on first parallel region, torn down after
+  // main() exits (workers idle unless jobs are queued, so the late teardown
+  // is free).
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ihw::runtime

@@ -1,0 +1,51 @@
+#pragma once
+// Lazily started worker pool backing the block-granular parallel scheduler
+// (parallel.h). Workers are plain job consumers: they know nothing about
+// SIMT blocks or FpContexts -- the scheduler layers per-shard contexts and
+// the deterministic counter merge on top.
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ihw::runtime {
+
+/// Fixed-purpose thread pool: jobs are enqueued with submit() and executed
+/// by worker threads in FIFO dispatch order (completion order is of course
+/// unspecified). Workers are spawned lazily -- constructing the pool costs
+/// nothing until the first submit(), and ensure_workers() grows the worker
+/// set on demand; the pool never shrinks until destruction.
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  explicit ThreadPool(int threads) { ensure_workers(threads); }
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of live worker threads.
+  int size() const;
+
+  /// Grows the worker set to at least `n` threads (no-op if already there).
+  void ensure_workers(int n);
+
+  /// Enqueues `fn` for execution on some worker thread.
+  void submit(std::function<void()> fn);
+
+  /// The process-wide pool shared by every parallel_* entry point.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace ihw::runtime

@@ -70,6 +70,24 @@ TEST(Sobol, PairwiseTwoDimensionalUniformity) {
   for (int c : cells) ASSERT_EQ(c, 1);
 }
 
+// seek() must land on the exact state the step-by-step recurrence reaches --
+// the parallel error sweeps rely on this to start chunks mid-stream.
+TEST(Sobol, SeekMatchesSequentialAdvance) {
+  const std::uint64_t offsets[] = {0, 1, 2, 1023, 65536, 65536 * 3 + 17};
+  for (std::uint64_t off : offsets) {
+    Sobol stepped(4), seeked(4);
+    double ps[4], pq[4];
+    for (std::uint64_t i = 0; i < off; ++i) stepped.next(ps);
+    seeked.seek(off);
+    for (int i = 0; i < 8; ++i) {
+      stepped.next(ps);
+      seeked.next(pq);
+      for (int d = 0; d < 4; ++d)
+        ASSERT_EQ(ps[d], pq[d]) << "offset " << off << " dim " << d;
+    }
+  }
+}
+
 TEST(Sobol, SkipAdvancesSequence) {
   Sobol a(2), b(2);
   double pa[2], pb[2];
