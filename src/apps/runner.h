@@ -49,4 +49,28 @@ gpu::PerfCounters run_with_config_parallel(const ihw::IhwConfig& config,
   return ctx.counters();
 }
 
+/// Result of a guarded run: performance counters plus the fault/guard
+/// observability counters (injected faults, guard trips, degradations,
+/// retried epochs) merged in shard order.
+struct GuardedRunResult {
+  gpu::PerfCounters perf;
+  fault::FaultCounters faults;
+};
+
+/// As run_with_config_parallel, for configurations carrying a FaultConfig /
+/// GuardPolicy: returns the merged FaultCounters alongside the perf
+/// counters. The guard's block-granular retry-in-precise mode
+/// (GuardPolicy::retry_epoch) takes effect here with no app changes --
+/// tripped blocks re-execute on the precise path inside the launch.
+template <typename Body>
+GuardedRunResult run_guarded_parallel(const ihw::IhwConfig& config,
+                                      int threads, Body&& body) {
+  runtime::ScopedThreads scoped(threads > 0 ? threads
+                                            : runtime::default_threads());
+  gpu::FpContext ctx(config);
+  gpu::ScopedContext scope(ctx);
+  body();
+  return {ctx.counters(), ctx.fault_counters()};
+}
+
 }  // namespace ihw::apps

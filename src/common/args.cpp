@@ -1,5 +1,6 @@
 #include "common/args.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string_view>
 
@@ -33,16 +34,38 @@ std::string Args::get(const std::string& key, const std::string& def) const {
 
 long long Args::get_int(const std::string& key, long long def) const {
   auto it = kv_.find(key);
-  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == kv_.end()) return def;
+  const std::string& s = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0')
+    throw ArgError("invalid integer for --" + key + ": '" + s + "'");
+  if (errno == ERANGE)
+    throw ArgError("value out of range for --" + key + ": '" + s + "'");
+  return v;
 }
 
 double Args::get_double(const std::string& key, double def) const {
   auto it = kv_.find(key);
-  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == kv_.end()) return def;
+  const std::string& s = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0')
+    throw ArgError("invalid number for --" + key + ": '" + s + "'");
+  if (errno == ERANGE)
+    throw ArgError("value out of range for --" + key + ": '" + s + "'");
+  return v;
 }
 
 int Args::threads() const {
-  return static_cast<int>(get_int("threads", 0));
+  const long long v = get_int("threads", 0);
+  if (v < 0 || v > 1'000'000)
+    throw ArgError("--threads must be in [0, 1000000], got " +
+                   std::to_string(v));
+  return static_cast<int>(v);
 }
 
 bool Args::get_bool(const std::string& key, bool def) const {

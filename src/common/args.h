@@ -1,12 +1,22 @@
 #pragma once
 // Minimal `--key=value` / `--flag` argument parser shared by the bench and
 // example binaries. Unknown keys are collected so callers can warn.
+// Numeric accessors validate strictly: trailing garbage ("--threads=8x"),
+// non-numeric values ("--threads=abc"), and out-of-range magnitudes raise
+// ArgError naming the offending flag, instead of silently parsing to 0.
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace ihw::common {
+
+/// Raised on malformed or out-of-range flag values; what() names the flag.
+class ArgError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Args {
  public:
@@ -14,13 +24,16 @@ class Args {
 
   bool has(const std::string& key) const;
   std::string get(const std::string& key, const std::string& def) const;
+  /// Strictly-parsed decimal integer; throws ArgError on garbage/overflow.
   long long get_int(const std::string& key, long long def) const;
+  /// Strictly-parsed double; throws ArgError on garbage/overflow.
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;
 
   /// The shared `--threads=N` flag of every bench binary: worker count for
   /// the parallel runtime. 0 (or absent) means hardware concurrency; 1 is
   /// the exact serial fallback. Results are bit-identical for any value.
+  /// Throws ArgError when negative or absurd (> 1e6).
   int threads() const;
 
   /// Positional (non `--`) arguments in order.

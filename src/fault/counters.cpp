@@ -1,0 +1,64 @@
+#include "fault/counters.h"
+
+#include <sstream>
+
+namespace ihw::fault {
+
+std::uint64_t FaultCounters::total_injected() const {
+  std::uint64_t t = 0;
+  for (auto v : injected) t += v;
+  return t;
+}
+
+std::uint64_t FaultCounters::total_trips() const {
+  std::uint64_t t = 0;
+  for (auto v : guard_trips) t += v;
+  return t;
+}
+
+bool FaultCounters::any() const {
+  if (retried_epochs != 0) return true;
+  for (int i = 0; i < kNumUnitClasses; ++i) {
+    if (injected[i] || guard_trips[i] || degraded_epochs[i] ||
+        run_degradations[i])
+      return true;
+  }
+  return false;
+}
+
+void FaultCounters::reset() {
+  injected.fill(0);
+  guard_trips.fill(0);
+  degraded_epochs.fill(0);
+  run_degradations.fill(0);
+  retried_epochs = 0;
+}
+
+FaultCounters& FaultCounters::operator+=(const FaultCounters& o) {
+  for (int i = 0; i < kNumUnitClasses; ++i) {
+    injected[i] += o.injected[i];
+    guard_trips[i] += o.guard_trips[i];
+    degraded_epochs[i] += o.degraded_epochs[i];
+    run_degradations[i] += o.run_degradations[i];
+  }
+  retried_epochs += o.retried_epochs;
+  return *this;
+}
+
+std::string FaultCounters::summary() const {
+  if (!any()) return {};
+  std::ostringstream os;
+  os << "faults: injected=" << total_injected() << " trips=" << total_trips()
+     << " retried_epochs=" << retried_epochs;
+  for (int i = 0; i < kNumUnitClasses; ++i) {
+    if (!(injected[i] || guard_trips[i] || degraded_epochs[i] ||
+          run_degradations[i]))
+      continue;
+    os << " [" << to_string(static_cast<UnitClass>(i)) << ": inj="
+       << injected[i] << " trip=" << guard_trips[i] << " deg_ep="
+       << degraded_epochs[i] << (run_degradations[i] ? " OPEN" : "") << "]";
+  }
+  return os.str();
+}
+
+}  // namespace ihw::fault

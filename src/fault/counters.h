@@ -1,0 +1,44 @@
+#pragma once
+// Observability for the fault/guard subsystem: per-unit-class counts of
+// injected faults, guard trips, epoch-level degradations, run-level breaker
+// openings, plus retried epochs (blocks re-executed precise). Merged across
+// worker shards in ascending shard order right beside gpu::PerfCounters
+// (src/runtime/parallel.cpp), so totals are bit-identical at any --threads.
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "fault/spec.h"
+
+namespace ihw::fault {
+
+struct FaultCounters {
+  /// Faults injected into unit outputs, per class.
+  std::array<std::uint64_t, kNumUnitClasses> injected{};
+  /// Guard violations (screened results rejected), per class.
+  std::array<std::uint64_t, kNumUnitClasses> guard_trips{};
+  /// Epochs in which the class hit epoch_trip_limit and went precise for the
+  /// remainder of that epoch.
+  std::array<std::uint64_t, kNumUnitClasses> degraded_epochs{};
+  /// Run-level breaker openings (0 or 1 per class per run).
+  std::array<std::uint64_t, kNumUnitClasses> run_degradations{};
+  /// Epochs re-executed on the precise path (guard retry mode).
+  std::uint64_t retried_epochs = 0;
+
+  std::uint64_t operator[](UnitClass c) const {
+    return injected[static_cast<int>(c)];
+  }
+
+  std::uint64_t total_injected() const;
+  std::uint64_t total_trips() const;
+  bool any() const;
+
+  void reset();
+  FaultCounters& operator+=(const FaultCounters& o);
+
+  /// One-line report ("faults: injected=12 trips=3 [mul: 12/3] ...");
+  /// empty string when nothing happened, so callers can print untested.
+  std::string summary() const;
+};
+
+}  // namespace ihw::fault

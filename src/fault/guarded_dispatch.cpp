@@ -1,0 +1,33 @@
+#include "fault/guarded_dispatch.h"
+
+namespace ihw::fault {
+
+void GuardedDispatch::begin_epoch(std::uint64_t e) {
+  epoch_ = e;
+  epoch_tripped_ = false;
+  op_idx_.fill(0);
+  epoch_trips_.fill(0);
+  epoch_degraded_.fill(false);
+}
+
+void GuardedDispatch::end_launch() {
+  const GuardPolicy& g = config().guard;
+  if (!g.enabled) return;
+  for (int c = 0; c < kNumUnitClasses; ++c) {
+    if (!run_degraded_[c] &&
+        counters_.guard_trips[static_cast<std::size_t>(c)] >=
+            g.run_trip_limit) {
+      run_degraded_[c] = true;
+      ++counters_.run_degradations[static_cast<std::size_t>(c)];
+    }
+  }
+}
+
+GuardedDispatch GuardedDispatch::shard_clone() const {
+  GuardedDispatch copy(*this);
+  copy.counters_.reset();
+  copy.begin_epoch(0);
+  return copy;
+}
+
+}  // namespace ihw::fault

@@ -1,0 +1,247 @@
+#pragma once
+// GuardedDispatch: the fault-injecting, self-checking wrapper around
+// ihw::FpDispatch. Every imprecise result flows through three stages:
+//
+//   1. Injection -- a deterministic counter-based fault (injector.h) may
+//      corrupt the unit's output word, modelling a voltage-overscaling
+//      timing error in that unit class.
+//   2. Guard -- when enabled, the result is screened against the precise
+//      datapath: a non-finite output where the precise unit stays finite,
+//      or a relative deviation beyond GuardPolicy::tolerance, is a
+//      violation. Violations optionally recover to the precise value.
+//   3. Circuit breaker -- epoch_trip_limit violations within one epoch
+//      degrade the class to precise for the rest of that epoch;
+//      run_trip_limit accumulated violations open the breaker at the next
+//      launch boundary (end_launch) and the class stays precise for the
+//      remainder of the run. Launch-boundary evaluation keeps degradation
+//      decisions schedule-invariant (DESIGN.md §9).
+//
+// Precise units never fault: a disabled (precise-path) class models a unit
+// at nominal voltage, which is exactly why degradation restores fidelity.
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "fault/counters.h"
+#include "fault/injector.h"
+#include "fault/spec.h"
+#include "ihw/dispatch.h"
+
+namespace ihw::fault {
+
+class GuardedDispatch {
+ public:
+  GuardedDispatch() { refresh(); }
+  explicit GuardedDispatch(const IhwConfig& cfg) : base_(cfg) { refresh(); }
+
+  const IhwConfig& config() const { return base_.config(); }
+  /// Swaps the configuration; counters, epoch labelling, and breaker state
+  /// survive (ScopedPrecise toggles configs mid-run and must not erase them).
+  void set_config(const IhwConfig& cfg) {
+    base_.set_config(cfg);
+    refresh();
+  }
+
+  const FpDispatch& base() const { return base_; }
+  FaultCounters& counters() { return counters_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  /// Schedule-invariant stream label for the current unit of work (linear
+  /// block index / work-item index); resets the intra-epoch op counters and
+  /// the epoch-local breaker state.
+  void begin_epoch(std::uint64_t e);
+  /// True once any guard violation occurred in the current epoch.
+  bool epoch_tripped() const { return epoch_tripped_; }
+  /// True when the guard's retry mode wants this epoch re-run precise.
+  bool retry_epoch_needed() const {
+    return epoch_tripped_ && config().guard.retry_epoch;
+  }
+  void note_retry() { ++counters_.retried_epochs; }
+  /// Launch-boundary breaker evaluation: classes whose accumulated trips
+  /// reached run_trip_limit degrade to precise for the rest of the run.
+  /// Idempotent; called by every launch/parallel-for epilogue.
+  void end_launch();
+
+  bool run_degraded(UnitClass c) const {
+    return run_degraded_[static_cast<int>(c)];
+  }
+
+  /// A copy for a worker shard: same config and open breakers, zeroed
+  /// counters and epoch state (merged back via merge_counters, shard order).
+  GuardedDispatch shard_clone() const;
+  void merge_counters(const GuardedDispatch& shard) {
+    counters_ += shard.counters_;
+  }
+
+  // --- dispatch surface (mirrors FpDispatch) ------------------------------
+  template <typename T>
+  T add(T a, T b) {
+    if (!screened_) return base_.add(a, b);
+    return screen2(UnitClass::Add, config().add_enabled, a, b,
+                   [&] { return base_.add(a, b); }, [&] { return a + b; });
+  }
+
+  template <typename T>
+  T sub(T a, T b) {
+    if (!screened_) return base_.sub(a, b);
+    return screen2(UnitClass::Add, config().add_enabled, a, b,
+                   [&] { return base_.sub(a, b); }, [&] { return a - b; });
+  }
+
+  template <typename T>
+  T mul(T a, T b) {
+    if (!screened_) return base_.mul(a, b);
+    return screen2(UnitClass::Mul, config().mul_imprecise(), a, b,
+                   [&] { return base_.mul(a, b); }, [&] { return a * b; });
+  }
+
+  template <typename T>
+  T div(T a, T b) {
+    if (!screened_) return base_.div(a, b);
+    return screen2(UnitClass::Div, config().div_enabled, a, b,
+                   [&] { return base_.div(a, b); }, [&] { return a / b; });
+  }
+
+  template <typename T>
+  T rcp(T x) {
+    if (!screened_) return base_.rcp(x);
+    return screen1(UnitClass::Rcp, config().rcp_enabled, x,
+                   [&] { return base_.rcp(x); }, [&] { return T(1) / x; });
+  }
+
+  template <typename T>
+  T rsqrt(T x) {
+    if (!screened_) return base_.rsqrt(x);
+    return screen1(UnitClass::Rsqrt, config().rsqrt_enabled, x,
+                   [&] { return base_.rsqrt(x); },
+                   [&] { return T(1) / std::sqrt(x); });
+  }
+
+  template <typename T>
+  T sqrt(T x) {
+    if (!screened_) return base_.sqrt(x);
+    return screen1(UnitClass::Sqrt, config().sqrt_enabled, x,
+                   [&] { return base_.sqrt(x); },
+                   [&] { return std::sqrt(x); });
+  }
+
+  template <typename T>
+  T log2(T x) {
+    if (!screened_) return base_.log2(x);
+    return screen1(UnitClass::Log2, config().log2_enabled, x,
+                   [&] { return base_.log2(x); },
+                   [&] { return std::log2(x); });
+  }
+
+  template <typename T>
+  T exp2(T x) {
+    if (!screened_) return base_.exp2(x);
+    return screen1(UnitClass::Exp2, config().exp2_enabled, x,
+                   [&] { return base_.exp2(x); },
+                   [&] { return std::exp2(x); });
+  }
+
+  template <typename T>
+  T fma(T a, T b, T c) {
+    if (!screened_) return base_.fma(a, b, c);
+    if (!config().fma_enabled) {
+      // Decompose exactly as the base dispatcher does, but through the
+      // guarded mul/add so each stage is screened as its own unit.
+      return add(mul(a, b), c);
+    }
+    return screen3(UnitClass::Fma, true, a, b, c,
+                   [&] { return base_.fma(a, b, c); },
+                   [&] { return a * b + c; });
+  }
+
+ private:
+  void refresh() { screened_ = config().screened(); }
+
+  template <typename T, typename Imp, typename Pre>
+  T screen1(UnitClass uc, bool on, T x, Imp&& imp, Pre&& pre) {
+    return screen(uc, on, std::fabs(static_cast<double>(x)),
+                  static_cast<Imp&&>(imp), static_cast<Pre&&>(pre));
+  }
+  template <typename T, typename Imp, typename Pre>
+  T screen2(UnitClass uc, bool on, T a, T b, Imp&& imp, Pre&& pre) {
+    const double ma = std::fabs(static_cast<double>(a));
+    const double mb = std::fabs(static_cast<double>(b));
+    return screen(uc, on, ma > mb ? ma : mb, static_cast<Imp&&>(imp),
+                  static_cast<Pre&&>(pre));
+  }
+  template <typename T, typename Imp, typename Pre>
+  T screen3(UnitClass uc, bool on, T a, T b, T c, Imp&& imp, Pre&& pre) {
+    double m = std::fabs(static_cast<double>(a));
+    const double mb = std::fabs(static_cast<double>(b));
+    const double mc = std::fabs(static_cast<double>(c));
+    if (mb > m) m = mb;
+    if (mc > m) m = mc;
+    return screen(uc, on, m, static_cast<Imp&&>(imp), static_cast<Pre&&>(pre));
+  }
+
+  /// The three-stage pipeline described in the header comment. `max_in` is
+  /// the largest operand magnitude (guard scale floor); `imp`/`pre` produce
+  /// the imprecise and precise results of the same operation.
+  template <typename Imp, typename Pre>
+  auto screen(UnitClass uc, bool imprecise_on, double max_in, Imp&& imp,
+              Pre&& pre) -> decltype(imp()) {
+    using T = decltype(imp());
+    const int c = static_cast<int>(uc);
+    // A precise-path class sits at nominal voltage: no faults, no guard.
+    if (!imprecise_on || run_degraded_[c] || epoch_degraded_[c]) return pre();
+
+    T r = imp();
+    const std::uint32_t op = op_idx_[c]++;
+
+    const FaultSpec& fs = config().faults.units[c];
+    if (fs.active()) {
+      const std::uint64_t h = fault_hash(config().faults.seed, uc, epoch_, op);
+      if (fault_fires(h, fs.rate)) {
+        r = apply_fault(r, fs, splitmix64(h ^ 0xa5a5a5a5a5a5a5a5ull));
+        ++counters_.injected[c];
+      }
+    }
+
+    const GuardPolicy& g = config().guard;
+    if (g.enabled) {
+      const T p = pre();
+      const double pd = static_cast<double>(p);
+      const double rd = static_cast<double>(r);
+      bool violation = false;
+      if (std::isfinite(pd)) {
+        if (!std::isfinite(rd)) {
+          violation = true;  // NaN/Inf where the precise unit stays finite
+        } else {
+          const double scale = std::fabs(pd) + g.scale_floor * max_in;
+          violation = std::fabs(rd - pd) > g.tolerance * scale && scale > 0.0;
+        }
+      }
+      if (violation) {
+        ++counters_.guard_trips[c];
+        epoch_tripped_ = true;
+        if (++epoch_trips_[c] >= g.epoch_trip_limit) {
+          epoch_degraded_[c] = true;
+          ++counters_.degraded_epochs[c];
+        }
+        if (g.recover) r = p;
+      }
+    }
+    return r;
+  }
+
+  FpDispatch base_;
+  FaultCounters counters_;
+  bool screened_ = false;
+
+  // Epoch-local state (reset by begin_epoch).
+  std::uint64_t epoch_ = 0;
+  bool epoch_tripped_ = false;
+  std::array<std::uint32_t, kNumUnitClasses> op_idx_{};
+  std::array<int, kNumUnitClasses> epoch_trips_{};
+  std::array<bool, kNumUnitClasses> epoch_degraded_{};
+
+  // Run-level breaker state (sticky; updated only in end_launch).
+  std::array<bool, kNumUnitClasses> run_degraded_{};
+};
+
+}  // namespace ihw::fault

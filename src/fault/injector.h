@@ -1,0 +1,64 @@
+#pragma once
+// Deterministic, counter-based fault injector. Every fault decision is a
+// pure hash of (seed, unit class, epoch, intra-epoch op index) in
+// splitmix64 style -- there is no global RNG state to contend on and no
+// draw-order dependence, so the injected fault stream is bit-identical at
+// any --threads=N as long as the (epoch, op index) labelling of operations
+// is schedule-invariant (the execution runtime labels epochs with linear
+// block / work-item indices; see runtime/parallel.h).
+#include <cstdint>
+
+#include "fault/spec.h"
+#include "fpcore/float_bits.h"
+
+namespace ihw::fault {
+
+/// splitmix64 finalizer (Steele et al.): the standard 64-bit mix whose
+/// output is equidistributed over sequential inputs.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The per-operation fault hash. Distinct multipliers keep the three
+/// coordinates from aliasing (epoch+1 vs op+class etc.).
+inline std::uint64_t fault_hash(std::uint64_t seed, UnitClass cls,
+                                std::uint64_t epoch, std::uint32_t op_index) {
+  std::uint64_t x = seed;
+  x ^= splitmix64(epoch * 0xd1342543de82ef95ull);
+  x ^= splitmix64((static_cast<std::uint64_t>(op_index) << 8) |
+                  static_cast<std::uint64_t>(cls));
+  return splitmix64(x);
+}
+
+/// Maps the hash to a uniform double in [0, 1) and compares against `rate`.
+inline bool fault_fires(std::uint64_t hash, double rate) {
+  return static_cast<double>(hash >> 11) * 0x1.0p-53 < rate;
+}
+
+/// Corrupts `v` per the spec, choosing the affected bit from `hash`. The
+/// bit range is clamped to the type's width; the corrupted word is returned
+/// raw (no flush/renormalization): a timing error writes whatever pattern
+/// the latch captured, including subnormals, infinities, and NaNs.
+template <typename T>
+T apply_fault(T v, const FaultSpec& spec, std::uint64_t hash) {
+  using Bits = typename fp::FloatTraits<T>::Bits;
+  constexpr int kWidth = static_cast<int>(sizeof(Bits) * 8);
+  int lo = spec.bit_lo, hi = spec.bit_hi;
+  if (lo < 0) lo = 0;
+  if (hi > kWidth - 1) hi = kWidth - 1;
+  if (hi < lo) hi = lo;
+  const int bit = lo + static_cast<int>(hash % static_cast<std::uint64_t>(hi - lo + 1));
+  const Bits mask = Bits{1} << bit;
+  Bits w = fp::to_bits(v);
+  switch (spec.model) {
+    case FaultModel::BitFlip: w ^= mask; break;
+    case FaultModel::StuckAt0: w &= static_cast<Bits>(~mask); break;
+    case FaultModel::StuckAt1: w |= mask; break;
+  }
+  return fp::from_bits<T>(w);
+}
+
+}  // namespace ihw::fault

@@ -1,0 +1,131 @@
+#pragma once
+// Fault-model and guard-policy descriptors for the imprecise units. A
+// voltage-overscaled unit (the DVFS composition the paper sketches) does not
+// merely approximate -- past the critical-path margin it emits *timing
+// errors*: latches capture a wrong bit. FaultSpec describes that structural
+// failure per unit class (rate, affected bit range, corruption model);
+// GuardPolicy describes the online numeric guard that screens unit outputs
+// and degrades a misbehaving class to its precise path (circuit breaker).
+// Both ride inside ihw::IhwConfig so every app / bench / tuner path can carry
+// them without new plumbing. Header-only: ihw::IhwConfig embeds these types,
+// and ihw_units must not link back against ihw_fault.
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ihw::fault {
+
+/// Unit classes at the granularity the dispatcher routes (one per
+/// FpDispatch entry point; Add also covers sub, the same hardware adder).
+enum class UnitClass : int {
+  Add = 0,
+  Mul,
+  Fma,
+  Div,
+  Rcp,
+  Rsqrt,
+  Sqrt,
+  Log2,
+  Exp2,
+  kCount
+};
+inline constexpr int kNumUnitClasses = static_cast<int>(UnitClass::kCount);
+
+inline std::string to_string(UnitClass c) {
+  switch (c) {
+    case UnitClass::Add: return "add";
+    case UnitClass::Mul: return "mul";
+    case UnitClass::Fma: return "fma";
+    case UnitClass::Div: return "div";
+    case UnitClass::Rcp: return "rcp";
+    case UnitClass::Rsqrt: return "rsqrt";
+    case UnitClass::Sqrt: return "sqrt";
+    case UnitClass::Log2: return "log2";
+    case UnitClass::Exp2: return "exp2";
+    default: return "?";
+  }
+}
+
+/// How a timing error corrupts the captured output word.
+enum class FaultModel : int {
+  BitFlip = 0,  ///< the late-arriving bit toggles (XOR)
+  StuckAt0,     ///< the latch never rises (AND ~mask)
+  StuckAt1,     ///< the latch never falls (OR mask)
+};
+
+inline std::string to_string(FaultModel m) {
+  switch (m) {
+    case FaultModel::BitFlip: return "bitflip";
+    case FaultModel::StuckAt0: return "stuck@0";
+    case FaultModel::StuckAt1: return "stuck@1";
+  }
+  return "?";
+}
+
+/// Per-unit-class fault descriptor. Bits are indexed from the LSB of the
+/// output word (float32: fraction 0-22, exponent 23-30, sign 31); the range
+/// is clamped to the width of the type flowing through the unit.
+struct FaultSpec {
+  double rate = 0.0;  ///< per-operation fault probability in [0, 1]
+  FaultModel model = FaultModel::BitFlip;
+  int bit_lo = 0;
+  int bit_hi = 30;  ///< default range spans fraction + exponent (not sign)
+
+  bool active() const { return rate > 0.0; }
+};
+
+/// Fault configuration for a whole run: one spec per unit class plus the
+/// injection seed. Determinism contract: fault decisions hash
+/// (seed, class, epoch, intra-epoch op index) -- no global RNG state -- so
+/// an identical run fires identical faults at any --threads=N.
+struct FaultConfig {
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  std::array<FaultSpec, kNumUnitClasses> units{};
+
+  FaultSpec& operator[](UnitClass c) { return units[static_cast<int>(c)]; }
+  const FaultSpec& operator[](UnitClass c) const {
+    return units[static_cast<int>(c)];
+  }
+
+  bool any() const {
+    for (const auto& u : units)
+      if (u.active()) return true;
+    return false;
+  }
+
+  /// Every class faulted at the same rate under one model -- the uniform
+  /// voltage-overscaling sweep the ablation bench drives.
+  static FaultConfig uniform(double rate,
+                             std::uint64_t seed = 0x9e3779b97f4a7c15ull,
+                             FaultModel model = FaultModel::BitFlip) {
+    FaultConfig f;
+    f.seed = seed;
+    for (auto& u : f.units) {
+      u.rate = rate;
+      u.model = model;
+    }
+    return f;
+  }
+};
+
+/// Online numeric guard + circuit breaker. The guard screens each imprecise
+/// result against the precise datapath: non-finite output from a finite
+/// precise result, or relative deviation beyond `tolerance` (scaled by
+/// `scale_floor` of the operand magnitude so benign cancellation does not
+/// trip), counts as one violation. `epoch_trip_limit` violations inside one
+/// epoch (block / work item) degrade the class to precise for the rest of
+/// that epoch; once a class has accumulated `run_trip_limit` violations the
+/// breaker opens at the next launch boundary and the class stays precise for
+/// the remainder of the run. Launch-boundary evaluation is what keeps the
+/// breaker bit-deterministic at any thread count (see DESIGN.md §9).
+struct GuardPolicy {
+  bool enabled = false;
+  double tolerance = 0.5;    ///< max |imprecise-precise| / scale (legit emax is 25%)
+  double scale_floor = 0.01; ///< scale = |precise| + scale_floor * max|input|
+  int epoch_trip_limit = 4;
+  std::uint64_t run_trip_limit = 64;
+  bool recover = true;       ///< replace a violating result with the precise value
+  bool retry_epoch = false;  ///< re-run a tripped epoch (block) fully precise
+};
+
+}  // namespace ihw::fault

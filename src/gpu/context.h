@@ -3,6 +3,14 @@
 // precise/imprecise knob) to performance counters. SimReal arithmetic
 // consults the active thread-local context; when none is installed,
 // operations fall back to precise host arithmetic and are not counted.
+//
+// Since the fault/guard subsystem (src/fault/), the context routes every
+// operation through a fault::GuardedDispatch: injection, online screening,
+// and the per-unit circuit breaker all live there. With faults and guard
+// disabled (the default), the guarded wrapper is a single-branch
+// pass-through to the plain FpDispatch.
+#include "fault/counters.h"
+#include "fault/guarded_dispatch.h"
 #include "gpu/counters.h"
 #include "ihw/dispatch.h"
 
@@ -11,22 +19,44 @@ namespace ihw::gpu {
 class FpContext {
  public:
   FpContext() = default;
-  explicit FpContext(const IhwConfig& cfg) : dispatch_(cfg) {}
+  explicit FpContext(const IhwConfig& cfg) : guarded_(cfg) {}
 
-  const FpDispatch& dispatch() const { return dispatch_; }
-  void set_config(const IhwConfig& cfg) { dispatch_.set_config(cfg); }
-  const IhwConfig& config() const { return dispatch_.config(); }
+  /// Tag for cloning a caller context into a worker shard: configuration and
+  /// open circuit breakers carry over; perf/fault counters start at zero so
+  /// the shard-order merge adds them back exactly once.
+  struct ShardClone {};
+  FpContext(const FpContext& parent, ShardClone)
+      : guarded_(parent.guarded_.shard_clone()) {}
+
+  /// The raw (unguarded) dispatcher -- kept for read-only consumers like the
+  /// ISA interpreter; arithmetic issued by SimReal goes through guarded().
+  const FpDispatch& dispatch() const { return guarded_.base(); }
+  fault::GuardedDispatch& guarded() { return guarded_; }
+  const fault::GuardedDispatch& guarded() const { return guarded_; }
+
+  void set_config(const IhwConfig& cfg) { guarded_.set_config(cfg); }
+  const IhwConfig& config() const { return guarded_.config(); }
 
   PerfCounters& counters() { return counters_; }
   const PerfCounters& counters() const { return counters_; }
   void bump(OpClass c) { counters_.bump(c); }
+
+  fault::FaultCounters& fault_counters() { return guarded_.counters(); }
+  const fault::FaultCounters& fault_counters() const {
+    return guarded_.counters();
+  }
+
+  /// Epoch labelling + launch-boundary breaker hooks; called by the
+  /// execution runtime (gpu/simt.h serial paths, runtime/parallel.h).
+  void begin_epoch(std::uint64_t e) { guarded_.begin_epoch(e); }
+  void end_launch() { guarded_.end_launch(); }
 
   /// The context active on this thread, or nullptr.
   static FpContext* current();
 
  private:
   friend class ScopedContext;
-  FpDispatch dispatch_;
+  fault::GuardedDispatch guarded_;
   PerfCounters counters_;
 };
 
@@ -44,7 +74,9 @@ class ScopedContext {
 
 /// Temporarily forces the active context to precise arithmetic (used by
 /// kernels that keep a subset of operations exact, e.g. CP's atom-coordinate
-/// computation in Ch. 5.3.2). Operations are still counted.
+/// computation in Ch. 5.3.2, and by the guard's retry-in-precise mode).
+/// Operations are still counted. Breaker state and fault counters survive
+/// the swap (GuardedDispatch::set_config keeps them).
 class ScopedPrecise {
  public:
   ScopedPrecise() : ctx_(FpContext::current()) {

@@ -1,0 +1,42 @@
+#pragma once
+// Epoch labelling for the fault/guard subsystem. An *epoch* is the smallest
+// schedule-invariant unit of work -- a block of a launch, one parallel_for
+// element, one ordered_chunks chunk -- identified by its linear index in the
+// launch's own geometry. Both the serial paths (gpu/simt.h) and the sharded
+// paths (runtime/parallel.h) label work through these helpers, which is what
+// makes the counter-based fault stream and the guard's epoch-local breaker
+// bit-identical at any --threads=N.
+#include <cstdint>
+
+#include "gpu/context.h"
+
+namespace ihw::gpu {
+
+/// Runs one epoch's body under its schedule-invariant label. When the active
+/// context's guard is in retry mode and the epoch trips, the body re-runs
+/// fully precise (the block-granular retry-in-precise mode); the rerun's
+/// operations are counted again, identically in serial and parallel runs.
+template <typename Body>
+inline void run_epoch(std::uint64_t index, Body&& body) {
+  FpContext* c = FpContext::current();
+  if (c == nullptr) {
+    body();
+    return;
+  }
+  c->begin_epoch(index);
+  body();
+  if (c->guarded().retry_epoch_needed()) {
+    c->guarded().note_retry();
+    ScopedPrecise precise;
+    body();
+  }
+}
+
+/// Launch epilogue: evaluates the run-level circuit breaker on the calling
+/// thread's context. Idempotent -- parallel wrappers that delegate their
+/// serial path to gpu::launch may invoke it twice without double-counting.
+inline void finish_launch() {
+  if (FpContext* c = FpContext::current()) c->end_launch();
+}
+
+}  // namespace ihw::gpu

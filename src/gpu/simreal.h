@@ -1,9 +1,11 @@
 #pragma once
 // SimReal<T>: an instrumented real scalar. Arithmetic routes through the
-// active FpContext's dispatcher (precise or imprecise per the IhwConfig
-// knob) and bumps the matching performance counter -- the software analogue
-// of running the kernel on GPGPU-Sim with the modified functional units.
-// Without an active context, operations are precise and uncounted.
+// active FpContext's *guarded* dispatcher (precise or imprecise per the
+// IhwConfig knob, with fault injection and online guarding per its
+// fault/guard descriptors) and bumps the matching performance counter --
+// the software analogue of running the kernel on GPGPU-Sim with the
+// modified functional units. Without an active context, operations are
+// precise and uncounted.
 #include <cmath>
 
 #include "gpu/context.h"
@@ -28,28 +30,28 @@ class SimReal {
   friend SimReal operator+(SimReal a, SimReal b) {
     if (auto* c = FpContext::current()) {
       c->bump(OpClass::FAdd);
-      return SimReal(c->dispatch().add(a.v_, b.v_));
+      return SimReal(c->guarded().add(a.v_, b.v_));
     }
     return SimReal(a.v_ + b.v_);
   }
   friend SimReal operator-(SimReal a, SimReal b) {
     if (auto* c = FpContext::current()) {
       c->bump(OpClass::FAdd);
-      return SimReal(c->dispatch().sub(a.v_, b.v_));
+      return SimReal(c->guarded().sub(a.v_, b.v_));
     }
     return SimReal(a.v_ - b.v_);
   }
   friend SimReal operator*(SimReal a, SimReal b) {
     if (auto* c = FpContext::current()) {
       c->bump(OpClass::FMul);
-      return SimReal(c->dispatch().mul(a.v_, b.v_));
+      return SimReal(c->guarded().mul(a.v_, b.v_));
     }
     return SimReal(a.v_ * b.v_);
   }
   friend SimReal operator/(SimReal a, SimReal b) {
     if (auto* c = FpContext::current()) {
       c->bump(OpClass::FDiv);
-      return SimReal(c->dispatch().div(a.v_, b.v_));
+      return SimReal(c->guarded().div(a.v_, b.v_));
     }
     return SimReal(a.v_ / b.v_);
   }
@@ -69,35 +71,35 @@ class SimReal {
   friend SimReal sqrt(SimReal x) {
     if (auto* c = FpContext::current()) {
       c->bump(OpClass::FSqrt);
-      return SimReal(c->dispatch().sqrt(x.v_));
+      return SimReal(c->guarded().sqrt(x.v_));
     }
     return SimReal(std::sqrt(x.v_));
   }
   friend SimReal rsqrt(SimReal x) {
     if (auto* c = FpContext::current()) {
       c->bump(OpClass::FRsqrt);
-      return SimReal(c->dispatch().rsqrt(x.v_));
+      return SimReal(c->guarded().rsqrt(x.v_));
     }
     return SimReal(T(1) / std::sqrt(x.v_));
   }
   friend SimReal rcp(SimReal x) {
     if (auto* c = FpContext::current()) {
       c->bump(OpClass::FRcp);
-      return SimReal(c->dispatch().rcp(x.v_));
+      return SimReal(c->guarded().rcp(x.v_));
     }
     return SimReal(T(1) / x.v_);
   }
   friend SimReal log2(SimReal x) {
     if (auto* c = FpContext::current()) {
       c->bump(OpClass::FLog2);
-      return SimReal(c->dispatch().log2(x.v_));
+      return SimReal(c->guarded().log2(x.v_));
     }
     return SimReal(std::log2(x.v_));
   }
   friend SimReal fma_op(SimReal a, SimReal b, SimReal x) {
     if (auto* c = FpContext::current()) {
       c->bump(OpClass::FFma);
-      return SimReal(c->dispatch().fma(a.v_, b.v_, x.v_));
+      return SimReal(c->guarded().fma(a.v_, b.v_, x.v_));
     }
     return SimReal(a.v_ * b.v_ + x.v_);
   }

@@ -9,6 +9,8 @@
 #include <functional>
 #include <vector>
 
+#include "gpu/epoch.h"
+
 namespace ihw::gpu {
 
 struct Dim3 {
@@ -46,13 +48,20 @@ void launch(Dim3 grid, Dim3 block, K&& kernel) {
     for (unsigned by = 0; by < grid.y; ++by)
       for (unsigned bx = 0; bx < grid.x; ++bx) {
         t.block_idx = {bx, by, bz};
-        for (unsigned tz = 0; tz < block.z; ++tz)
-          for (unsigned ty = 0; ty < block.y; ++ty)
-            for (unsigned tx = 0; tx < block.x; ++tx) {
-              t.thread_idx = {tx, ty, tz};
-              kernel(t);
-            }
+        // Epoch = linear block index: the fault/guard label the parallel
+        // runtime reproduces shard-independently (runtime/parallel.h).
+        const std::uint64_t lb =
+            (static_cast<std::uint64_t>(bz) * grid.y + by) * grid.x + bx;
+        run_epoch(lb, [&] {
+          for (unsigned tz = 0; tz < block.z; ++tz)
+            for (unsigned ty = 0; ty < block.y; ++ty)
+              for (unsigned tx = 0; tx < block.x; ++tx) {
+                t.thread_idx = {tx, ty, tz};
+                kernel(t);
+              }
+        });
       }
+  finish_launch();
 }
 
 /// Block-level execution context for kernels that need __syncthreads():
@@ -96,9 +105,14 @@ void launch_blocks(Dim3 grid, Dim3 block, K&& kernel) {
   for (unsigned bz = 0; bz < grid.z; ++bz)
     for (unsigned by = 0; by < grid.y; ++by)
       for (unsigned bx = 0; bx < grid.x; ++bx) {
-        BlockCtx ctx(grid, block, Dim3{bx, by, bz});
-        kernel(ctx);
+        const std::uint64_t lb =
+            (static_cast<std::uint64_t>(bz) * grid.y + by) * grid.x + bx;
+        run_epoch(lb, [&] {
+          BlockCtx ctx(grid, block, Dim3{bx, by, bz});
+          kernel(ctx);
+        });
       }
+  finish_launch();
 }
 
 }  // namespace ihw::gpu

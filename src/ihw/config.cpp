@@ -74,7 +74,29 @@ std::string IhwConfig::describe() const {
   if (exp2_enabled) item("exp2");
   if (div_enabled) item("div");
   if (fma_enabled) item("fma");
-  if (first) os << "precise";
+  if (first) {
+    os << "precise";
+    first = false;
+  }
+  if (fault_active()) {
+    std::ostringstream fs;
+    fs << "faults(";
+    bool ffirst = true;
+    for (int i = 0; i < fault::kNumUnitClasses; ++i) {
+      const auto& u = faults.units[static_cast<std::size_t>(i)];
+      if (!u.active()) continue;
+      if (!ffirst) fs << ",";
+      fs << fault::to_string(static_cast<fault::UnitClass>(i)) << "@" << u.rate
+         << ":" << fault::to_string(u.model);
+      ffirst = false;
+    }
+    fs << ")";
+    item(fs.str());
+  }
+  if (guard.enabled) {
+    item("guard(tol=" + std::to_string(guard.tolerance) +
+         (guard.retry_epoch ? ",retry" : "") + ")");
+  }
   return os.str();
 }
 

@@ -5,6 +5,8 @@
 // enable knob the paper added to GPGPU-Sim.
 #include <string>
 
+#include "fault/spec.h"
+
 namespace ihw {
 
 /// Which multiplier datapath services FP multiplications.
@@ -42,7 +44,14 @@ struct IhwConfig {
   // --- fused multiply-add (imprecise mul feeding imprecise add) ---
   bool fma_enabled = false;
 
+  // --- fault injection + online numeric guard (voltage-overscaling model;
+  // see src/fault/ and DESIGN.md §9). Both default inert. ---
+  fault::FaultConfig faults;
+  fault::GuardPolicy guard;
+
   bool mul_imprecise() const { return mul_mode != MulMode::Precise; }
+  bool fault_active() const { return faults.any(); }
+  bool screened() const { return fault_active() || guard.enabled; }
   bool any_enabled() const {
     return add_enabled || mul_imprecise() || rcp_enabled || rsqrt_enabled ||
            sqrt_enabled || log2_enabled || exp2_enabled || div_enabled ||

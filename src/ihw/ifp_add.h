@@ -35,7 +35,12 @@ T ifp_add(T a, T b, int th, bool subtract = false) {
 
   a = fp::flush_subnormal(a);
   b = fp::flush_subnormal(b);
-  if (a == T(0)) return b == T(0) ? T(0) : b;
+  if (a == T(0) && b == T(0)) {
+    // IEEE-754 sum-of-zeros sign (round-to-nearest): -0 only when both
+    // addends are -0; +0 for mixed signs.
+    return (std::signbit(a) && std::signbit(b)) ? -T(0) : T(0);
+  }
+  if (a == T(0)) return b;
   if (b == T(0)) return a;
 
   auto fa = fp::decompose(a);

@@ -101,4 +101,16 @@ TuneResult tune(const QualityEval& eval, double quality_constraint,
   return res;
 }
 
+TuneResult tune(const QualityEval& eval, double quality_constraint,
+                const ihw::IhwConfig& most_aggressive,
+                const fault::FaultConfig& faults,
+                const fault::GuardPolicy& guard) {
+  ihw::IhwConfig start = most_aggressive;
+  start.faults = faults;
+  start.guard = guard;
+  // The back-off knobs only touch unit enables, so the fault/guard
+  // descriptors ride along through every evaluated step.
+  return tune(eval, quality_constraint, start);
+}
+
 }  // namespace ihw::quality

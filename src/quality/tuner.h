@@ -36,4 +36,15 @@ struct TuneResult {
 TuneResult tune(const QualityEval& eval, double quality_constraint,
                 const ihw::IhwConfig& most_aggressive);
 
+/// Tuning under a fault model: every evaluated configuration carries the
+/// given FaultConfig and GuardPolicy, so the loop optimizes quality as
+/// measured on voltage-overscaled (faulting) hardware with the online guard
+/// in whatever state the policy says. The back-off order is unchanged --
+/// the loop still converges because degrading a unit to precise also stops
+/// its faults (a precise unit runs at nominal voltage).
+TuneResult tune(const QualityEval& eval, double quality_constraint,
+                const ihw::IhwConfig& most_aggressive,
+                const fault::FaultConfig& faults,
+                const fault::GuardPolicy& guard);
+
 }  // namespace ihw::quality

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -36,7 +38,14 @@ void set_default_threads(int n) {
 }
 
 int configure_threads_from_args(const common::Args& args) {
-  set_default_threads(static_cast<int>(args.get_int("threads", 0)));
+  try {
+    set_default_threads(args.threads());
+  } catch (const common::ArgError& e) {
+    // Every bench funnels --threads through here; fail with the parser's
+    // message (it names the flag) instead of an unhandled-exception abort.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
   return default_threads();
 }
 
@@ -76,7 +85,8 @@ void run_sharded(int shards, const std::function<void(int)>& body) {
     try {
       if (caller != nullptr) {
         auto& ctx = shard_ctx[static_cast<std::size_t>(s)];
-        ctx = std::make_unique<gpu::FpContext>(caller->config());
+        ctx = std::make_unique<gpu::FpContext>(*caller,
+                                               gpu::FpContext::ShardClone{});
         gpu::ScopedContext scope(*ctx);
         body(s);
       } else {
@@ -105,9 +115,14 @@ void run_sharded(int shards, const std::function<void(int)>& body) {
   }
 
   if (caller != nullptr) {
+    // Shard-order merge of both counter families: performance counters and
+    // fault/guard observability counters stay bit-identical to serial.
     for (int s = 0; s < shards; ++s) {
       const auto& ctx = shard_ctx[static_cast<std::size_t>(s)];
-      if (ctx) caller->counters() += ctx->counters();
+      if (ctx) {
+        caller->counters() += ctx->counters();
+        caller->guarded().merge_counters(ctx->guarded());
+      }
     }
   }
   if (sync.error) std::rethrow_exception(sync.error);

@@ -10,9 +10,16 @@
 //    them concurrently cannot change any output value.
 //  - Imprecise dispatch keeps working off-main-thread: every shard runs
 //    under its own thread-local gpu::FpContext cloned from the caller's
-//    active IhwConfig, and the per-shard PerfCounters are merged into the
-//    caller's context with the existing operator+= in ascending shard order
-//    -- never in completion order -- once the launch has drained.
+//    active IhwConfig (and open circuit breakers), and the per-shard
+//    PerfCounters and fault::FaultCounters are merged into the caller's
+//    context with operator+= in ascending shard order -- never in
+//    completion order -- once the launch has drained.
+//  - Fault injection and the guard stay deterministic under sharding: every
+//    unit of work is labelled with its schedule-invariant epoch (linear
+//    block / element / chunk index) via gpu::run_epoch, the counter-based
+//    fault stream hashes (seed, class, epoch, op index), and the run-level
+//    breaker advances only at launch boundaries (gpu::finish_launch) where
+//    serial and sharded executions agree on the merged trip counts.
 //  - `threads == 1` bypasses the pool entirely and runs the exact serial
 //    code path of gpu/simt.h.
 #include <algorithm>
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "gpu/context.h"
+#include "gpu/epoch.h"
 #include "gpu/simt.h"
 
 namespace ihw::common {
@@ -109,14 +117,17 @@ void parallel_launch(gpu::Dim3 grid, gpu::Dim3 block, K&& kernel,
     t.block_dim = block;
     for (std::uint64_t lb = b0; lb < b1; ++lb) {
       t.block_idx = detail::delinearize_block(grid, lb);
-      for (unsigned tz = 0; tz < block.z; ++tz)
-        for (unsigned ty = 0; ty < block.y; ++ty)
-          for (unsigned tx = 0; tx < block.x; ++tx) {
-            t.thread_idx = {tx, ty, tz};
-            kernel(t);
-          }
+      gpu::run_epoch(lb, [&] {
+        for (unsigned tz = 0; tz < block.z; ++tz)
+          for (unsigned ty = 0; ty < block.y; ++ty)
+            for (unsigned tx = 0; tx < block.x; ++tx) {
+              t.thread_idx = {tx, ty, tz};
+              kernel(t);
+            }
+      });
     }
   });
+  gpu::finish_launch();
 }
 
 /// Parallel mirror of gpu::launch_blocks: kernel(BlockCtx&) once per block,
@@ -133,10 +144,13 @@ void parallel_launch_blocks(gpu::Dim3 grid, gpu::Dim3 block, K&& kernel,
   detail::run_sharded(shards, [&](int s) {
     const auto [b0, b1] = detail::shard_range(nblocks, shards, s);
     for (std::uint64_t lb = b0; lb < b1; ++lb) {
-      gpu::BlockCtx ctx(grid, block, detail::delinearize_block(grid, lb));
-      kernel(ctx);
+      gpu::run_epoch(lb, [&] {
+        gpu::BlockCtx ctx(grid, block, detail::delinearize_block(grid, lb));
+        kernel(ctx);
+      });
     }
   });
+  gpu::finish_launch();
 }
 
 /// Flat data-parallel loop: body(i) for i in [0, n), contiguous index ranges
@@ -147,13 +161,17 @@ template <typename Body>
 void parallel_for(std::uint64_t n, Body&& body, int threads = 0) {
   const int shards = detail::resolve_shards(threads, n);
   if (shards <= 1) {
-    for (std::uint64_t i = 0; i < n; ++i) body(i);
+    for (std::uint64_t i = 0; i < n; ++i)
+      gpu::run_epoch(i, [&] { body(i); });
+    gpu::finish_launch();
     return;
   }
   detail::run_sharded(shards, [&](int s) {
     const auto [i0, i1] = detail::shard_range(n, shards, s);
-    for (std::uint64_t i = i0; i < i1; ++i) body(i);
+    for (std::uint64_t i = i0; i < i1; ++i)
+      gpu::run_epoch(i, [&] { body(i); });
   });
+  gpu::finish_launch();
 }
 
 /// Deterministic ordered reduction for stateful consumers (the QMC error
@@ -170,8 +188,13 @@ void ordered_chunks(std::uint64_t n, std::uint64_t chunk, Produce&& produce,
   const std::uint64_t nchunks = (n + chunk - 1) / chunk;
   const int shards = detail::resolve_shards(threads, nchunks);
   if (shards <= 1) {
-    for (std::uint64_t c = 0; c < nchunks; ++c)
-      consume(produce(c * chunk, std::min(n, (c + 1) * chunk)));
+    for (std::uint64_t c = 0; c < nchunks; ++c) {
+      T item{};
+      gpu::run_epoch(
+          c, [&] { item = produce(c * chunk, std::min(n, (c + 1) * chunk)); });
+      consume(std::move(item));
+    }
+    gpu::finish_launch();
     return;
   }
   std::vector<T> wave(static_cast<std::size_t>(shards));
@@ -180,12 +203,15 @@ void ordered_chunks(std::uint64_t n, std::uint64_t chunk, Produce&& produce,
         std::min<std::uint64_t>(static_cast<std::uint64_t>(shards), nchunks - c0));
     detail::run_sharded(live, [&](int s) {
       const std::uint64_t c = c0 + static_cast<std::uint64_t>(s);
-      wave[static_cast<std::size_t>(s)] =
-          produce(c * chunk, std::min(n, (c + 1) * chunk));
+      gpu::run_epoch(c, [&] {
+        wave[static_cast<std::size_t>(s)] =
+            produce(c * chunk, std::min(n, (c + 1) * chunk));
+      });
     });
     for (int s = 0; s < live; ++s)
       consume(std::move(wave[static_cast<std::size_t>(s)]));
   }
+  gpu::finish_launch();
 }
 
 }  // namespace ihw::runtime

@@ -72,6 +72,59 @@ TEST(Args, BoolFalseSpellings) {
   EXPECT_TRUE(args.get_bool("c", false));
 }
 
+TEST(Args, RejectsMalformedNumericValues) {
+  const char* argv[] = {"prog",          "--size=12junk", "--ratio=0.5x",
+                        "--count=abc",   "--big=99999999999999999999",
+                        "--huge=1e9999", "--ok=-42",      "--okd=-2.5e3"};
+  Args args(8, const_cast<char**>(argv));
+  // Trailing garbage and non-numeric values raise ArgError naming the flag.
+  EXPECT_THROW(args.get_int("size", 0), ArgError);
+  EXPECT_THROW(args.get_double("ratio", 0.0), ArgError);
+  EXPECT_THROW(args.get_int("count", 0), ArgError);
+  EXPECT_THROW(args.get_int("big", 0), ArgError);     // integer overflow
+  EXPECT_THROW(args.get_double("huge", 0.0), ArgError);  // double overflow
+  // The message names the offending flag.
+  try {
+    args.get_int("count", 0);
+    FAIL() << "expected ArgError";
+  } catch (const ArgError& e) {
+    EXPECT_NE(std::string(e.what()).find("--count"), std::string::npos);
+  }
+  // Well-formed negatives still parse via the generic accessors.
+  EXPECT_EQ(args.get_int("ok", 0), -42);
+  EXPECT_DOUBLE_EQ(args.get_double("okd", 0.0), -2500.0);
+  // Absent keys fall back to the default without validation.
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Args, ThreadsFlagValidatesRange) {
+  {
+    const char* argv[] = {"prog", "--threads=-3"};
+    Args args(2, const_cast<char**>(argv));
+    EXPECT_THROW(args.threads(), ArgError);
+  }
+  {
+    const char* argv[] = {"prog", "--threads=2000000"};
+    Args args(2, const_cast<char**>(argv));
+    EXPECT_THROW(args.threads(), ArgError);
+  }
+  {
+    const char* argv[] = {"prog", "--threads=8cores"};
+    Args args(2, const_cast<char**>(argv));
+    EXPECT_THROW(args.threads(), ArgError);
+  }
+  {
+    const char* argv[] = {"prog", "--threads=4"};
+    Args args(2, const_cast<char**>(argv));
+    EXPECT_EQ(args.threads(), 4);
+  }
+  {
+    const char* argv[] = {"prog"};
+    Args args(1, const_cast<char**>(argv));
+    EXPECT_EQ(args.threads(), 0);  // absent -> hardware concurrency
+  }
+}
+
 TEST(Grid, IndexingAndCast) {
   Grid<double> g(3, 4, 1.5);
   EXPECT_EQ(g.rows(), 3u);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "fpcore/float_bits.h"
@@ -129,6 +130,159 @@ TEST(FuzzUnits, SubnormalOperandsBehaveAsZero) {
     EXPECT_EQ(acfp_mul(sub, x, AcfpPath::Log, 0),
               std::signbit(sub) ? -0.0f : 0.0f);
   }
+}
+
+// --- systematic special-value semantics ------------------------------------
+// Every imprecise unit is driven with the full IEEE special-value set: +-0,
+// +-inf, NaN, subnormals (largest/smallest), max/min normals. Contracts:
+// NaN in -> quiet NaN out (payload never escapes as garbage), inf/zero
+// follow the IEEE rules the precise unit would apply, subnormal inputs act
+// as signed zero, and no signaling-NaN or subnormal bit pattern escapes.
+
+constexpr float kPInf = std::numeric_limits<float>::infinity();
+constexpr float kQNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kMaxN = std::numeric_limits<float>::max();
+constexpr float kMinN = std::numeric_limits<float>::min();       // min normal
+constexpr float kSub = std::numeric_limits<float>::denorm_min();  // subnormal
+
+const float kSpecials[] = {0.0f,  -0.0f, kPInf,  -kPInf, kQNan, kMaxN,
+                           -kMaxN, kMinN, -kMinN, kSub,   -kSub, 1.0f,
+                           -1.0f,  3.5f,  -3.5f};
+
+// A NaN result must be quiet: the quiet bit (frac MSB) set, exponent all
+// ones -- never a signaling pattern that could trap downstream.
+::testing::AssertionResult quiet_nan(float v) {
+  const auto bits = fp::to_bits(v);
+  if (!std::isnan(v))
+    return ::testing::AssertionFailure() << v << " is not NaN";
+  if ((bits & 0x00400000u) == 0)
+    return ::testing::AssertionFailure()
+           << "signaling NaN pattern 0x" << std::hex << bits;
+  return ::testing::AssertionSuccess();
+}
+
+TEST(SpecialValues, MultipliersFollowIeee) {
+  for (float a : kSpecials) {
+    for (float b : kSpecials) {
+      const float r[4] = {ifp_mul(a, b), acfp_mul(a, b, AcfpPath::Log, 0),
+                          acfp_mul(a, b, AcfpPath::Full, 0),
+                          trunc_mul(a, b, 0)};
+      const bool a0 = fp::flush_subnormal(a) == 0.0f && !std::isnan(a);
+      const bool b0 = fp::flush_subnormal(b) == 0.0f && !std::isnan(b);
+      for (float v : r) {
+        ASSERT_TRUE(well_formed(v)) << "a=" << a << " b=" << b;
+        if (std::isnan(a) || std::isnan(b)) {
+          ASSERT_TRUE(quiet_nan(v)) << "a=" << a << " b=" << b;
+        } else if ((std::isinf(a) && b0) || (std::isinf(b) && a0)) {
+          ASSERT_TRUE(quiet_nan(v)) << "inf*0 a=" << a << " b=" << b;
+        } else if (std::isinf(a) || std::isinf(b)) {
+          ASSERT_TRUE(std::isinf(v)) << "a=" << a << " b=" << b;
+          ASSERT_EQ(std::signbit(v), std::signbit(a) != std::signbit(b));
+        } else if (a0 || b0) {
+          ASSERT_EQ(v, 0.0f) << "a=" << a << " b=" << b;
+          ASSERT_EQ(std::signbit(v), std::signbit(a) != std::signbit(b));
+        }
+      }
+    }
+  }
+}
+
+TEST(SpecialValues, AdderFollowsIeee) {
+  for (float a : kSpecials) {
+    for (float b : kSpecials) {
+      for (int th : {1, 8, 27}) {
+        const float s = ifp_add(a, b, th);
+        const float d = ifp_sub(a, b, th);
+        ASSERT_TRUE(well_formed(s)) << "a=" << a << " b=" << b;
+        ASSERT_TRUE(well_formed(d)) << "a=" << a << " b=" << b;
+        if (std::isnan(a) || std::isnan(b)) {
+          ASSERT_TRUE(quiet_nan(s));
+          ASSERT_TRUE(quiet_nan(d));
+        } else if (std::isinf(a) && std::isinf(b)) {
+          // inf + inf keeps the sign; inf - inf (opposite signs) is NaN.
+          if (std::signbit(a) != std::signbit(b)) {
+            ASSERT_TRUE(quiet_nan(s));
+            ASSERT_TRUE(std::isinf(d));
+          } else {
+            ASSERT_TRUE(std::isinf(s));
+            ASSERT_TRUE(quiet_nan(d));
+          }
+        } else if (std::isinf(a) || std::isinf(b)) {
+          ASSERT_TRUE(std::isinf(s)) << "a=" << a << " b=" << b;
+          ASSERT_TRUE(std::isinf(d)) << "a=" << a << " b=" << b;
+        }
+      }
+    }
+  }
+  // Signed-zero sums, IEEE round-to-nearest rules.
+  EXPECT_FALSE(std::signbit(ifp_add(0.0f, 0.0f, 8)));
+  EXPECT_FALSE(std::signbit(ifp_add(0.0f, -0.0f, 8)));
+  EXPECT_FALSE(std::signbit(ifp_add(-0.0f, 0.0f, 8)));
+  EXPECT_TRUE(std::signbit(ifp_add(-0.0f, -0.0f, 8)));
+  EXPECT_TRUE(std::signbit(ifp_sub(-0.0f, 0.0f, 8)));
+  EXPECT_FALSE(std::signbit(ifp_sub(0.0f, -0.0f, 8)));
+  // x + (-x) is +0, and subnormals act as signed zeros.
+  EXPECT_EQ(ifp_add(1.5f, -1.5f, 8), 0.0f);
+  EXPECT_FALSE(std::signbit(ifp_add(1.5f, -1.5f, 8)));
+  EXPECT_TRUE(std::signbit(ifp_add(-kSub, -kSub, 8)));
+}
+
+TEST(SpecialValues, SfusFollowDocumentedEdgeRules) {
+  for (float x : kSpecials) {
+    for (float v : {ircp(x), irsqrt(x), isqrt(x), ilog2(x), iexp2(x)}) {
+      ASSERT_TRUE(well_formed(v)) << "x=" << x;
+    }
+    if (std::isnan(x)) {
+      ASSERT_TRUE(quiet_nan(ircp(x)));
+      ASSERT_TRUE(quiet_nan(irsqrt(x)));
+      ASSERT_TRUE(quiet_nan(isqrt(x)));
+      ASSERT_TRUE(quiet_nan(ilog2(x)));
+      ASSERT_TRUE(quiet_nan(iexp2(x)));
+      ASSERT_TRUE(quiet_nan(ifp_div(x, 2.0f)));
+      ASSERT_TRUE(quiet_nan(ifp_div(2.0f, x)));
+      ASSERT_TRUE(quiet_nan(ifp_fma(x, 1.0f, 1.0f, 8)));
+    }
+  }
+  // rcp: signed infinities at signed zero, signed zeros at infinity.
+  EXPECT_EQ(ircp(0.0f), kPInf);
+  EXPECT_EQ(ircp(-0.0f), -kPInf);
+  EXPECT_EQ(ircp(kSub), kPInf);  // subnormal flushes to zero first
+  EXPECT_EQ(ircp(kPInf), 0.0f);
+  EXPECT_TRUE(std::signbit(ircp(-kPInf)));
+  // Negative-domain SFUs produce quiet NaN.
+  EXPECT_TRUE(quiet_nan(irsqrt(-1.0f)));
+  EXPECT_TRUE(quiet_nan(isqrt(-1.0f)));
+  EXPECT_TRUE(quiet_nan(ilog2(-1.0f)));
+  // Edge singularities.
+  EXPECT_EQ(irsqrt(0.0f), kPInf);
+  EXPECT_EQ(isqrt(0.0f), 0.0f);
+  EXPECT_EQ(ilog2(0.0f), -kPInf);
+  EXPECT_EQ(ilog2(kPInf), kPInf);
+  EXPECT_EQ(iexp2(-kPInf), 0.0f);
+  EXPECT_EQ(iexp2(kPInf), kPInf);
+  // Division special quotients.
+  EXPECT_TRUE(quiet_nan(ifp_div(0.0f, 0.0f)));
+  EXPECT_TRUE(quiet_nan(ifp_div(kPInf, kPInf)));
+  EXPECT_EQ(ifp_div(1.0f, 0.0f), kPInf);
+  EXPECT_EQ(ifp_div(-1.0f, 0.0f), -kPInf);
+  EXPECT_EQ(ifp_div(1.0f, kPInf), 0.0f);
+  EXPECT_TRUE(std::signbit(ifp_div(-1.0f, kPInf)));
+  // Extreme normals never produce garbage: results saturate or flush.
+  EXPECT_TRUE(well_formed(ifp_mul(kMaxN, kMaxN)));   // overflows to +inf
+  EXPECT_TRUE(std::isinf(ifp_mul(kMaxN, kMaxN)));
+  EXPECT_EQ(ifp_mul(kMinN, kMinN), 0.0f);            // underflow flushes
+  EXPECT_TRUE(well_formed(ifp_fma(kMaxN, kMaxN, -kPInf, 8)));
+}
+
+TEST(SpecialValues, FmaPropagatesThroughBothStages) {
+  // NaN in any operand position survives the mul stage and the add stage.
+  EXPECT_TRUE(quiet_nan(ifp_fma(kQNan, 2.0f, 3.0f, 8)));
+  EXPECT_TRUE(quiet_nan(ifp_fma(2.0f, kQNan, 3.0f, 8)));
+  EXPECT_TRUE(quiet_nan(ifp_fma(2.0f, 3.0f, kQNan, 8)));
+  // inf*0 inside the mul stage is NaN regardless of the addend.
+  EXPECT_TRUE(quiet_nan(ifp_fma(kPInf, 0.0f, 1.0f, 8)));
+  // inf + finite keeps the infinity.
+  EXPECT_EQ(ifp_fma(kPInf, 2.0f, -10.0f, 8), kPInf);
 }
 
 TEST(FuzzUnits, DispatcherClosedOverRandomConfigs) {

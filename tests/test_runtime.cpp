@@ -188,6 +188,44 @@ TEST(Determinism, HotspotBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// Fault injection + guard preserve the determinism contract: the injector is
+// a pure hash of (seed, class, epoch, op index) and the breaker only opens at
+// launch boundaries, so outputs, PerfCounters, AND FaultCounters are
+// bit-identical to the serial path at any thread count.
+TEST(Determinism, FaultedHotspotBitIdenticalAcrossThreadCounts) {
+  apps::HotspotParams p;
+  p.rows = p.cols = 64;
+  p.iterations = 4;
+  p.steady_init = false;
+  const auto input = make_hotspot_input(p, 7);
+  IhwConfig cfg = IhwConfig::all_imprecise();
+  cfg.faults = fault::FaultConfig::uniform(1e-3);
+  cfg.guard.enabled = true;
+
+  common::GridF ref;
+  const auto ref_run = apps::run_guarded_parallel(cfg, 1, [&] {
+    ref = apps::run_hotspot<SimFloat>(p, input);
+  });
+  // The faulted config actually exercises the injector and the guard.
+  EXPECT_GT(ref_run.faults.total_injected(), 0u);
+  EXPECT_GT(ref_run.faults.total_trips(), 0u);
+
+  for (int threads : {2, 8}) {
+    common::GridF out;
+    const auto run = apps::run_guarded_parallel(cfg, threads, [&] {
+      out = apps::run_hotspot<SimFloat>(p, input);
+    });
+    EXPECT_TRUE(bit_identical(ref, out)) << "threads=" << threads;
+    EXPECT_EQ(ref_run.perf.counts, run.perf.counts) << "threads=" << threads;
+    EXPECT_EQ(ref_run.faults.injected, run.faults.injected)
+        << "threads=" << threads;
+    EXPECT_EQ(ref_run.faults.guard_trips, run.faults.guard_trips);
+    EXPECT_EQ(ref_run.faults.degraded_epochs, run.faults.degraded_epochs);
+    EXPECT_EQ(ref_run.faults.run_degradations, run.faults.run_degradations);
+    EXPECT_EQ(ref_run.faults.retried_epochs, run.faults.retried_epochs);
+  }
+}
+
 TEST(Determinism, SradBitIdenticalAcrossThreadCounts) {
   apps::SradParams p;
   p.rows = p.cols = 64;
