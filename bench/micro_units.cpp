@@ -3,15 +3,22 @@
 // host-CPU cost of the bit-level models, not the modeled hardware).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "arith/datapath.h"
 #include "arith/mitchell.h"
 #include "common/args.h"
 #include "common/rng.h"
+#include "fault/spec.h"
+#include "gpu/batch.h"
 #include "gpu/simreal.h"
 #include "gpu/simt.h"
+#include "ihw/batch.h"
 #include "ihw/ihw.h"
+#include "qmc/sobol.h"
 #include "runtime/parallel.h"
 
 using namespace ihw;
@@ -138,6 +145,177 @@ void BM_ParallelStencil(benchmark::State& state) {
                           static_cast<std::int64_t>(kN * kN));
 }
 BENCHMARK(BM_ParallelStencil)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// --- Batched SoA fast path vs element-wise SimReal --------------------------
+// Pairs measure the same span of work two ways: an element-at-a-time SimFloat
+// loop (context lookup + dispatch branch + counter bump per op) against one
+// gpu::batch_* call (context/config hoisted, branch-free vector-friendly
+// kernel, one counter bump). The scalar/batch time ratio is the speedup the
+// regression gate in tools/check_bench_regression.py watches.
+
+constexpr std::size_t kSpan = 1 << 14;
+
+IhwConfig guarded_mul_config() {
+  IhwConfig cfg = IhwConfig::mul_only(MulMode::ImpreciseSimple, 0);
+  cfg.faults = fault::FaultConfig::uniform(1e-6, 42);
+  cfg.guard.enabled = true;
+  return cfg;
+}
+
+void BM_SpanMulScalar(benchmark::State& state, IhwConfig cfg) {
+  const auto a = inputs(kSpan, 11), b = inputs(kSpan, 12);
+  std::vector<float> out(kSpan);
+  gpu::FpContext ctx(cfg);
+  gpu::ScopedContext scope(ctx);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kSpan; ++i)
+      out[i] = (gpu::SimFloat(a[i]) * gpu::SimFloat(b[i])).value();
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSpan));
+}
+
+void BM_SpanMulBatch(benchmark::State& state, IhwConfig cfg) {
+  const auto a = inputs(kSpan, 11), b = inputs(kSpan, 12);
+  std::vector<float> out(kSpan);
+  gpu::FpContext ctx(cfg);
+  gpu::ScopedContext scope(ctx);
+  for (auto _ : state) {
+    gpu::batch_mul(a.data(), b.data(), out.data(), kSpan);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSpan));
+}
+
+BENCHMARK_CAPTURE(BM_SpanMulScalar, precise, IhwConfig::precise());
+BENCHMARK_CAPTURE(BM_SpanMulBatch, precise, IhwConfig::precise());
+BENCHMARK_CAPTURE(BM_SpanMulScalar, ifp,
+                  IhwConfig::mul_only(MulMode::ImpreciseSimple, 0));
+BENCHMARK_CAPTURE(BM_SpanMulBatch, ifp,
+                  IhwConfig::mul_only(MulMode::ImpreciseSimple, 0));
+BENCHMARK_CAPTURE(BM_SpanMulScalar, acfp_log,
+                  IhwConfig::mul_only(MulMode::MitchellLog, 0));
+BENCHMARK_CAPTURE(BM_SpanMulBatch, acfp_log,
+                  IhwConfig::mul_only(MulMode::MitchellLog, 0));
+BENCHMARK_CAPTURE(BM_SpanMulScalar, acfp_full,
+                  IhwConfig::mul_only(MulMode::MitchellFull, 0));
+BENCHMARK_CAPTURE(BM_SpanMulBatch, acfp_full,
+                  IhwConfig::mul_only(MulMode::MitchellFull, 0));
+BENCHMARK_CAPTURE(BM_SpanMulScalar, trunc,
+                  IhwConfig::mul_only(MulMode::BitTruncated, 12));
+BENCHMARK_CAPTURE(BM_SpanMulBatch, trunc,
+                  IhwConfig::mul_only(MulMode::BitTruncated, 12));
+// Screened (fault injection + guard active): the batch entry point falls back
+// to the per-element scalar screen for bit-identical fault draws, so this
+// pair documents the cost of screening rather than a speedup.
+BENCHMARK_CAPTURE(BM_SpanMulScalar, guarded, guarded_mul_config());
+BENCHMARK_CAPTURE(BM_SpanMulBatch, guarded, guarded_mul_config());
+
+void BM_SpanAddScalar(benchmark::State& state, IhwConfig cfg) {
+  const auto a = inputs(kSpan, 13), b = inputs(kSpan, 14);
+  std::vector<float> out(kSpan);
+  gpu::FpContext ctx(cfg);
+  gpu::ScopedContext scope(ctx);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kSpan; ++i)
+      out[i] = (gpu::SimFloat(a[i]) + gpu::SimFloat(b[i])).value();
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSpan));
+}
+
+void BM_SpanAddBatch(benchmark::State& state, IhwConfig cfg) {
+  const auto a = inputs(kSpan, 13), b = inputs(kSpan, 14);
+  std::vector<float> out(kSpan);
+  gpu::FpContext ctx(cfg);
+  gpu::ScopedContext scope(ctx);
+  for (auto _ : state) {
+    gpu::batch_add(a.data(), b.data(), out.data(), kSpan);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSpan));
+}
+
+IhwConfig add_only_config() {
+  IhwConfig cfg;
+  cfg.add_enabled = true;
+  cfg.add_th = kDefaultAddTh;
+  return cfg;
+}
+
+BENCHMARK_CAPTURE(BM_SpanAddScalar, precise, IhwConfig::precise());
+BENCHMARK_CAPTURE(BM_SpanAddBatch, precise, IhwConfig::precise());
+BENCHMARK_CAPTURE(BM_SpanAddScalar, ifp, add_only_config());
+BENCHMARK_CAPTURE(BM_SpanAddBatch, ifp, add_only_config());
+
+// --- QMC error-characterization sweep ---------------------------------------
+// The inner loop of error/characterize.cpp for the imprecise multiplier:
+// Sobol-scattered operands (generated once, outside the timed region, exactly
+// as the characterization pipeline stages them per chunk), then approximate
+// unit + exact double reference + relative-error accumulation.
+
+void qmc_char_operands(std::vector<float>* a, std::vector<float>* b) {
+  qmc::Sobol sobol(4);
+  double p[qmc::Sobol::kMaxDims];
+  constexpr int kSpread = 4;
+  for (std::size_t i = 0; i < kSpan; ++i) {
+    sobol.next(p);
+    const auto scatter = [](double u, double v) {
+      const int e =
+          static_cast<int>(std::floor(v * (2 * kSpread + 1))) - kSpread;
+      return static_cast<float>(std::ldexp(1.0 + u, e));
+    };
+    (*a)[i] = scatter(p[0], p[1]);
+    (*b)[i] = scatter(p[2], p[3]);
+  }
+}
+
+// Scalar evaluation, the shape of the old sample_unit() producer: one unit
+// call and one exact double reference per element.
+void BM_QmcCharScalar(benchmark::State& state) {
+  std::vector<float> a(kSpan), b(kSpan), approx(kSpan);
+  std::vector<double> exact(kSpan);
+  qmc_char_operands(&a, &b);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kSpan; ++i) {
+      approx[i] = ifp_mul(a[i], b[i]);
+      exact[i] = static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    }
+    benchmark::DoNotOptimize(approx.data());
+    benchmark::DoNotOptimize(exact.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSpan));
+}
+BENCHMARK(BM_QmcCharScalar);
+
+// Span evaluation, the shape of eval_unit_batch(): the approximate unit runs
+// as one batched span, the exact reference as a plain (vectorizable) loop.
+void BM_QmcCharBatch(benchmark::State& state) {
+  std::vector<float> a(kSpan), b(kSpan), approx(kSpan);
+  std::vector<double> exact(kSpan);
+  qmc_char_operands(&a, &b);
+  for (auto _ : state) {
+    batch::ifp_mul_n(a.data(), b.data(), approx.data(), kSpan);
+    for (std::size_t i = 0; i < kSpan; ++i)
+      exact[i] = static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    benchmark::DoNotOptimize(approx.data());
+    benchmark::DoNotOptimize(exact.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSpan));
+}
+BENCHMARK(BM_QmcCharBatch);
 
 }  // namespace
 

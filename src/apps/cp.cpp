@@ -1,6 +1,10 @@
 #include "apps/cp.h"
 
+#include <cstdint>
+#include <vector>
+
 #include "common/rng.h"
+#include "gpu/batch.h"
 #include "gpu/simt.h"
 #include "runtime/parallel.h"
 
@@ -67,6 +71,58 @@ common::GridF run_cp(const CpParams& p, const std::vector<CpAtom>& atoms) {
   for (std::size_t k = 0; k < out.size(); ++k)
     out.data()[k] = static_cast<float>(energy.data()[k]);
   return out;
+}
+
+common::GridF run_cp_batched(const CpParams& p,
+                             const std::vector<CpAtom>& atoms) {
+  auto* ctx = gpu::FpContext::current();
+  if (ctx != nullptr && ctx->config().screened()) {
+    return run_cp<gpu::SimFloat>(p, atoms);  // see run_hotspot_batched
+  }
+
+  const std::size_t n = p.grid, w = n;
+  common::GridF energy(n, n, 0.0f);
+  const float spacing = static_cast<float>(p.spacing);
+  const float slice_z = static_cast<float>(p.slice_z);
+
+  // Loop-invariant operand spans: lattice x indices and the slice plane.
+  std::vector<float> ifill(w), slice_fill(w, slice_z);
+  for (std::size_t i = 0; i < w; ++i) ifill[i] = static_cast<float>(i);
+
+  constexpr std::uint64_t kRowChunk = 4;
+  runtime::batch_apply(n, kRowChunk, [&](std::uint64_t j0, std::uint64_t j1) {
+    std::vector<float> gx(w), gy(w), jfill(w), dx(w), dy(w), dz(w), r2(w),
+        t0(w), term(w);
+    for (std::uint64_t j = j0; j < j1; ++j) {
+      {
+        // Lattice coordinates stay on the exact multiplier (still counted),
+        // as in the scalar kernel.
+        gpu::ScopedPrecise precise;
+        gpu::batch_mul_scalar(ifill.data(), spacing, gx.data(), w);
+        std::fill(jfill.begin(), jfill.end(), static_cast<float>(j));
+        gpu::batch_mul_scalar(jfill.data(), spacing, gy.data(), w);
+      }
+
+      float* acc = &energy(j, 0);  // starts at 0, accumulated per atom
+      for (const auto& a : atoms) {
+        gpu::batch_sub_scalar(gx.data(), a.x, dx.data(), w);
+        gpu::batch_sub_scalar(gy.data(), a.y, dy.data(), w);
+        gpu::batch_sub_scalar(slice_fill.data(), a.z, dz.data(), w);
+        gpu::batch_mul(dx.data(), dx.data(), r2.data(), w);
+        gpu::batch_mul(dy.data(), dy.data(), t0.data(), w);
+        gpu::batch_add(r2.data(), t0.data(), r2.data(), w);
+        gpu::batch_mul(dz.data(), dz.data(), t0.data(), w);
+        gpu::batch_add(r2.data(), t0.data(), r2.data(), w);
+        gpu::batch_rsqrt(r2.data(), term.data(), w);
+        gpu::batch_mul_scalar(term.data(), a.q, term.data(), w);
+        gpu::batch_add(acc, term.data(), acc, w);
+        gpu::count_int_ops(w);  // atom-array indexing
+      }
+      gpu::count_mem(0, w);   // gstore traffic
+      gpu::count_int_ops(w);  // gstore address arithmetic
+    }
+  });
+  return energy;
 }
 
 template common::GridF run_cp<float>(const CpParams&, const std::vector<CpAtom>&);

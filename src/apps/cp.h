@@ -30,6 +30,14 @@ std::vector<CpAtom> make_cp_atoms(const CpParams& p, std::uint64_t seed);
 template <typename Real>
 common::GridF run_cp(const CpParams& p, const std::vector<CpAtom>& atoms);
 
+/// Batched SoA port of run_cp: the atom loop runs span-wise over lattice
+/// rows through gpu/batch.h (coordinates still computed under ScopedPrecise).
+/// Bit-identical outputs and PerfCounters to run_cp<SimFloat> under an
+/// unscreened FpContext; delegates to the scalar path when screening is
+/// active; matches run_cp<float> without a context.
+common::GridF run_cp_batched(const CpParams& p,
+                             const std::vector<CpAtom>& atoms);
+
 extern template common::GridF run_cp<float>(const CpParams&,
                                             const std::vector<CpAtom>&);
 extern template common::GridF run_cp<gpu::SimFloat>(const CpParams&,

@@ -57,6 +57,16 @@ template <typename Real>
 common::GridF run_hotspot_tiled(const HotspotParams& p,
                                 const HotspotInput& input);
 
+/// Batched SoA port of run_hotspot: row-span sweeps through the gpu/batch.h
+/// fast path (config resolved once per span, branch-free vector-friendly
+/// unit kernels, counters bumped per span). Under an active FpContext with
+/// no fault/guard screening this is bit-identical to run_hotspot<SimFloat>
+/// in both outputs and PerfCounters; with screening active it delegates to
+/// the scalar path so per-op fault draws stay bit-identical too. Without a
+/// context it matches run_hotspot<float>.
+common::GridF run_hotspot_batched(const HotspotParams& p,
+                                  const HotspotInput& input);
+
 extern template common::GridF run_hotspot<float>(const HotspotParams&,
                                                  const HotspotInput&);
 extern template common::GridF run_hotspot<gpu::SimFloat>(const HotspotParams&,

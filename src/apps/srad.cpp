@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
+#include "gpu/batch.h"
 #include "gpu/simt.h"
 #include "runtime/parallel.h"
 
@@ -274,6 +277,135 @@ common::GridF run_srad_tiled(const SradParams& p, const common::GridF& image) {
   for (std::size_t i = 0; i < out.size(); ++i)
     out.data()[i] = static_cast<float>(J.data()[i]);
   return out;
+}
+
+common::GridF run_srad_batched(const SradParams& p, const common::GridF& image) {
+  auto* ctx = gpu::FpContext::current();
+  if (ctx != nullptr && ctx->config().screened()) {
+    return run_srad<gpu::SimFloat>(p, image);  // see run_hotspot_batched
+  }
+
+  const std::size_t rows = p.rows, cols = p.cols, w = cols;
+  common::GridF J = image;
+  common::GridF dN(rows, cols), dS(rows, cols), dW(rows, cols), dE(rows, cols),
+      coef(rows, cols);
+
+  const float half = 0.5f, quarter = 0.25f, sixteenth = 1.0f / 16.0f,
+              one = 1.0f;
+  const float lambda_q = static_cast<float>(0.25 * p.lambda);
+  constexpr std::uint64_t kRowChunk = 8;
+
+  for (int it = 0; it < p.iterations; ++it) {
+    double sum = 0.0, sum2 = 0.0;
+    std::size_t n = 0;
+    for (std::size_t r = p.roi_r0; r < p.roi_r1; ++r)
+      for (std::size_t c = p.roi_c0; c < p.roi_c1; ++c) {
+        const double v = static_cast<double>(J(r, c));
+        sum += v;
+        sum2 += v * v;
+        ++n;
+      }
+    const double mean = sum / static_cast<double>(n);
+    const double var = sum2 / static_cast<double>(n) - mean * mean;
+    const float q0sqr = static_cast<float>(var / (mean * mean));
+    const float q0_den = static_cast<float>(
+        (var / (mean * mean)) * (1.0 + var / (mean * mean)));
+
+    // Kernel 1: directional derivatives + diffusion coefficient, row spans.
+    runtime::batch_apply(rows, kRowChunk, [&](std::uint64_t r0,
+                                              std::uint64_t r1) {
+      std::vector<float> wbuf(w), ebuf(w), inv(w), g2(w), l(w), t0(w), t1(w),
+          acc(w);
+      for (std::uint64_t r = r0; r < r1; ++r) {
+        const std::size_t rn = r > 0 ? r - 1 : r;
+        const std::size_t rs = r + 1 < rows ? r + 1 : r;
+        const float* jc = &J(r, 0);
+        wbuf[0] = jc[0];
+        std::copy_n(jc, w - 1, wbuf.data() + 1);
+        std::copy_n(jc + 1, w - 1, ebuf.data());
+        ebuf[w - 1] = jc[w - 1];
+
+        float* n_ = &dN(r, 0);
+        float* s_ = &dS(r, 0);
+        float* w_ = &dW(r, 0);
+        float* e_ = &dE(r, 0);
+        gpu::batch_sub(&J(rn, 0), jc, n_, w);
+        gpu::batch_sub(&J(rs, 0), jc, s_, w);
+        gpu::batch_sub(wbuf.data(), jc, w_, w);
+        gpu::batch_sub(ebuf.data(), jc, e_, w);
+
+        gpu::batch_rcp(jc, inv.data(), w);                    // inv_jc
+        gpu::batch_mul(n_, n_, acc.data(), w);                // n^2
+        gpu::batch_mul(s_, s_, t0.data(), w);
+        gpu::batch_add(acc.data(), t0.data(), acc.data(), w);
+        gpu::batch_mul(w_, w_, t0.data(), w);
+        gpu::batch_add(acc.data(), t0.data(), acc.data(), w);
+        gpu::batch_mul(e_, e_, t0.data(), w);
+        gpu::batch_add(acc.data(), t0.data(), acc.data(), w);
+        gpu::batch_mul(inv.data(), inv.data(), t0.data(), w);  // inv^2
+        gpu::batch_mul(acc.data(), t0.data(), g2.data(), w);
+
+        gpu::batch_add(n_, s_, l.data(), w);                  // l
+        gpu::batch_add(l.data(), w_, l.data(), w);
+        gpu::batch_add(l.data(), e_, l.data(), w);
+        gpu::batch_mul(l.data(), inv.data(), l.data(), w);
+
+        gpu::batch_mul_scalar(g2.data(), half, t0.data(), w);  // num
+        gpu::batch_mul(l.data(), l.data(), t1.data(), w);
+        gpu::batch_mul_scalar(t1.data(), sixteenth, t1.data(), w);
+        gpu::batch_sub(t0.data(), t1.data(), t0.data(), w);
+
+        gpu::batch_mul_scalar(l.data(), quarter, t1.data(), w);  // den
+        gpu::batch_add_scalar(t1.data(), one, t1.data(), w);
+
+        gpu::batch_mul(t1.data(), t1.data(), t1.data(), w);   // den^2
+        gpu::batch_rcp(t1.data(), t1.data(), w);
+        gpu::batch_mul(t0.data(), t1.data(), t0.data(), w);   // qsqr
+
+        gpu::batch_sub_scalar(t0.data(), q0sqr, t0.data(), w);  // den2
+        gpu::batch_rcp_scalar(q0_den, t1.data(), w);
+        gpu::batch_mul(t0.data(), t1.data(), t0.data(), w);
+
+        gpu::batch_add_scalar(t0.data(), one, t0.data(), w);  // cc
+        gpu::batch_rcp(t0.data(), t0.data(), w);
+        float* cc = &coef(r, 0);
+        for (std::size_t c = 0; c < w; ++c) {
+          float v = t0[c];
+          if (v < 0.0f) v = 0.0f;
+          if (v > one) v = one;
+          cc[c] = v;
+        }
+        gpu::count_mem(5 * w, 5 * w);
+        gpu::count_int_ops(10 * w);
+      }
+    });
+
+    // Kernel 2: divergence update, in-place row spans over J.
+    runtime::batch_apply(rows, kRowChunk, [&](std::uint64_t r0,
+                                              std::uint64_t r1) {
+      std::vector<float> ebuf(w), d(w), t0(w);
+      for (std::uint64_t r = r0; r < r1; ++r) {
+        const std::size_t rs = r + 1 < rows ? r + 1 : r;
+        const float* cn = &coef(r, 0);  // cw loads the same word (Rodinia)
+        const float* cs = &coef(rs, 0);
+        std::copy_n(cn + 1, w - 1, ebuf.data());
+        ebuf[w - 1] = cn[w - 1];
+
+        gpu::batch_mul(cn, &dN(r, 0), d.data(), w);
+        gpu::batch_mul(cs, &dS(r, 0), t0.data(), w);
+        gpu::batch_add(d.data(), t0.data(), d.data(), w);
+        gpu::batch_mul(cn, &dW(r, 0), t0.data(), w);
+        gpu::batch_add(d.data(), t0.data(), d.data(), w);
+        gpu::batch_mul(ebuf.data(), &dE(r, 0), t0.data(), w);
+        gpu::batch_add(d.data(), t0.data(), d.data(), w);
+        gpu::batch_mul_scalar(d.data(), lambda_q, d.data(), w);
+        gpu::batch_add(&J(r, 0), d.data(), &J(r, 0), w);
+        gpu::count_mem(9 * w, w);
+        gpu::count_int_ops(10 * w);
+      }
+    });
+  }
+  return J;
 }
 
 double srad_pratt_fom(const common::GridF& despeckled,

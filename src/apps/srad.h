@@ -46,6 +46,13 @@ double srad_pratt_fom(const common::GridF& despeckled,
 template <typename Real>
 common::GridF run_srad_tiled(const SradParams& p, const common::GridF& image);
 
+/// Batched SoA port of run_srad: both kernels sweep row spans through the
+/// gpu/batch.h fast path. Bit-identical outputs and PerfCounters to
+/// run_srad<SimFloat> under an unscreened FpContext; delegates to the scalar
+/// path when fault/guard screening is active; matches run_srad<float>
+/// without a context.
+common::GridF run_srad_batched(const SradParams& p, const common::GridF& image);
+
 extern template common::GridF run_srad<float>(const SradParams&,
                                               const common::GridF&);
 extern template common::GridF run_srad<gpu::SimFloat>(const SradParams&,

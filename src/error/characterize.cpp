@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fpcore/float_bits.h"
+#include "ihw/batch.h"
 #include "ihw/ihw.h"
 #include "qmc/sobol.h"
 #include "runtime/parallel.h"
@@ -94,6 +95,84 @@ std::pair<double, double> sample_unit(UnitKind kind, int param, int spread,
   return {exact, approx};
 }
 
+/// SoA evaluation of one chunk: the approximate unit runs as one span
+/// through the batched kernels of ihw/batch.h (bit-identical per element to
+/// the scalar unit calls sample_unit makes), and the exact reference is a
+/// plain vectorizable double loop. sample_unit above remains the scalar
+/// reference; tests/test_batch.cpp checks the two agree.
+template <typename T>
+void eval_unit_batch(UnitKind kind, int param, std::size_t m, const T* a,
+                     const T* b, const T* c, double* exact, T* approx) {
+  switch (kind) {
+    case UnitKind::FpAdd:
+      batch::ifp_add_n(a, b, approx, m, param ? param : kDefaultAddTh);
+      for (std::size_t i = 0; i < m; ++i)
+        exact[i] = static_cast<double>(a[i]) + static_cast<double>(b[i]);
+      break;
+    case UnitKind::FpSub:
+      batch::ifp_sub_n(a, b, approx, m, param ? param : kDefaultAddTh);
+      for (std::size_t i = 0; i < m; ++i)
+        exact[i] = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+      break;
+    case UnitKind::FpMul:
+      batch::ifp_mul_n(a, b, approx, m);
+      for (std::size_t i = 0; i < m; ++i)
+        exact[i] = static_cast<double>(a[i]) * static_cast<double>(b[i]);
+      break;
+    case UnitKind::FpDiv:
+      batch::ifp_div_n(a, b, approx, m);
+      for (std::size_t i = 0; i < m; ++i)
+        exact[i] = static_cast<double>(a[i]) / static_cast<double>(b[i]);
+      break;
+    case UnitKind::Rcp:
+      batch::ircp_n(a, approx, m);
+      for (std::size_t i = 0; i < m; ++i)
+        exact[i] = 1.0 / static_cast<double>(a[i]);
+      break;
+    case UnitKind::Rsqrt:
+      batch::irsqrt_n(a, approx, m);
+      for (std::size_t i = 0; i < m; ++i)
+        exact[i] = 1.0 / std::sqrt(static_cast<double>(a[i]));
+      break;
+    case UnitKind::Sqrt:
+      batch::isqrt_n(a, approx, m);
+      for (std::size_t i = 0; i < m; ++i)
+        exact[i] = std::sqrt(static_cast<double>(a[i]));
+      break;
+    case UnitKind::Log2:
+      batch::ilog2_n(a, approx, m);
+      for (std::size_t i = 0; i < m; ++i)
+        exact[i] = std::log2(static_cast<double>(a[i]));
+      break;
+    case UnitKind::Exp2:
+      batch::iexp2_n(a, approx, m);
+      for (std::size_t i = 0; i < m; ++i)
+        exact[i] = std::exp2(static_cast<double>(a[i]));
+      break;
+    case UnitKind::Fma:
+      batch::ifp_fma_n(a, b, c, approx, m, kDefaultAddTh);
+      for (std::size_t i = 0; i < m; ++i)
+        exact[i] = static_cast<double>(a[i]) * static_cast<double>(b[i]) +
+                   static_cast<double>(c[i]);
+      break;
+    case UnitKind::AcfpLog:
+      batch::acfp_mul_n(a, b, approx, m, AcfpPath::Log, param);
+      for (std::size_t i = 0; i < m; ++i)
+        exact[i] = static_cast<double>(a[i]) * static_cast<double>(b[i]);
+      break;
+    case UnitKind::AcfpFull:
+      batch::acfp_mul_n(a, b, approx, m, AcfpPath::Full, param);
+      for (std::size_t i = 0; i < m; ++i)
+        exact[i] = static_cast<double>(a[i]) * static_cast<double>(b[i]);
+      break;
+    case UnitKind::BitTrunc:
+      batch::trunc_mul_n(a, b, approx, m, param);
+      for (std::size_t i = 0; i < m; ++i)
+        exact[i] = static_cast<double>(a[i]) * static_cast<double>(b[i]);
+      break;
+  }
+}
+
 // Chunk granularity of the parallel sweep. Fixed (never derived from the
 // thread count) so the accumulation stream fed to ErrorStats/ErrorPmf is
 // identical for every --threads value, including the serial path.
@@ -123,23 +202,47 @@ CharResult run(UnitKind kind, int param, std::uint64_t samples) {
   // the streaming statistics consume the (exact, approx) pairs on this
   // thread in ascending sample order -- a deterministic ordered reduction
   // that is bit-identical to the serial loop at any thread count.
-  using Chunk = std::vector<std::pair<double, double>>;
+  // Chunks stay SoA end to end (no pair-of-doubles zip): the producer hands
+  // the exact/approx spans straight to the consumer.
+  struct Chunk {
+    std::vector<double> exact;
+    std::vector<T> approx;
+  };
   runtime::ordered_chunks<Chunk>(
       samples, kCharChunk,
       [&](std::uint64_t begin, std::uint64_t end) {
+        const std::size_t m = static_cast<std::size_t>(end - begin);
         qmc::Sobol sobol(dims);
         sobol.seek(begin);
-        Chunk out;
-        out.reserve(static_cast<std::size_t>(end - begin));
+        // SoA producer: scalar Sobol + operand scatter (unchanged, so the
+        // sample stream is bit-identical to the per-sample loop), then one
+        // span-level unit evaluation per chunk through ihw/batch.h.  The
+        // operand scratch is thread-local so each worker touches the same
+        // pages every chunk instead of re-faulting fresh allocations.
+        static thread_local std::vector<T> a, b, c;
+        a.resize(m);
+        b.resize(m);
+        c.resize(ternary ? m : 0);
+        Chunk out{std::vector<double>(m), std::vector<T>(m)};
         double p[6];
-        for (std::uint64_t i = begin; i < end; ++i) {
+        for (std::size_t i = 0; i < m; ++i) {
           sobol.next(p);
-          out.push_back(sample_unit<T>(kind, param, spread, p));
+          if (kind == UnitKind::Exp2) {
+            a[i] = static_cast<T>(p[0] * 8.0 - 4.0);  // fraction segment
+          } else {
+            a[i] = scatter<T>(p[0], p[1], spread);
+            b[i] = scatter<T>(p[2], p[3], spread);
+            if (ternary) c[i] = scatter<T>(p[4], p[5], spread);
+          }
         }
+        eval_unit_batch<T>(kind, param, m, a.data(), b.data(), c.data(),
+                           out.exact.data(), out.approx.data());
         return out;
       },
       [&](Chunk&& chunk) {
-        for (const auto& [exact, approx] : chunk) {
+        for (std::size_t i = 0; i < chunk.exact.size(); ++i) {
+          const double exact = chunk.exact[i];
+          const double approx = static_cast<double>(chunk.approx[i]);
           res.stats.observe(exact, approx);
           if (exact != 0.0 && std::isfinite(exact))
             res.pmf.observe_rel_error(std::fabs(approx - exact) /

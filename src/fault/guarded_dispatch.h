@@ -154,6 +154,74 @@ class GuardedDispatch {
                    [&] { return a * b + c; });
   }
 
+  // --- span entry points ---------------------------------------------------
+  // With no faults and no guard (the common case) a span drops straight into
+  // the batched FpDispatch path. A screened span walks the scalar screen
+  // element by element instead: every op then consumes the same per-class
+  // (epoch, op index) label it would under scalar execution, so fault draws
+  // and guard/breaker decisions are bit-identical by construction — batching
+  // only reorders *across* unit classes, and op_idx_ is per class.
+
+  template <typename T>
+  void add_n(const T* a, const T* b, T* out, std::size_t n) {
+    if (!screened_) return base_.add_n(a, b, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = add(a[i], b[i]);
+  }
+
+  template <typename T>
+  void sub_n(const T* a, const T* b, T* out, std::size_t n) {
+    if (!screened_) return base_.sub_n(a, b, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = sub(a[i], b[i]);
+  }
+
+  template <typename T>
+  void mul_n(const T* a, const T* b, T* out, std::size_t n) {
+    if (!screened_) return base_.mul_n(a, b, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = mul(a[i], b[i]);
+  }
+
+  template <typename T>
+  void div_n(const T* a, const T* b, T* out, std::size_t n) {
+    if (!screened_) return base_.div_n(a, b, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = div(a[i], b[i]);
+  }
+
+  template <typename T>
+  void rcp_n(const T* x, T* out, std::size_t n) {
+    if (!screened_) return base_.rcp_n(x, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = rcp(x[i]);
+  }
+
+  template <typename T>
+  void rsqrt_n(const T* x, T* out, std::size_t n) {
+    if (!screened_) return base_.rsqrt_n(x, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = rsqrt(x[i]);
+  }
+
+  template <typename T>
+  void sqrt_n(const T* x, T* out, std::size_t n) {
+    if (!screened_) return base_.sqrt_n(x, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = sqrt(x[i]);
+  }
+
+  template <typename T>
+  void log2_n(const T* x, T* out, std::size_t n) {
+    if (!screened_) return base_.log2_n(x, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = log2(x[i]);
+  }
+
+  template <typename T>
+  void exp2_n(const T* x, T* out, std::size_t n) {
+    if (!screened_) return base_.exp2_n(x, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = exp2(x[i]);
+  }
+
+  template <typename T>
+  void fma_n(const T* a, const T* b, const T* c, T* out, std::size_t n) {
+    if (!screened_) return base_.fma_n(a, b, c, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = fma(a[i], b[i], c[i]);
+  }
+
  private:
   void refresh() { screened_ = config().screened(); }
 

@@ -51,11 +51,14 @@ class FpContext {
   void begin_epoch(std::uint64_t e) { guarded_.begin_epoch(e); }
   void end_launch() { guarded_.end_launch(); }
 
-  /// The context active on this thread, or nullptr.
-  static FpContext* current();
+  /// The context active on this thread, or nullptr. Fully inline (the slot
+  /// is an `inline static thread_local` member) so a hot-loop lookup is one
+  /// TLS load the compiler can hoist and cache, not an out-of-line call.
+  static FpContext* current() { return tls_current_; }
 
  private:
   friend class ScopedContext;
+  inline static thread_local FpContext* tls_current_ = nullptr;
   fault::GuardedDispatch guarded_;
   PerfCounters counters_;
 };
@@ -63,8 +66,10 @@ class FpContext {
 /// RAII installer for the thread-local active context.
 class ScopedContext {
  public:
-  explicit ScopedContext(FpContext& ctx);
-  ~ScopedContext();
+  explicit ScopedContext(FpContext& ctx) : prev_(FpContext::tls_current_) {
+    FpContext::tls_current_ = &ctx;
+  }
+  ~ScopedContext() { FpContext::tls_current_ = prev_; }
   ScopedContext(const ScopedContext&) = delete;
   ScopedContext& operator=(const ScopedContext&) = delete;
 

@@ -56,10 +56,45 @@ class SimReal {
     return SimReal(a.v_ / b.v_);
   }
   SimReal operator-() const { return SimReal(-v_); }
-  SimReal& operator+=(SimReal o) { return *this = *this + o; }
-  SimReal& operator-=(SimReal o) { return *this = *this - o; }
-  SimReal& operator*=(SimReal o) { return *this = *this * o; }
-  SimReal& operator/=(SimReal o) { return *this = *this / o; }
+  // Compound assignments mutate in place off a single cached context pointer
+  // (one TLS lookup, one inline counter increment) instead of re-entering
+  // the binary operator through a temporary.
+  SimReal& operator+=(SimReal o) {
+    if (auto* c = FpContext::current()) {
+      c->bump(OpClass::FAdd);
+      v_ = c->guarded().add(v_, o.v_);
+    } else {
+      v_ = v_ + o.v_;
+    }
+    return *this;
+  }
+  SimReal& operator-=(SimReal o) {
+    if (auto* c = FpContext::current()) {
+      c->bump(OpClass::FAdd);
+      v_ = c->guarded().sub(v_, o.v_);
+    } else {
+      v_ = v_ - o.v_;
+    }
+    return *this;
+  }
+  SimReal& operator*=(SimReal o) {
+    if (auto* c = FpContext::current()) {
+      c->bump(OpClass::FMul);
+      v_ = c->guarded().mul(v_, o.v_);
+    } else {
+      v_ = v_ * o.v_;
+    }
+    return *this;
+  }
+  SimReal& operator/=(SimReal o) {
+    if (auto* c = FpContext::current()) {
+      c->bump(OpClass::FDiv);
+      v_ = c->guarded().div(v_, o.v_);
+    } else {
+      v_ = v_ / o.v_;
+    }
+    return *this;
+  }
 
   friend bool operator==(SimReal a, SimReal b) { return a.v_ == b.v_; }
   friend bool operator!=(SimReal a, SimReal b) { return a.v_ != b.v_; }

@@ -3,13 +3,16 @@
 // or imprecise implementation according to an IhwConfig -- the software
 // analogue of the per-unit enable knob the paper added to GPGPU-Sim.
 #include "ihw/acfp_mul.h"
+#include "ihw/batch.h"
 #include "ihw/config.h"
 #include "ihw/ifp_add.h"
 #include "ihw/ifp_mul.h"
 #include "ihw/sfu.h"
 #include "ihw/trunc_mul.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 namespace ihw {
 
@@ -82,6 +85,122 @@ class FpDispatch {
     // units are configured as (matches how GPGPU-Sim decomposes MAD when the
     // fused unit is disabled).
     return add(mul(a, b), c);
+  }
+
+  // --- span entry points (the batched SoA fast path) -----------------------
+  // Each resolves the configuration once for the whole span and hands the
+  // loop to batch.h; every element is bit-identical to the scalar method
+  // above applied at the same index.
+
+  template <typename T>
+  void add_n(const T* a, const T* b, T* out, std::size_t n) const {
+    if (cfg_.add_enabled) {
+      batch::ifp_add_n(a, b, out, n, cfg_.add_th);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+    }
+  }
+
+  template <typename T>
+  void sub_n(const T* a, const T* b, T* out, std::size_t n) const {
+    if (cfg_.add_enabled) {
+      batch::ifp_sub_n(a, b, out, n, cfg_.add_th);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+    }
+  }
+
+  template <typename T>
+  void mul_n(const T* a, const T* b, T* out, std::size_t n) const {
+    switch (cfg_.mul_mode) {
+      case MulMode::Precise:
+        for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+        return;
+      case MulMode::ImpreciseSimple: batch::ifp_mul_n(a, b, out, n); return;
+      case MulMode::MitchellLog:
+        batch::acfp_mul_n(a, b, out, n, AcfpPath::Log, cfg_.mul_trunc);
+        return;
+      case MulMode::MitchellFull:
+        batch::acfp_mul_n(a, b, out, n, AcfpPath::Full, cfg_.mul_trunc);
+        return;
+      case MulMode::BitTruncated:
+        batch::trunc_mul_n(a, b, out, n, cfg_.mul_trunc);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+  }
+
+  template <typename T>
+  void div_n(const T* a, const T* b, T* out, std::size_t n) const {
+    if (cfg_.div_enabled) {
+      batch::ifp_div_n(a, b, out, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = a[i] / b[i];
+    }
+  }
+
+  template <typename T>
+  void rcp_n(const T* x, T* out, std::size_t n) const {
+    if (cfg_.rcp_enabled) {
+      batch::ircp_n(x, out, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = T(1) / x[i];
+    }
+  }
+
+  template <typename T>
+  void rsqrt_n(const T* x, T* out, std::size_t n) const {
+    if (cfg_.rsqrt_enabled) {
+      batch::irsqrt_n(x, out, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = T(1) / std::sqrt(x[i]);
+    }
+  }
+
+  template <typename T>
+  void sqrt_n(const T* x, T* out, std::size_t n) const {
+    if (cfg_.sqrt_enabled) {
+      batch::isqrt_n(x, out, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = std::sqrt(x[i]);
+    }
+  }
+
+  template <typename T>
+  void log2_n(const T* x, T* out, std::size_t n) const {
+    if (cfg_.log2_enabled) {
+      batch::ilog2_n(x, out, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = std::log2(x[i]);
+    }
+  }
+
+  template <typename T>
+  void exp2_n(const T* x, T* out, std::size_t n) const {
+    if (cfg_.exp2_enabled) {
+      batch::iexp2_n(x, out, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = std::exp2(x[i]);
+    }
+  }
+
+  template <typename T>
+  void fma_n(const T* a, const T* b, const T* c, T* out, std::size_t n) const {
+    if (cfg_.fma_enabled) {
+      batch::ifp_fma_n(a, b, c, out, n, cfg_.add_th);
+      return;
+    }
+    // Decomposed mul-then-add, span-wise through a stack tile; each stage
+    // goes through its own configured span so the element-wise composition
+    // matches the scalar fma() exactly (ISO C++ forbids fusing the precise
+    // mul/add pair, so the two-pass form is bit-identical).
+    constexpr std::size_t kTile = 256;
+    T tmp[kTile];
+    for (std::size_t i = 0; i < n; i += kTile) {
+      const std::size_t m = std::min(kTile, n - i);
+      mul_n(a + i, b + i, tmp, m);
+      add_n(tmp, c + i, out + i, m);
+    }
   }
 
  private:

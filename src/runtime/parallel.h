@@ -174,6 +174,36 @@ void parallel_for(std::uint64_t n, Body&& body, int threads = 0) {
   gpu::finish_launch();
 }
 
+/// Chunked driver for the batched SoA path (gpu/batch.h): splits [0, n)
+/// into fixed-size chunks, labels each chunk with its schedule-invariant
+/// epoch (the chunk index), and runs body(begin, end) -- which is expected
+/// to issue span-level batch_* calls over [begin, end) -- across the pool.
+/// The chunk decomposition depends only on `chunk`, never on the thread
+/// count, so epoch labels (and with them the fault stream and guard/breaker
+/// decisions) are identical at any --threads=N. Chunks must write disjoint
+/// outputs, the same independence rule as parallel_for.
+template <typename Body>
+void batch_apply(std::uint64_t n, std::uint64_t chunk, Body&& body,
+                 int threads = 0) {
+  if (chunk == 0) chunk = 1;
+  const std::uint64_t nchunks = (n + chunk - 1) / chunk;
+  const int shards = detail::resolve_shards(threads, nchunks);
+  if (shards <= 1) {
+    for (std::uint64_t c = 0; c < nchunks; ++c)
+      gpu::run_epoch(c,
+                     [&] { body(c * chunk, std::min(n, (c + 1) * chunk)); });
+    gpu::finish_launch();
+    return;
+  }
+  detail::run_sharded(shards, [&](int s) {
+    const auto [c0, c1] = detail::shard_range(nchunks, shards, s);
+    for (std::uint64_t c = c0; c < c1; ++c)
+      gpu::run_epoch(c,
+                     [&] { body(c * chunk, std::min(n, (c + 1) * chunk)); });
+  });
+  gpu::finish_launch();
+}
+
 /// Deterministic ordered reduction for stateful consumers (the QMC error
 /// sweeps): splits [0, n) into fixed-size chunks, evaluates
 /// produce(chunk_begin, chunk_end) -> T concurrently in waves, and feeds each

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Gate on the batched-SoA speedups in a google-benchmark JSON report.
+
+Usage: check_bench_regression.py BENCH.json
+
+The batched span kernels (src/ihw/batch.h) are only worth their complexity
+while they stay far ahead of the element-wise SimReal path, so the gate is
+expressed machine-independently as the scalar/batch time ratio of each
+benchmark pair rather than absolute times: a vectorized kernel that slips
+under its floor has regressed grossly (>3x from its measured-at-merge
+margin), whatever the host.
+
+Pairs whose batch side intentionally runs element-wise (the screened
+`guarded` configuration, the scalar-datapath `acfp_full` mode) only gate
+against the batch entry point becoming grossly *slower* than the scalar
+loop it wraps.
+"""
+
+import json
+import sys
+
+# scalar-name -> minimum scalar/batch time ratio.
+FLOORS = {
+    # Headline pairs (EXPERIMENTS.md "host performance"): acceptance is >= 3x.
+    "BM_SpanMulScalar/ifp": 3.0,
+    "BM_QmcCharScalar": 3.0,
+    # Other vectorized kernels: same floor.
+    "BM_SpanMulScalar/acfp_log": 3.0,
+    "BM_SpanMulScalar/trunc": 3.0,
+    "BM_SpanAddScalar/ifp": 3.0,
+    "BM_SpanMulScalar/precise": 2.0,
+    "BM_SpanAddScalar/precise": 2.0,
+    # Element-wise-by-design batch paths: only catch gross overhead.
+    "BM_SpanMulScalar/guarded": 1.0 / 3.0,
+    "BM_SpanMulScalar/acfp_full": 1.0 / 3.0,
+}
+
+
+def batch_name(scalar_name: str) -> str:
+    return scalar_name.replace("Scalar", "Batch")
+
+
+def load_times(path: str) -> dict:
+    with open(path) as f:
+        report = json.load(f)
+    times = {}
+    for bench in report.get("benchmarks", []):
+        # Prefer the mean aggregate when repetitions were requested; fall back
+        # to the plain entry for single-run reports.
+        if bench.get("aggregate_name") not in (None, "mean"):
+            continue
+        name = bench["name"].replace("_mean", "")
+        if bench.get("aggregate_name") == "mean" or name not in times:
+            times[name] = float(bench["real_time"])
+    return times
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    times = load_times(sys.argv[1])
+    failures = []
+    for scalar, floor in FLOORS.items():
+        batch = batch_name(scalar)
+        if scalar not in times or batch not in times:
+            failures.append(f"missing benchmark pair: {scalar} / {batch}")
+            continue
+        ratio = times[scalar] / times[batch]
+        status = "ok" if ratio >= floor else "FAIL"
+        print(f"{scalar:32s} {ratio:7.2f}x  (floor {floor:.2f}x)  {status}")
+        if ratio < floor:
+            failures.append(
+                f"{scalar}: scalar/batch ratio {ratio:.2f}x below floor "
+                f"{floor:.2f}x"
+            )
+    if failures:
+        print("\nbatched-kernel performance regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall batched-kernel speedups at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
