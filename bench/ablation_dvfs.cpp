@@ -3,6 +3,10 @@
 // power consumption"). A first-order DVFS model (dynamic power ~ V^2 f with
 // f ~ V, so ~V^3; static ~ V) applied on top of the HotSpot breakdown, with
 // and without the IHW units enabled.
+//
+// The single precise HotSpot reference run is a memoized sweep point
+// (--cache-dir=DIR persists its counters); the DVFS rows are analytic.
+#include <chrono>
 #include <cstdio>
 
 #include "apps/hotspot.h"
@@ -10,6 +14,8 @@
 #include "common/args.h"
 #include "common/table.h"
 #include "runtime/parallel.h"
+#include "sweep/json.h"
+#include "sweep/sweep.h"
 
 using namespace ihw;
 using namespace ihw::apps;
@@ -37,21 +43,43 @@ int main(int argc, char** argv) {
   common::Args args(argc, argv);
   std::printf("[runtime] threads=%d\n",
               runtime::configure_threads_from_args(args));
+  sweep::EvalCache cache(args.get("cache-dir", ""));
+  const std::string json_path = args.get("json", "");
   HotspotParams p;
   p.rows = p.cols = static_cast<std::size_t>(args.get_int("size", 192));
   p.iterations = 20;
-  const auto input = make_hotspot_input(p, 7);
-  const auto counters = run_with_config(
-      IhwConfig::precise(), [&] { run_hotspot<gpu::SimFloat>(p, input); });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const IhwConfig precise = IhwConfig::precise();
+  const sweep::Workload workload{
+      "hotspot",
+      {{"rows", double(p.rows)}, {"cols", double(p.cols)},
+       {"iterations", double(p.iterations)}},
+      7};
+  std::vector<sweep::GridPoint> points;
+  points.push_back({workload.fingerprint(&precise), [&] {
+                      sweep::EvalRecord rec;
+                      const auto input = make_hotspot_input(p, 7);
+                      rec.perf = run_with_config(precise, [&] {
+                        run_hotspot<gpu::SimFloat>(p, input);
+                      });
+                      return rec;
+                    }});
+  const auto grid = sweep::run_grid(points, &cache);
 
   gpu::GpuPowerParams params;
   params.dram_fraction = 0.15;
-  const auto rep = analyze_gpu_run(counters, IhwConfig::all_imprecise(), params);
+  const auto rep =
+      analyze_gpu_run(grid.records[0].perf, IhwConfig::all_imprecise(), params);
   const double base_w = rep.breakdown.total_w;
   const double ihw_saving = rep.savings.system_power_impr;
 
   common::Table t({"technique", "power (W)", "saving", "relative perf",
                    "quality"});
+  sweep::Json rows = sweep::Json::array();
+  char hex[24];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(points[0].fp));
   auto row = [&](const char* name, Operating op, const char* quality) {
     t.row()
         .add(name)
@@ -59,6 +87,13 @@ int main(int argc, char** argv) {
         .add(common::pct(1.0 - op.power_w / base_w))
         .add(common::fmt(op.perf, 2) + "x")
         .add(quality);
+    rows.push(sweep::Json::object()
+                  .set("technique", name)
+                  .set("fingerprint", hex)
+                  .set("power_w", op.power_w)
+                  .set("saving", 1.0 - op.power_w / base_w)
+                  .set("relative_perf", op.perf)
+                  .set("cache_hit", grid.cache_hit[0] != 0));
   };
   row("baseline (precise, nominal V)", {base_w, 1.0, 1.0}, "exact");
   row("DVFS to 0.9 V", apply_dvfs(rep.breakdown, 0.0, 0.9), "exact");
@@ -77,5 +112,27 @@ int main(int argc, char** argv) {
               "reaching ~%.0f%%+ saving where neither alone can)\n",
               (1.0 - apply_dvfs(rep.breakdown, ihw_saving, 0.8).power_w /
                          base_w) * 100.0);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  std::fprintf(stderr,
+               "[sweep] hits=%llu misses=%llu disk_hits=%llu stores=%llu "
+               "elapsed_ms=%.1f\n",
+               static_cast<unsigned long long>(cache.hits()),
+               static_cast<unsigned long long>(cache.misses()),
+               static_cast<unsigned long long>(cache.disk_hits()),
+               static_cast<unsigned long long>(cache.stores()), ms);
+  if (!json_path.empty()) {
+    sweep::Json doc = sweep::Json::object();
+    doc.set("bench", "ablation_dvfs")
+        .set("size", static_cast<std::uint64_t>(p.rows))
+        .set("elapsed_ms", ms)
+        .set("cache_hits", cache.hits())
+        .set("cache_misses", cache.misses())
+        .set("disk_hits", cache.disk_hits())
+        .set("rows", std::move(rows));
+    if (!doc.write_file(json_path))
+      std::fprintf(stderr, "[sweep] failed to write %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -5,13 +5,22 @@
 // difference between unguarded collapse and the guard's graceful per-unit
 // degradation.
 //
+// The sweep runs through the memoizing engine (DESIGN.md §11): the precise
+// references and generated inputs are lazily shared across all points, each
+// (app, rate, guard) point is fingerprinted and memoized (--cache-dir=DIR
+// persists rows across runs), and cold points evaluate concurrently across
+// the thread pool. Table output is byte-identical to the sequential sweep.
+//
 //   --threads=N      worker threads (0 = hardware concurrency)
 //   --fault-rate=R   restrict the sweep to one per-op fault probability
 //   --guard=0|1      restrict to unguarded / guarded runs
 //   --retry          also re-run tripped blocks precise (guarded rows)
 //   --size=N         HotSpot grid = N x N, RAY image = N x N (default 128)
 //   --seed=S         fault-injection seed
+//   --cache-dir=D    persist per-point records under D
+//   --json=PATH      structured results (fingerprint/quality/cache per row)
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -26,6 +35,9 @@
 #include "quality/grid_metrics.h"
 #include "quality/ssim.h"
 #include "runtime/parallel.h"
+#include "sweep/json.h"
+#include "sweep/shared.h"
+#include "sweep/sweep.h"
 
 using namespace ihw;
 using namespace ihw::apps;
@@ -56,29 +68,52 @@ int main(int argc, char** argv) try {
   const auto seed = static_cast<std::uint64_t>(
       args.get_int("seed", 0x51ce));
   const bool retry = args.get_bool("retry", false);
+  sweep::EvalCache cache(args.get("cache-dir", ""));
+  const std::string json_path = args.get("json", "");
 
   std::vector<double> rates = {0.0, 1e-5, 1e-4, 1e-3, 1e-2};
   if (args.has("fault-rate")) rates = {args.get_double("fault-rate", 0.0)};
   std::vector<bool> guards = {false, true};
   if (args.has("guard")) guards = {args.get_bool("guard", true)};
 
-  // Precise references (the fault layer never touches precise datapaths).
+  const auto t0 = std::chrono::steady_clock::now();
+
   HotspotParams hp;
   hp.rows = hp.cols = size;
   hp.iterations = 8;
   hp.steady_init = false;
-  const auto hs_input = make_hotspot_input(hp, 7);
-  common::GridF hs_ref;
-  run_with_config(IhwConfig::precise(),
-                  [&] { hs_ref = run_hotspot<gpu::SimFloat>(hp, hs_input); });
-
   RayParams rp;
   rp.width = rp.height = size;
-  const auto ray_ref = render_ray<float>(rp);
 
-  common::Table t({"app", "fault rate", "guard", "quality", "injected",
-                   "trips", "degr epochs", "run degr", "retried"});
+  // Shared inputs and precise references (the fault layer never touches
+  // precise datapaths): computed at most once, by whichever point demands
+  // them first -- a fully warm-cache run never materializes them at all.
+  sweep::Shared<HotspotInput> hs_input([&] { return make_hotspot_input(hp, 7); });
+  sweep::Shared<common::GridF> hs_ref([&] {
+    common::GridF ref;
+    run_with_config(IhwConfig::precise(),
+                    [&] { ref = run_hotspot<gpu::SimFloat>(hp, hs_input.get()); });
+    return ref;
+  });
+  sweep::Shared<common::RgbImage> ray_ref([&] { return render_ray<float>(rp); });
 
+  const sweep::Workload hs_work{
+      "hotspot",
+      {{"rows", double(hp.rows)}, {"cols", double(hp.cols)},
+       {"iterations", double(hp.iterations)}, {"steady_init", 0.0}},
+      7};
+  const sweep::Workload ray_work{
+      "ray", {{"width", double(rp.width)}, {"height", double(rp.height)}}, 0};
+
+  // One grid point per table row, in row order.
+  struct Row {
+    const char* app;
+    double rate;
+    const char* gname;
+    const char* metric;  // quality metric name for table/json
+  };
+  std::vector<Row> rows_meta;
+  std::vector<sweep::GridPoint> points;
   for (double rate : rates) {
     for (bool guard : guards) {
       IhwConfig cfg = IhwConfig::all_imprecise();
@@ -87,32 +122,66 @@ int main(int argc, char** argv) try {
       cfg.guard.retry_epoch = guard && retry;
       const char* gname = guard ? (retry ? "on+retry" : "on") : "off";
 
-      auto add_row = [&](const char* app, const std::string& quality,
-                         const fault::FaultCounters& f) {
-        t.row()
-            .add(app)
-            .add(rate_str(rate))
-            .add(gname)
-            .add(quality)
-            .add(static_cast<long long>(f.total_injected()))
-            .add(static_cast<long long>(f.total_trips()))
-            .add(sum(f.degraded_epochs))
-            .add(sum(f.run_degradations))
-            .add(static_cast<long long>(f.retried_epochs));
-      };
+      rows_meta.push_back({"hotspot", rate, gname, "mae"});
+      points.push_back({hs_work.fingerprint(&cfg), [&, cfg] {
+                          sweep::EvalRecord rec;
+                          common::GridF out;
+                          const auto run = run_guarded(cfg, [&] {
+                            out = run_hotspot<gpu::SimFloat>(hp, hs_input.get());
+                          });
+                          rec.perf = run.perf;
+                          rec.faults = run.faults;
+                          rec.set_metric("quality",
+                                         quality::mae(hs_ref.get(), out));
+                          return rec;
+                        }});
 
-      common::GridF hs_out;
-      const auto hs_run = run_guarded_parallel(
-          cfg, threads,
-          [&] { hs_out = run_hotspot<gpu::SimFloat>(hp, hs_input); });
-      add_row("hotspot", "mae=" + common::fmt(quality::mae(hs_ref, hs_out), 4),
-              hs_run.faults);
+      rows_meta.push_back({"ray", rate, gname, "ssim"});
+      points.push_back({ray_work.fingerprint(&cfg), [&, cfg] {
+                          sweep::EvalRecord rec;
+                          common::RgbImage out;
+                          const auto run = run_guarded(
+                              cfg, [&] { out = render_ray<gpu::SimFloat>(rp); });
+                          rec.perf = run.perf;
+                          rec.faults = run.faults;
+                          rec.set_metric(
+                              "quality", quality::ssim_rgb(ray_ref.get(), out));
+                          return rec;
+                        }});
+    }
+  }
 
-      common::RgbImage ray_out;
-      const auto ray_run = run_guarded_parallel(
-          cfg, threads, [&] { ray_out = render_ray<gpu::SimFloat>(rp); });
-      add_row("ray", "ssim=" + common::fmt(quality::ssim_rgb(ray_ref, ray_out), 4),
-              ray_run.faults);
+  const auto grid = sweep::run_grid(points, &cache);
+
+  common::Table t({"app", "fault rate", "guard", "quality", "injected",
+                   "trips", "degr epochs", "run degr", "retried"});
+  sweep::Json jrows = sweep::Json::array();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Row& r = rows_meta[i];
+    const sweep::EvalRecord& rec = grid.records[i];
+    const double q = rec.metric("quality");
+    t.row()
+        .add(r.app)
+        .add(rate_str(r.rate))
+        .add(r.gname)
+        .add(std::string(r.metric) + "=" + common::fmt(q, 4))
+        .add(static_cast<long long>(rec.faults.total_injected()))
+        .add(static_cast<long long>(rec.faults.total_trips()))
+        .add(sum(rec.faults.degraded_epochs))
+        .add(sum(rec.faults.run_degradations))
+        .add(static_cast<long long>(rec.faults.retried_epochs));
+    if (!json_path.empty()) {
+      char hex[24];
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(points[i].fp));
+      jrows.push(sweep::Json::object()
+                     .set("app", r.app)
+                     .set("fault_rate", r.rate)
+                     .set("guard", r.gname)
+                     .set("fingerprint", hex)
+                     .set(r.metric, q)
+                     .set("injected", rec.faults.total_injected())
+                     .set("cache_hit", grid.cache_hit[i] != 0));
     }
   }
 
@@ -123,6 +192,28 @@ int main(int argc, char** argv) try {
       "toward 0; the guard recovers corrupt results against the precise "
       "datapath and its breaker degrades persistently-failing unit classes "
       "to nominal voltage, so quality degrades gracefully instead)\n");
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  std::fprintf(stderr,
+               "[sweep] hits=%llu misses=%llu disk_hits=%llu stores=%llu "
+               "elapsed_ms=%.1f\n",
+               static_cast<unsigned long long>(cache.hits()),
+               static_cast<unsigned long long>(cache.misses()),
+               static_cast<unsigned long long>(cache.disk_hits()),
+               static_cast<unsigned long long>(cache.stores()), ms);
+  if (!json_path.empty()) {
+    sweep::Json doc = sweep::Json::object();
+    doc.set("bench", "ablation_fault_guard")
+        .set("size", static_cast<std::uint64_t>(size))
+        .set("elapsed_ms", ms)
+        .set("cache_hits", cache.hits())
+        .set("cache_misses", cache.misses())
+        .set("disk_hits", cache.disk_hits())
+        .set("rows", std::move(jrows));
+    if (!doc.write_file(json_path))
+      std::fprintf(stderr, "[sweep] failed to write %s\n", json_path.c_str());
+  }
   return 0;
 } catch (const ihw::common::ArgError& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

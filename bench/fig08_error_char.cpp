@@ -2,12 +2,19 @@
 // over a low-discrepancy (quasi-Monte-Carlo) input stream. Buckets are
 // x = ceil(log2(err%)) as in the paper; the paper uses 200M inputs -- the
 // sample count is a knob (--samples=200000000 reproduces it exactly).
+//
+// Runs through the memoizing sweep engine: units with the same operand
+// recipe share one quasi-MC stream (and exact-Mul reference), and every
+// unit's PMF is memoized by fingerprint (--cache-dir=DIR persists it).
+#include <chrono>
 #include <cstdio>
 
 #include "common/args.h"
 #include "common/table.h"
 #include "error/characterize.h"
 #include "runtime/parallel.h"
+#include "sweep/json.h"
+#include "sweep/sweep.h"
 
 using namespace ihw;
 
@@ -17,6 +24,8 @@ int main(int argc, char** argv) {
               runtime::configure_threads_from_args(args));
   const auto samples =
       static_cast<std::uint64_t>(args.get_int("samples", 4'000'000));
+  sweep::EvalCache cache(args.get("cache-dir", ""));
+  const std::string json_path = args.get("json", "");
 
   const error::UnitKind kinds[] = {
       error::UnitKind::FpAdd, error::UnitKind::FpMul, error::UnitKind::FpDiv,
@@ -26,8 +35,11 @@ int main(int argc, char** argv) {
 
   std::printf("== Fig. 8: 32-bit IHW error PMFs (%llu quasi-MC inputs) ==\n",
               static_cast<unsigned long long>(samples));
-  std::vector<error::CharResult> results;
-  for (auto k : kinds) results.push_back(error::characterize32(k, 0, samples));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<sweep::CharPoint> points;
+  for (auto k : kinds) points.push_back({k, 0, samples});
+  std::vector<char> hits;
+  const auto results = sweep::characterize_grid32(points, &cache, &hits);
 
   // One table: rows = log2 bucket, columns = units.
   int lo = 8, hi = -24;
@@ -53,5 +65,41 @@ int main(int argc, char** argv) {
   std::printf("%s", t.str().c_str());
   std::printf("(fpadd and log2 are frequent-small-magnitude; the others "
               "cluster toward -- but stay below -- their analytic bound)\n");
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+  std::fprintf(stderr,
+               "[sweep] hits=%llu misses=%llu disk_hits=%llu stores=%llu "
+               "elapsed_ms=%.1f\n",
+               static_cast<unsigned long long>(cache.hits()),
+               static_cast<unsigned long long>(cache.misses()),
+               static_cast<unsigned long long>(cache.disk_hits()),
+               static_cast<unsigned long long>(cache.stores()), ms);
+  if (!json_path.empty()) {
+    sweep::Json rows = sweep::Json::array();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      char hex[24];
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(
+                        sweep::char_fingerprint(points[i], false)));
+      rows.push(sweep::Json::object()
+                    .set("unit", results[i].label)
+                    .set("fingerprint", hex)
+                    .set("error_rate", results[i].pmf.error_rate())
+                    .set("max_rel_err", results[i].stats.max_rel())
+                    .set("cache_hit", hits[i] != 0));
+    }
+    sweep::Json doc = sweep::Json::object();
+    doc.set("bench", "fig08_error_char")
+        .set("samples", static_cast<std::uint64_t>(samples))
+        .set("elapsed_ms", ms)
+        .set("cache_hits", cache.hits())
+        .set("cache_misses", cache.misses())
+        .set("disk_hits", cache.disk_hits())
+        .set("rows", std::move(rows));
+    if (!doc.write_file(json_path))
+      std::fprintf(stderr, "[sweep] failed to write %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -2,6 +2,13 @@
 // FP multiplier, single and double precision. For every configuration we
 // measure the maximum error over a quasi-MC sweep and read its power from
 // the gate-model curves, reporting the power-reduction factor vs DesignWare.
+//
+// The characterization grid runs through the memoizing sweep engine
+// (DESIGN.md §11): all datapaths of one precision share a single quasi-MC
+// operand stream and exact-reference pass, and every point is memoized by
+// fingerprint -- pass --cache-dir=DIR to persist records across runs.
+// Table output on stdout is byte-identical to the pre-sweep implementation.
+#include <chrono>
 #include <cstdio>
 
 #include "common/args.h"
@@ -9,12 +16,15 @@
 #include "error/characterize.h"
 #include "power/nfm.h"
 #include "runtime/parallel.h"
+#include "sweep/json.h"
+#include "sweep/sweep.h"
 
 using namespace ihw;
 
 namespace {
 
-void sweep(bool is64, std::uint64_t samples, const power::SynthesisDb& db) {
+void sweep_precision(bool is64, std::uint64_t samples, const power::SynthesisDb& db,
+           sweep::EvalCache& cache, sweep::Json* json_rows) {
   const double dw =
       db.multiplier(MulMode::Precise, 0, is64).power_mw;
   struct Line {
@@ -33,11 +43,20 @@ void sweep(bool is64, std::uint64_t samples, const power::SynthesisDb& db) {
       {"bit_trunc", error::UnitKind::BitTrunc, MulMode::BitTruncated, trs_bt},
   };
 
+  // One shared-stream grid per precision: every (datapath, trunc) point of
+  // this table shares the operand stream and the exact product reference.
+  std::vector<sweep::CharPoint> points;
+  for (const auto& l : lines)
+    for (int tr : l.trs) points.push_back({l.kind, tr, samples});
+  std::vector<char> hits;
+  const auto results = is64 ? sweep::characterize_grid64(points, &cache, &hits)
+                            : sweep::characterize_grid32(points, &cache, &hits);
+
   common::Table t({"datapath", "trunc", "max err%", "power(mW)", "reduction"});
+  std::size_t idx = 0;
   for (const auto& l : lines) {
     for (int tr : l.trs) {
-      const auto res = is64 ? error::characterize64(l.kind, tr, samples)
-                            : error::characterize32(l.kind, tr, samples);
+      const auto& res = results[idx];
       const auto m = db.multiplier(l.mode, tr, is64);
       t.row()
           .add(l.name)
@@ -45,6 +64,22 @@ void sweep(bool is64, std::uint64_t samples, const power::SynthesisDb& db) {
           .add(res.stats.max_rel() * 100.0, 2)
           .add(m.power_mw, 2)
           .add(common::fmt(dw / m.power_mw, 1) + "X");
+      if (json_rows != nullptr) {
+        char hex[24];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(
+                          sweep::char_fingerprint(points[idx], is64)));
+        json_rows->push(sweep::Json::object()
+                            .set("precision", is64 ? 64 : 32)
+                            .set("datapath", l.name)
+                            .set("trunc", tr)
+                            .set("fingerprint", hex)
+                            .set("max_err_pct", res.stats.max_rel() * 100.0)
+                            .set("power_mw", m.power_mw)
+                            .set("reduction", dw / m.power_mw)
+                            .set("cache_hit", hits[idx] != 0));
+      }
+      ++idx;
     }
   }
   std::printf("-- %d-bit imprecise FP multiplier --\n", is64 ? 64 : 32);
@@ -59,13 +94,41 @@ int main(int argc, char** argv) {
               runtime::configure_threads_from_args(args));
   const auto samples =
       static_cast<std::uint64_t>(args.get_int("samples", 400'000));
+  sweep::EvalCache cache(args.get("cache-dir", ""));
+  const std::string json_path = args.get("json", "");
+  sweep::Json rows = sweep::Json::array();
+
+  const auto t0 = std::chrono::steady_clock::now();
   const power::SynthesisDb db;
   std::printf("== Fig. 14: power-quality trade-off, accuracy-configurable "
               "multiplier ==\n");
-  sweep(false, samples, db);
-  sweep(true, samples, db);
+  sweep_precision(false, samples, db, cache, json_path.empty() ? nullptr : &rows);
+  sweep_precision(true, samples, db, cache, json_path.empty() ? nullptr : &rows);
   std::printf("(paper: log path >25X at tr19 / 18%% err; intuitive "
               "truncation saturates near 2.3X at ~21%% err; 49X at tr48 for "
               "64-bit)\n");
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+  std::fprintf(stderr,
+               "[sweep] hits=%llu misses=%llu disk_hits=%llu stores=%llu "
+               "elapsed_ms=%.1f\n",
+               static_cast<unsigned long long>(cache.hits()),
+               static_cast<unsigned long long>(cache.misses()),
+               static_cast<unsigned long long>(cache.disk_hits()),
+               static_cast<unsigned long long>(cache.stores()), ms);
+  if (!json_path.empty()) {
+    sweep::Json doc = sweep::Json::object();
+    doc.set("bench", "fig14_power_quality")
+        .set("samples", static_cast<std::uint64_t>(samples))
+        .set("elapsed_ms", ms)
+        .set("cache_hits", cache.hits())
+        .set("cache_misses", cache.misses())
+        .set("disk_hits", cache.disk_hits())
+        .set("rows", std::move(rows));
+    if (!doc.write_file(json_path))
+      std::fprintf(stderr, "[sweep] failed to write %s\n", json_path.c_str());
+  }
   return 0;
 }

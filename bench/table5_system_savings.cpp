@@ -1,6 +1,12 @@
 // Table 5: system-level power savings summary across the three GPU
 // applications (one aggregated harness; the per-figure binaries report the
 // same rows with quality detail).
+//
+// The three precise reference runs go through the memoizing sweep engine:
+// each is a fingerprinted grid point evaluated across the thread pool and
+// memoized (--cache-dir=DIR persists the counters), and the three RAY rows
+// share the single RAY reference run instead of re-rendering.
+#include <chrono>
 #include <cstdio>
 
 #include "apps/hotspot.h"
@@ -10,6 +16,8 @@
 #include "common/args.h"
 #include "common/table.h"
 #include "runtime/parallel.h"
+#include "sweep/json.h"
+#include "sweep/sweep.h"
 
 using namespace ihw;
 using namespace ihw::apps;
@@ -19,20 +27,81 @@ int main(int argc, char** argv) {
   std::printf("[runtime] threads=%d\n",
               runtime::configure_threads_from_args(args));
   const double scale = args.get_double("scale", 1.0);
+  sweep::EvalCache cache(args.get("cache-dir", ""));
+  const std::string json_path = args.get("json", "");
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  HotspotParams hs;
+  hs.rows = hs.cols = static_cast<std::size_t>(256 * scale);
+  hs.iterations = 30;
+  SradParams sr;
+  sr.rows = sr.cols = static_cast<std::size_t>(160 * scale);
+  sr.iterations = 40;
+  RayParams ray;
+  ray.width = ray.height = static_cast<std::size_t>(192 * scale);
+
+  const IhwConfig precise = IhwConfig::precise();
+  const sweep::Workload workloads[] = {
+      {"hotspot",
+       {{"rows", double(hs.rows)}, {"cols", double(hs.cols)},
+        {"iterations", double(hs.iterations)}},
+       7},
+      {"srad",
+       {{"rows", double(sr.rows)}, {"cols", double(sr.cols)},
+        {"iterations", double(sr.iterations)}},
+       11},
+      {"ray", {{"width", double(ray.width)}, {"height", double(ray.height)}}, 0},
+  };
+
+  // One grid point per precise reference run; the pool evaluates cold points
+  // concurrently and equal fingerprints collapse to one evaluation.
+  std::vector<sweep::GridPoint> points;
+  points.push_back({workloads[0].fingerprint(&precise), [&] {
+                      sweep::EvalRecord rec;
+                      const auto in = make_hotspot_input(hs, 7);
+                      rec.perf = run_with_config(
+                          precise, [&] { run_hotspot<gpu::SimFloat>(hs, in); });
+                      return rec;
+                    }});
+  points.push_back({workloads[1].fingerprint(&precise), [&] {
+                      sweep::EvalRecord rec;
+                      const auto in = make_srad_input(sr, 11);
+                      rec.perf = run_with_config(precise, [&] {
+                        run_srad<gpu::SimFloat>(sr, in.image);
+                      });
+                      return rec;
+                    }});
+  points.push_back({workloads[2].fingerprint(&precise), [&] {
+                      sweep::EvalRecord rec;
+                      rec.perf = run_with_config(
+                          precise, [&] { render_ray<gpu::SimFloat>(ray); });
+                      return rec;
+                    }});
+  const auto grid = sweep::run_grid(points, &cache);
 
   common::Table t({"application", "config", "sys saving", "paper",
                    "arith saving", "paper "});
+  sweep::Json rows = sweep::Json::array();
+  auto add_json = [&](const char* app, const IhwConfig& cfg, std::size_t pt,
+                      const power::SystemSavings& s) {
+    char hex[24];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(points[pt].fp));
+    rows.push(sweep::Json::object()
+                  .set("application", app)
+                  .set("config", cfg.describe())
+                  .set("fingerprint", hex)
+                  .set("sys_saving", s.system_power_impr)
+                  .set("arith_saving", s.arith_power_impr)
+                  .set("cache_hit", grid.cache_hit[pt] != 0));
+  };
 
   {
-    HotspotParams p;
-    p.rows = p.cols = static_cast<std::size_t>(256 * scale);
-    p.iterations = 30;
-    const auto in = make_hotspot_input(p, 7);
-    const auto counters = run_with_config(
-        IhwConfig::precise(), [&] { run_hotspot<gpu::SimFloat>(p, in); });
     gpu::GpuPowerParams params;
     params.dram_fraction = 0.15;
-    const auto rep = analyze_gpu_run(counters, IhwConfig::all_imprecise(), params);
+    const auto rep = analyze_gpu_run(grid.records[0].perf,
+                                     IhwConfig::all_imprecise(), params);
     t.row()
         .add("Hotspot")
         .add("all IHW")
@@ -40,17 +109,13 @@ int main(int argc, char** argv) {
         .add("32.06%")
         .add(common::pct(rep.savings.arith_power_impr))
         .add("91.54%");
+    add_json("Hotspot", IhwConfig::all_imprecise(), 0, rep.savings);
   }
   {
-    SradParams p;
-    p.rows = p.cols = static_cast<std::size_t>(160 * scale);
-    p.iterations = 40;
-    const auto in = make_srad_input(p, 11);
-    const auto counters = run_with_config(
-        IhwConfig::precise(), [&] { run_srad<gpu::SimFloat>(p, in.image); });
     gpu::GpuPowerParams params;
     params.dram_fraction = 0.30;
-    const auto rep = analyze_gpu_run(counters, IhwConfig::all_imprecise(), params);
+    const auto rep = analyze_gpu_run(grid.records[1].perf,
+                                     IhwConfig::all_imprecise(), params);
     t.row()
         .add("SRAD")
         .add("all IHW")
@@ -58,12 +123,9 @@ int main(int argc, char** argv) {
         .add("24.23%")
         .add(common::pct(rep.savings.arith_power_impr))
         .add("90.68%");
+    add_json("SRAD", IhwConfig::all_imprecise(), 1, rep.savings);
   }
   {
-    RayParams p;
-    p.width = p.height = static_cast<std::size_t>(192 * scale);
-    const auto counters = run_with_config(IhwConfig::precise(),
-                                          [&] { render_ray<gpu::SimFloat>(p); });
     gpu::GpuPowerParams params;
     params.dram_fraction = 0.25;
     params.frontend_pj = 14.0;
@@ -79,7 +141,7 @@ int main(int argc, char** argv) {
          "13.56%", "47.86%"},
     };
     for (const auto& r : ray_rows) {
-      const auto rep = analyze_gpu_run(counters, r.cfg, params);
+      const auto rep = analyze_gpu_run(grid.records[2].perf, r.cfg, params);
       t.row()
           .add(r.name)
           .add(r.cfg.describe())
@@ -87,6 +149,7 @@ int main(int argc, char** argv) {
           .add(r.sys)
           .add(common::pct(rep.savings.arith_power_impr))
           .add(r.arith);
+      add_json(r.name, r.cfg, 2, rep.savings);
     }
   }
 
@@ -94,5 +157,27 @@ int main(int argc, char** argv) {
   std::printf("%s", t.str().c_str());
   std::printf("(ordering holds: Hotspot > SRAD > RAY, and within RAY the "
               "savings grow with each enabled unit)\n");
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  std::fprintf(stderr,
+               "[sweep] hits=%llu misses=%llu disk_hits=%llu stores=%llu "
+               "elapsed_ms=%.1f\n",
+               static_cast<unsigned long long>(cache.hits()),
+               static_cast<unsigned long long>(cache.misses()),
+               static_cast<unsigned long long>(cache.disk_hits()),
+               static_cast<unsigned long long>(cache.stores()), ms);
+  if (!json_path.empty()) {
+    sweep::Json doc = sweep::Json::object();
+    doc.set("bench", "table5_system_savings")
+        .set("scale", scale)
+        .set("elapsed_ms", ms)
+        .set("cache_hits", cache.hits())
+        .set("cache_misses", cache.misses())
+        .set("disk_hits", cache.disk_hits())
+        .set("rows", std::move(rows));
+    if (!doc.write_file(json_path))
+      std::fprintf(stderr, "[sweep] failed to write %s\n", json_path.c_str());
+  }
   return 0;
 }

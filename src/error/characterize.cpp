@@ -1,5 +1,6 @@
 #include "error/characterize.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 #include <vector>
@@ -95,82 +96,137 @@ std::pair<double, double> sample_unit(UnitKind kind, int param, int spread,
   return {exact, approx};
 }
 
-/// SoA evaluation of one chunk: the approximate unit runs as one span
-/// through the batched kernels of ihw/batch.h (bit-identical per element to
-/// the scalar unit calls sample_unit makes), and the exact reference is a
-/// plain vectorizable double loop. sample_unit above remains the scalar
-/// reference; tests/test_batch.cpp checks the two agree.
-template <typename T>
-void eval_unit_batch(UnitKind kind, int param, std::size_t m, const T* a,
-                     const T* b, const T* c, double* exact, T* approx) {
+/// The exact-reference operation a unit kind is measured against. Distinct
+/// unit kinds can share one reference: all four multiplier datapaths are
+/// exact-Mul, which is what lets the shared-stream grid driver below compute
+/// one reference span for a whole multiplier design space.
+enum class ExactOp { Add, Sub, Mul, Div, Rcp, Rsqrt, Sqrt, Log2, Exp2, Fma };
+
+ExactOp exact_op(UnitKind kind) {
   switch (kind) {
-    case UnitKind::FpAdd:
-      batch::ifp_add_n(a, b, approx, m, param ? param : kDefaultAddTh);
+    case UnitKind::FpAdd: return ExactOp::Add;
+    case UnitKind::FpSub: return ExactOp::Sub;
+    case UnitKind::FpDiv: return ExactOp::Div;
+    case UnitKind::Rcp: return ExactOp::Rcp;
+    case UnitKind::Rsqrt: return ExactOp::Rsqrt;
+    case UnitKind::Sqrt: return ExactOp::Sqrt;
+    case UnitKind::Log2: return ExactOp::Log2;
+    case UnitKind::Exp2: return ExactOp::Exp2;
+    case UnitKind::Fma: return ExactOp::Fma;
+    case UnitKind::FpMul:
+    case UnitKind::AcfpLog:
+    case UnitKind::AcfpFull:
+    case UnitKind::BitTrunc: return ExactOp::Mul;
+  }
+  return ExactOp::Mul;
+}
+
+/// Exact-reference span: a plain vectorizable double loop, bitwise the same
+/// arithmetic the scalar sample_unit reference performs.
+template <typename T>
+void exact_unit_batch(ExactOp op, std::size_t m, const T* a, const T* b,
+                      const T* c, double* exact) {
+  switch (op) {
+    case ExactOp::Add:
       for (std::size_t i = 0; i < m; ++i)
         exact[i] = static_cast<double>(a[i]) + static_cast<double>(b[i]);
       break;
-    case UnitKind::FpSub:
-      batch::ifp_sub_n(a, b, approx, m, param ? param : kDefaultAddTh);
+    case ExactOp::Sub:
       for (std::size_t i = 0; i < m; ++i)
         exact[i] = static_cast<double>(a[i]) - static_cast<double>(b[i]);
       break;
-    case UnitKind::FpMul:
-      batch::ifp_mul_n(a, b, approx, m);
+    case ExactOp::Mul:
       for (std::size_t i = 0; i < m; ++i)
         exact[i] = static_cast<double>(a[i]) * static_cast<double>(b[i]);
       break;
-    case UnitKind::FpDiv:
-      batch::ifp_div_n(a, b, approx, m);
+    case ExactOp::Div:
       for (std::size_t i = 0; i < m; ++i)
         exact[i] = static_cast<double>(a[i]) / static_cast<double>(b[i]);
       break;
-    case UnitKind::Rcp:
-      batch::ircp_n(a, approx, m);
+    case ExactOp::Rcp:
       for (std::size_t i = 0; i < m; ++i)
         exact[i] = 1.0 / static_cast<double>(a[i]);
       break;
-    case UnitKind::Rsqrt:
-      batch::irsqrt_n(a, approx, m);
+    case ExactOp::Rsqrt:
       for (std::size_t i = 0; i < m; ++i)
         exact[i] = 1.0 / std::sqrt(static_cast<double>(a[i]));
       break;
-    case UnitKind::Sqrt:
-      batch::isqrt_n(a, approx, m);
+    case ExactOp::Sqrt:
       for (std::size_t i = 0; i < m; ++i)
         exact[i] = std::sqrt(static_cast<double>(a[i]));
       break;
-    case UnitKind::Log2:
-      batch::ilog2_n(a, approx, m);
+    case ExactOp::Log2:
       for (std::size_t i = 0; i < m; ++i)
         exact[i] = std::log2(static_cast<double>(a[i]));
       break;
-    case UnitKind::Exp2:
-      batch::iexp2_n(a, approx, m);
+    case ExactOp::Exp2:
       for (std::size_t i = 0; i < m; ++i)
         exact[i] = std::exp2(static_cast<double>(a[i]));
       break;
-    case UnitKind::Fma:
-      batch::ifp_fma_n(a, b, c, approx, m, kDefaultAddTh);
+    case ExactOp::Fma:
       for (std::size_t i = 0; i < m; ++i)
         exact[i] = static_cast<double>(a[i]) * static_cast<double>(b[i]) +
                    static_cast<double>(c[i]);
       break;
+  }
+}
+
+/// Approximate-unit span through the batched kernels of ihw/batch.h
+/// (bit-identical per element to the scalar unit calls sample_unit makes).
+template <typename T>
+void approx_unit_batch(UnitKind kind, int param, std::size_t m, const T* a,
+                       const T* b, const T* c, T* approx) {
+  switch (kind) {
+    case UnitKind::FpAdd:
+      batch::ifp_add_n(a, b, approx, m, param ? param : kDefaultAddTh);
+      break;
+    case UnitKind::FpSub:
+      batch::ifp_sub_n(a, b, approx, m, param ? param : kDefaultAddTh);
+      break;
+    case UnitKind::FpMul:
+      batch::ifp_mul_n(a, b, approx, m);
+      break;
+    case UnitKind::FpDiv:
+      batch::ifp_div_n(a, b, approx, m);
+      break;
+    case UnitKind::Rcp:
+      batch::ircp_n(a, approx, m);
+      break;
+    case UnitKind::Rsqrt:
+      batch::irsqrt_n(a, approx, m);
+      break;
+    case UnitKind::Sqrt:
+      batch::isqrt_n(a, approx, m);
+      break;
+    case UnitKind::Log2:
+      batch::ilog2_n(a, approx, m);
+      break;
+    case UnitKind::Exp2:
+      batch::iexp2_n(a, approx, m);
+      break;
+    case UnitKind::Fma:
+      batch::ifp_fma_n(a, b, c, approx, m, kDefaultAddTh);
+      break;
     case UnitKind::AcfpLog:
       batch::acfp_mul_n(a, b, approx, m, AcfpPath::Log, param);
-      for (std::size_t i = 0; i < m; ++i)
-        exact[i] = static_cast<double>(a[i]) * static_cast<double>(b[i]);
       break;
     case UnitKind::AcfpFull:
       batch::acfp_mul_n(a, b, approx, m, AcfpPath::Full, param);
-      for (std::size_t i = 0; i < m; ++i)
-        exact[i] = static_cast<double>(a[i]) * static_cast<double>(b[i]);
       break;
     case UnitKind::BitTrunc:
       batch::trunc_mul_n(a, b, approx, m, param);
-      for (std::size_t i = 0; i < m; ++i)
-        exact[i] = static_cast<double>(a[i]) * static_cast<double>(b[i]);
       break;
   }
+}
+
+/// SoA evaluation of one chunk: approximate span + exact reference span.
+/// sample_unit above remains the scalar reference; tests/test_batch.cpp
+/// checks the two agree.
+template <typename T>
+void eval_unit_batch(UnitKind kind, int param, std::size_t m, const T* a,
+                     const T* b, const T* c, double* exact, T* approx) {
+  approx_unit_batch<T>(kind, param, m, a, b, c, approx);
+  exact_unit_batch<T>(exact_op(kind), m, a, b, c, exact);
 }
 
 // Chunk granularity of the parallel sweep. Fixed (never derived from the
@@ -178,8 +234,7 @@ void eval_unit_batch(UnitKind kind, int param, std::size_t m, const T* a,
 // identical for every --threads value, including the serial path.
 constexpr std::uint64_t kCharChunk = 1 << 16;
 
-template <typename T>
-CharResult run(UnitKind kind, int param, std::uint64_t samples) {
+std::string make_label(UnitKind kind, int param) {
   // Built piecewise: chained operator+ trips the GCC 12 -Wrestrict false
   // positive (see the matching note in common/args.cpp).
   std::string label = to_string(kind);
@@ -188,7 +243,28 @@ CharResult run(UnitKind kind, int param, std::uint64_t samples) {
     label += std::to_string(param);
     label += ')';
   }
-  CharResult res{std::move(label), {}, ErrorPmf{}};
+  return label;
+}
+
+// Operand-generation recipe of a unit kind; requests with equal recipes can
+// borrow one quasi-MC stream.
+struct GenRecipe {
+  int spread;
+  int dims;
+  bool exp2_segment;
+
+  bool operator==(const GenRecipe&) const = default;
+};
+
+GenRecipe gen_recipe(UnitKind kind) {
+  const int spread =
+      (kind == UnitKind::FpAdd || kind == UnitKind::FpSub) ? 12 : 0;
+  return {spread, kind == UnitKind::Fma ? 6 : 4, kind == UnitKind::Exp2};
+}
+
+template <typename T>
+CharResult run(UnitKind kind, int param, std::uint64_t samples) {
+  CharResult res{make_label(kind, param), {}, ErrorPmf{}};
   const bool ternary = kind == UnitKind::Fma;
   // The adder needs exponent spread to hit every d-vs-TH case; multipliers
   // and SFUs are characterized over [1,2)x[1,2) as in Ch. 4.2 (their error
@@ -252,6 +328,115 @@ CharResult run(UnitKind kind, int param, std::uint64_t samples) {
   return res;
 }
 
+/// Shared-stream grid characterization (DESIGN.md §11): one pass per
+/// generation recipe, with the quasi-MC operand stream generated once per
+/// chunk and the exact reference evaluated once per distinct ExactOp, then
+/// borrowed by every request in the group. Each request's accumulators
+/// consume its (exact, approx) stream in ascending sample order, so every
+/// CharResult is bit-identical to a standalone run<T>() of that request.
+template <typename T>
+std::vector<CharResult> run_many(const std::vector<CharRequest>& reqs,
+                                 std::uint64_t samples) {
+  std::vector<CharResult> out;
+  out.reserve(reqs.size());
+  for (const auto& r : reqs)
+    out.push_back(CharResult{make_label(r.kind, r.param), {}, ErrorPmf{}});
+
+  // Group requests by generation recipe, preserving first-appearance order.
+  struct Group {
+    GenRecipe recipe;
+    std::vector<std::size_t> members;  // indexes into reqs/out
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const GenRecipe rec = gen_recipe(reqs[i].kind);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const Group& g) { return g.recipe == rec; });
+    if (it == groups.end()) {
+      groups.push_back({rec, {i}});
+    } else {
+      it->members.push_back(i);
+    }
+  }
+
+  for (const auto& g : groups) {
+    // Distinct exact-reference ops within the group, first-appearance order.
+    std::vector<ExactOp> exact_ops;
+    std::vector<std::size_t> op_of_member(g.members.size());
+    for (std::size_t j = 0; j < g.members.size(); ++j) {
+      const ExactOp op = exact_op(reqs[g.members[j]].kind);
+      auto it = std::find(exact_ops.begin(), exact_ops.end(), op);
+      if (it == exact_ops.end()) {
+        op_of_member[j] = exact_ops.size();
+        exact_ops.push_back(op);
+      } else {
+        op_of_member[j] = static_cast<std::size_t>(it - exact_ops.begin());
+      }
+    }
+
+    const bool ternary = g.recipe.dims == 6;
+    struct GridChunk {
+      std::vector<std::vector<double>> exact;  // one span per distinct op
+      std::vector<std::vector<T>> approx;      // one span per group member
+    };
+    runtime::ordered_chunks<GridChunk>(
+        samples, kCharChunk,
+        [&](std::uint64_t begin, std::uint64_t end) {
+          const std::size_t m = static_cast<std::size_t>(end - begin);
+          qmc::Sobol sobol(g.recipe.dims);
+          sobol.seek(begin);
+          // Identical operand generation to the single-request path, done
+          // once for the whole group instead of once per request.
+          static thread_local std::vector<T> a, b, c;
+          a.resize(m);
+          b.resize(m);
+          c.resize(ternary ? m : 0);
+          double p[6];
+          for (std::size_t i = 0; i < m; ++i) {
+            sobol.next(p);
+            if (g.recipe.exp2_segment) {
+              a[i] = static_cast<T>(p[0] * 8.0 - 4.0);  // fraction segment
+            } else {
+              a[i] = scatter<T>(p[0], p[1], g.recipe.spread);
+              b[i] = scatter<T>(p[2], p[3], g.recipe.spread);
+              if (ternary) c[i] = scatter<T>(p[4], p[5], g.recipe.spread);
+            }
+          }
+          GridChunk chunk;
+          chunk.exact.reserve(exact_ops.size());
+          for (const ExactOp op : exact_ops) {
+            std::vector<double> exact(m);
+            exact_unit_batch<T>(op, m, a.data(), b.data(), c.data(),
+                                exact.data());
+            chunk.exact.push_back(std::move(exact));
+          }
+          chunk.approx.reserve(g.members.size());
+          for (const std::size_t idx : g.members) {
+            std::vector<T> approx(m);
+            approx_unit_batch<T>(reqs[idx].kind, reqs[idx].param, m, a.data(),
+                                 b.data(), c.data(), approx.data());
+            chunk.approx.push_back(std::move(approx));
+          }
+          return chunk;
+        },
+        [&](GridChunk&& chunk) {
+          for (std::size_t j = 0; j < g.members.size(); ++j) {
+            CharResult& res = out[g.members[j]];
+            const std::vector<double>& exact = chunk.exact[op_of_member[j]];
+            const std::vector<T>& approx = chunk.approx[j];
+            for (std::size_t i = 0; i < exact.size(); ++i) {
+              const double e = exact[i];
+              const double ap = static_cast<double>(approx[i]);
+              res.stats.observe(e, ap);
+              if (e != 0.0 && std::isfinite(e))
+                res.pmf.observe_rel_error(std::fabs(ap - e) / std::fabs(e));
+            }
+          }
+        });
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string to_string(UnitKind k) {
@@ -279,6 +464,16 @@ CharResult characterize32(UnitKind kind, int param, std::uint64_t samples) {
 
 CharResult characterize64(UnitKind kind, int param, std::uint64_t samples) {
   return run<double>(kind, param, samples);
+}
+
+std::vector<CharResult> characterize32_many(const std::vector<CharRequest>& reqs,
+                                            std::uint64_t samples) {
+  return run_many<float>(reqs, samples);
+}
+
+std::vector<CharResult> characterize64_many(const std::vector<CharRequest>& reqs,
+                                            std::uint64_t samples) {
+  return run_many<double>(reqs, samples);
 }
 
 CharResult characterize_custom(

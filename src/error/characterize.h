@@ -48,6 +48,22 @@ CharResult characterize32(UnitKind kind, int param, std::uint64_t samples);
 /// Same for the 64-bit units (used by the double-precision multiplier study).
 CharResult characterize64(UnitKind kind, int param, std::uint64_t samples);
 
+/// One point of a shared-stream characterization grid.
+struct CharRequest {
+  UnitKind kind;
+  int param = 0;
+};
+
+/// Characterizes every request over the same `samples` budget, sharing the
+/// quasi-MC operand stream and the exact reference evaluation between
+/// requests with the same generation recipe (DESIGN.md §11). Each returned
+/// CharResult is bit-identical to the corresponding standalone
+/// characterize32/64 call; results are in request order.
+std::vector<CharResult> characterize32_many(const std::vector<CharRequest>& reqs,
+                                            std::uint64_t samples);
+std::vector<CharResult> characterize64_many(const std::vector<CharRequest>& reqs,
+                                            std::uint64_t samples);
+
 /// Generic driver: op/ref are the approximate and exact implementations of a
 /// two-operand function; `gen` yields operand pairs.
 CharResult characterize_custom(

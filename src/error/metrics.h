@@ -9,7 +9,35 @@ namespace ihw::error {
 /// Accumulates error statistics over a stream of (exact, approx) pairs.
 class ErrorStats {
  public:
+  /// Full accumulator state, exposed so the sweep evaluation cache
+  /// (src/sweep/cache.h) can persist a characterization bit-exactly.
+  struct State {
+    std::uint64_t samples = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t rel_samples = 0;
+    double max_rel = 0.0;
+    double sum_rel = 0.0;
+    double sum_abs = 0.0;
+    double max_abs = 0.0;
+  };
+
   void observe(double exact, double approx);
+
+  State state() const {
+    return {samples_, errors_, rel_samples_, max_rel_,
+            sum_rel_, sum_abs_, max_abs_};
+  }
+  static ErrorStats from_state(const State& s) {
+    ErrorStats e;
+    e.samples_ = s.samples;
+    e.errors_ = s.errors;
+    e.rel_samples_ = s.rel_samples;
+    e.max_rel_ = s.max_rel;
+    e.sum_rel_ = s.sum_rel;
+    e.sum_abs_ = s.sum_abs;
+    e.max_abs_ = s.max_abs;
+    return e;
+  }
 
   std::uint64_t samples() const { return samples_; }
   std::uint64_t errors() const { return errors_; }

@@ -10,6 +10,14 @@ ErrorPmf::ErrorPmf(int min_bucket, int max_bucket)
       max_bucket_(max_bucket),
       counts_(static_cast<std::size_t>(max_bucket - min_bucket + 1), 0) {}
 
+ErrorPmf ErrorPmf::from_state(const State& s) {
+  ErrorPmf p(s.min_bucket, s.max_bucket);
+  p.samples_ = s.samples;
+  p.zero_error_ = s.zero_error;
+  if (s.counts.size() == p.counts_.size()) p.counts_ = s.counts;
+  return p;
+}
+
 void ErrorPmf::observe_rel_error(double rel) {
   ++samples_;
   if (std::isnan(rel)) return;

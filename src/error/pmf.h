@@ -15,6 +15,19 @@ class ErrorPmf {
   /// unit in the paper.
   explicit ErrorPmf(int min_bucket = -24, int max_bucket = 8);
 
+  /// Full accumulator state (see ErrorStats::State): lets the sweep
+  /// evaluation cache persist and restore a PMF bit-exactly.
+  struct State {
+    int min_bucket = -24;
+    int max_bucket = 8;
+    std::uint64_t samples = 0;
+    std::uint64_t zero_error = 0;
+    std::vector<std::uint64_t> counts;
+  };
+
+  State state() const { return {min_bucket_, max_bucket_, samples_, zero_error_, counts_}; }
+  static ErrorPmf from_state(const State& s);
+
   /// Record one sample's relative error (as a fraction, not percent).
   void observe_rel_error(double rel);
 

@@ -72,6 +72,8 @@ struct FaultSpec {
   int bit_hi = 30;  ///< default range spans fraction + exponent (not sign)
 
   bool active() const { return rate > 0.0; }
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
 };
 
 /// Fault configuration for a whole run: one spec per unit class plus the
@@ -92,6 +94,8 @@ struct FaultConfig {
       if (u.active()) return true;
     return false;
   }
+
+  friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
 
   /// Every class faulted at the same rate under one model -- the uniform
   /// voltage-overscaling sweep the ablation bench drives.
@@ -126,6 +130,8 @@ struct GuardPolicy {
   std::uint64_t run_trip_limit = 64;
   bool recover = true;       ///< replace a violating result with the precise value
   bool retry_epoch = false;  ///< re-run a tripped epoch (block) fully precise
+
+  friend bool operator==(const GuardPolicy&, const GuardPolicy&) = default;
 };
 
 }  // namespace ihw::fault

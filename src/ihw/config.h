@@ -73,6 +73,10 @@ struct IhwConfig {
   static IhwConfig mul_only(MulMode mode, int trunc);
 
   std::string describe() const;
+
+  /// Structural (field-wise) equality: the back-off ladder and the sweep
+  /// engine use it to skip exact-repeat evaluations.
+  friend bool operator==(const IhwConfig&, const IhwConfig&) = default;
 };
 
 }  // namespace ihw

@@ -1,5 +1,10 @@
 #include "quality/tuner.h"
 
+#include <cstddef>
+#include <utility>
+
+#include "runtime/parallel.h"
+
 namespace ihw::quality {
 namespace {
 
@@ -63,42 +68,89 @@ constexpr Knob kBackoffOrder[] = {off_rsqrt, off_sqrt, off_mul, off_mul,
                                   off_log2,  off_div,  off_rcp, off_fma,
                                   off_add,   off_add};
 
+// Appends c unless an equal configuration is already on the ladder. The
+// knobs are monotone (they only disable or soften), but this is the
+// invariant the tuner promises -- no configuration is ever evaluated twice
+// -- so enforce it structurally instead of by knob-order reasoning.
+void push_unique(std::vector<ihw::IhwConfig>& cands, const ihw::IhwConfig& c) {
+  for (const auto& have : cands)
+    if (have == c) return;
+  cands.push_back(c);
+}
+
+// Builds a TuneResult whose history is the prefix of `steps` through the
+// first constraint-satisfying step (all of them if none satisfies) -- the
+// exact stream the sequential walk produces, since it stops there too.
+TuneResult result_from_prefix(std::vector<TuneStep>&& steps) {
+  TuneResult res;
+  std::size_t last = steps.size();  // one past the final reported step
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].met_constraint) {
+      last = i + 1;
+      break;
+    }
+  }
+  steps.resize(last);
+  res.history = std::move(steps);
+  const TuneStep& fin = res.history.back();
+  res.config = fin.config;
+  res.quality = fin.quality;
+  res.satisfied = fin.met_constraint;
+  return res;
+}
+
 }  // namespace
+
+std::vector<ihw::IhwConfig> backoff_candidates(
+    const ihw::IhwConfig& most_aggressive) {
+  std::vector<ihw::IhwConfig> cands{most_aggressive};
+  ihw::IhwConfig cfg = most_aggressive;
+  for (const Knob knob : kBackoffOrder)
+    if (knob(cfg)) push_unique(cands, cfg);
+  // The sequential loop's last resort: if backing everything off still
+  // leaves an imprecise unit enabled, fall back to fully precise hardware.
+  if (cfg.any_enabled()) push_unique(cands, ihw::IhwConfig::precise());
+  return cands;
+}
 
 TuneResult tune(const QualityEval& eval, double quality_constraint,
                 const ihw::IhwConfig& most_aggressive) {
-  TuneResult res;
-  ihw::IhwConfig cfg = most_aggressive;
-
-  auto evaluate = [&](const ihw::IhwConfig& c) {
+  std::vector<TuneStep> steps;
+  for (const ihw::IhwConfig& c : backoff_candidates(most_aggressive)) {
     TuneStep step;
     step.config = c;
     step.quality = eval(c);
     step.met_constraint = step.quality >= quality_constraint;
-    res.history.push_back(step);
-    return step;
-  };
-
-  TuneStep step = evaluate(cfg);
-  std::size_t knob = 0;
-  while (!step.met_constraint && knob < std::size(kBackoffOrder)) {
-    if (!kBackoffOrder[knob](cfg)) {
-      ++knob;
-      continue;
-    }
-    ++knob;
-    step = evaluate(cfg);
+    steps.push_back(std::move(step));
+    if (steps.back().met_constraint) break;
   }
+  return result_from_prefix(std::move(steps));
+}
 
-  if (!step.met_constraint && cfg.any_enabled()) {
-    cfg = ihw::IhwConfig::precise();
-    step = evaluate(cfg);
-  }
+TuneResult tune_speculative(const QualityEval& eval, double quality_constraint,
+                            const ihw::IhwConfig& most_aggressive,
+                            int threads) {
+  const std::vector<ihw::IhwConfig> cands = backoff_candidates(most_aggressive);
+  std::vector<TuneStep> steps(cands.size());
+  runtime::parallel_tasks(
+      cands.size(),
+      [&](std::size_t i) {
+        steps[i].config = cands[i];
+        steps[i].quality = eval(cands[i]);
+        steps[i].met_constraint = steps[i].quality >= quality_constraint;
+      },
+      threads);
+  return result_from_prefix(std::move(steps));
+}
 
-  res.config = cfg;
-  res.quality = step.quality;
-  res.satisfied = step.met_constraint;
-  return res;
+TuneResult tune_speculative(const QualityEval& eval, double quality_constraint,
+                            const ihw::IhwConfig& most_aggressive,
+                            const fault::FaultConfig& faults,
+                            const fault::GuardPolicy& guard, int threads) {
+  ihw::IhwConfig start = most_aggressive;
+  start.faults = faults;
+  start.guard = guard;
+  return tune_speculative(eval, quality_constraint, start, threads);
 }
 
 TuneResult tune(const QualityEval& eval, double quality_constraint,

@@ -49,6 +49,21 @@ int configure_threads_from_args(const common::Args& args) {
   return default_threads();
 }
 
+void parallel_tasks(std::size_t n, const std::function<void(std::size_t)>& task,
+                    int threads) {
+  const int shards = detail::resolve_shards(threads, n);
+  if (shards <= 1) {
+    for (std::size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  detail::run_sharded(shards, [&](int) {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed))
+      task(i);
+  });
+}
+
 namespace detail {
 
 int resolve_shards(int threads, std::uint64_t work) {

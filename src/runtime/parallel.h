@@ -66,6 +66,18 @@ class ScopedThreads {
 /// the process default, and returns the resolved count for reporting.
 int configure_threads_from_args(const common::Args& args);
 
+/// Runs task(i) for i in [0, n) across the pool with dynamic (work-stealing
+/// queue) scheduling -- the driver for coarse, heterogeneous, independent
+/// jobs like sweep config points, where static contiguous sharding would
+/// leave workers idle behind one slow shard. Unlike parallel_for, tasks are
+/// NOT epoch-labelled: each task is expected to build its own FpContext
+/// (apps/runner.h run_with_config / run_guarded). Tasks started from a pool
+/// worker degrade any nested parallel region to inline serial execution, so
+/// a task's result never depends on the thread count. Blocks until every
+/// task has finished; the first exception is rethrown on the caller.
+void parallel_tasks(std::size_t n, const std::function<void(std::size_t)>& task,
+                    int threads = 0);
+
 namespace detail {
 
 /// Number of shards for `work` independent items under a requested thread

@@ -1,0 +1,219 @@
+#include "sweep/cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ihw::sweep {
+namespace {
+
+// C99 hex-float: exact IEEE-754 round trip, locale-independent, and strtod
+// parses the "nan"/"inf" spellings printf emits for non-finite values.
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+bool parse_double(std::istringstream& is, double* out) {
+  std::string tok;
+  if (!(is >> tok)) return false;
+  char* end = nullptr;
+  *out = std::strtod(tok.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+template <std::size_t N>
+void put_u64s(std::ostringstream& os, const char* key,
+              const std::array<std::uint64_t, N>& a) {
+  os << key << ' ' << N;
+  for (auto v : a) os << ' ' << v;
+  os << '\n';
+}
+
+template <std::size_t N>
+bool get_u64s(std::istringstream& is, std::array<std::uint64_t, N>* a) {
+  std::size_t n = 0;
+  if (!(is >> n) || n != N) return false;
+  for (auto& v : *a)
+    if (!(is >> v)) return false;
+  return true;
+}
+
+}  // namespace
+
+EvalCache::EvalCache(std::string dir, std::string schema)
+    : dir_(std::move(dir)), schema_(std::move(schema)) {}
+
+std::optional<EvalRecord> EvalCache::lookup(std::uint64_t fp) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(fp);
+    if (it != map_.end()) {
+      hits_.fetch_add(1);
+      return it->second;
+    }
+  }
+  if (!dir_.empty()) {
+    EvalRecord rec;
+    if (load_from_disk(fp, &rec)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        map_.emplace(fp, rec);
+      }
+      hits_.fetch_add(1);
+      disk_hits_.fetch_add(1);
+      return rec;
+    }
+  }
+  misses_.fetch_add(1);
+  return std::nullopt;
+}
+
+void EvalCache::store(std::uint64_t fp, const EvalRecord& rec) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_[fp] = rec;
+  }
+  if (!dir_.empty()) store_to_disk(fp, rec);
+  stores_.fetch_add(1);
+}
+
+std::string EvalCache::path_for(std::uint64_t fp) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.rec",
+                static_cast<unsigned long long>(fp));
+  return dir_ + "/" + schema_ + "/" + name;
+}
+
+bool EvalCache::load_from_disk(std::uint64_t fp, EvalRecord* out) {
+  std::ifstream in(path_for(fp));
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return deserialize(text.str(), fp, out);
+}
+
+void EvalCache::store_to_disk(std::uint64_t fp, const EvalRecord& rec) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const std::string path = path_for(fp);
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) return;  // disk layer is best-effort; the in-process map still works
+  // Write-then-rename so concurrent readers never observe a torn record.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream outf(tmp, std::ios::trunc);
+    if (!outf) return;
+    outf << serialize(fp, rec);
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+std::string EvalCache::serialize(std::uint64_t fp, const EvalRecord& rec) {
+  std::ostringstream os;
+  char hex[24];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(fp));
+  os << "ihw-eval-record 1\n";
+  os << "fp " << hex << '\n';
+  os << "metrics " << rec.metrics.size() << '\n';
+  for (const auto& [name, value] : rec.metrics)
+    os << "metric " << name << ' ' << fmt_double(value) << '\n';
+  put_u64s(os, "perf", rec.perf.counts);
+  put_u64s(os, "faults-injected", rec.faults.injected);
+  put_u64s(os, "faults-trips", rec.faults.guard_trips);
+  put_u64s(os, "faults-degraded", rec.faults.degraded_epochs);
+  put_u64s(os, "faults-rundeg", rec.faults.run_degradations);
+  os << "faults-retried " << rec.faults.retried_epochs << '\n';
+  os << "char " << (rec.has_char ? 1 : 0) << '\n';
+  if (rec.has_char) {
+    os << "char-label " << rec.chr.label << '\n';
+    const auto s = rec.chr.stats.state();
+    os << "char-stats " << s.samples << ' ' << s.errors << ' '
+       << s.rel_samples << ' ' << fmt_double(s.max_rel) << ' '
+       << fmt_double(s.sum_rel) << ' ' << fmt_double(s.sum_abs) << ' '
+       << fmt_double(s.max_abs) << '\n';
+    const auto p = rec.chr.pmf.state();
+    os << "char-pmf " << p.min_bucket << ' ' << p.max_bucket << ' '
+       << p.samples << ' ' << p.zero_error << ' ' << p.counts.size();
+    for (auto c : p.counts) os << ' ' << c;
+    os << '\n';
+  }
+  os << "end\n";
+  return os.str();
+}
+
+bool EvalCache::deserialize(const std::string& text, std::uint64_t expect_fp,
+                            EvalRecord* out) {
+  std::istringstream lines(text);
+  std::string line, key;
+  EvalRecord rec;
+  bool saw_end = false;
+
+  if (!std::getline(lines, line) || line != "ihw-eval-record 1") return false;
+  while (std::getline(lines, line)) {
+    std::istringstream is(line);
+    if (!(is >> key)) continue;
+    if (key == "fp") {
+      std::string hex;
+      if (!(is >> hex)) return false;
+      if (std::strtoull(hex.c_str(), nullptr, 16) != expect_fp) return false;
+    } else if (key == "metric") {
+      std::string name;
+      double v = 0.0;
+      if (!(is >> name) || !parse_double(is, &v)) return false;
+      rec.metrics.emplace_back(name, v);
+    } else if (key == "perf") {
+      if (!get_u64s(is, &rec.perf.counts)) return false;
+    } else if (key == "faults-injected") {
+      if (!get_u64s(is, &rec.faults.injected)) return false;
+    } else if (key == "faults-trips") {
+      if (!get_u64s(is, &rec.faults.guard_trips)) return false;
+    } else if (key == "faults-degraded") {
+      if (!get_u64s(is, &rec.faults.degraded_epochs)) return false;
+    } else if (key == "faults-rundeg") {
+      if (!get_u64s(is, &rec.faults.run_degradations)) return false;
+    } else if (key == "faults-retried") {
+      if (!(is >> rec.faults.retried_epochs)) return false;
+    } else if (key == "char") {
+      int flag = 0;
+      if (!(is >> flag)) return false;
+      rec.has_char = flag != 0;
+    } else if (key == "char-label") {
+      std::string rest;
+      std::getline(is, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      rec.chr.label = rest;
+    } else if (key == "char-stats") {
+      error::ErrorStats::State s;
+      if (!(is >> s.samples >> s.errors >> s.rel_samples)) return false;
+      if (!parse_double(is, &s.max_rel) || !parse_double(is, &s.sum_rel) ||
+          !parse_double(is, &s.sum_abs) || !parse_double(is, &s.max_abs))
+        return false;
+      rec.chr.stats = error::ErrorStats::from_state(s);
+    } else if (key == "char-pmf") {
+      error::ErrorPmf::State p;
+      std::size_t n = 0;
+      if (!(is >> p.min_bucket >> p.max_bucket >> p.samples >> p.zero_error >>
+            n))
+        return false;
+      p.counts.resize(n);
+      for (auto& c : p.counts)
+        if (!(is >> c)) return false;
+      rec.chr.pmf = error::ErrorPmf::from_state(p);
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    }
+    // Unknown keys are skipped: forward-compatible within one schema tag.
+  }
+  if (!saw_end) return false;
+  *out = std::move(rec);
+  return true;
+}
+
+}  // namespace ihw::sweep

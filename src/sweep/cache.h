@@ -1,0 +1,93 @@
+#pragma once
+// Thread-safe evaluation cache for the sweep engine (DESIGN.md §11): maps a
+// config-point fingerprint to everything a bench row needs -- named quality
+// metrics, the merged PerfCounters and FaultCounters, and (for
+// characterization points) the full ErrorStats/ErrorPmf accumulator state.
+// Records are bit-exact: a warm lookup reproduces the cold evaluation's
+// output byte for byte.
+//
+// Two layers:
+//  - in-process: a mutex-protected map, shared by every sweep in the run;
+//  - on disk (optional, --cache-dir): one content-addressed text file per
+//    fingerprint under <dir>/<schema-tag>/, so repeated bench invocations
+//    skip whole configurations. The schema tag namespaces the directory --
+//    bumping kSchemaTag orphans old records instead of misreading them.
+//    Doubles are serialized as C99 hex-floats, so the round trip is exact.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "error/characterize.h"
+#include "fault/counters.h"
+#include "gpu/counters.h"
+#include "sweep/fingerprint.h"
+
+namespace ihw::sweep {
+
+/// Everything one evaluated config point produced.
+struct EvalRecord {
+  /// Named scalar results in a fixed, caller-chosen order ("mae", "ssim",
+  /// "sys_saving", ...). Stored bit-exactly.
+  std::vector<std::pair<std::string, double>> metrics;
+  gpu::PerfCounters perf{};
+  fault::FaultCounters faults{};
+  /// Characterization payload (quasi-MC sweeps); valid when has_char.
+  bool has_char = false;
+  error::CharResult chr;
+
+  double metric(const std::string& name, double def = 0.0) const {
+    for (const auto& [k, v] : metrics)
+      if (k == name) return v;
+    return def;
+  }
+  void set_metric(const std::string& name, double value) {
+    metrics.emplace_back(name, value);
+  }
+};
+
+class EvalCache {
+ public:
+  /// In-process cache only.
+  EvalCache() = default;
+  /// With a disk layer rooted at `dir` (created on first store). An empty
+  /// dir disables the disk layer. `schema` defaults to kSchemaTag; tests
+  /// override it to simulate a schema bump.
+  explicit EvalCache(std::string dir, std::string schema = kSchemaTag);
+
+  /// Returns the record for `fp`, consulting memory then disk.
+  std::optional<EvalRecord> lookup(std::uint64_t fp);
+  /// Inserts (memory always, disk when enabled). Overwrites an existing
+  /// record with the same fingerprint.
+  void store(std::uint64_t fp, const EvalRecord& rec);
+
+  // Observability (cold vs warm reporting in the benches).
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  /// Subset of hits() served from the disk layer.
+  std::uint64_t disk_hits() const { return disk_hits_.load(); }
+  std::uint64_t stores() const { return stores_.load(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Serialized record text (exposed for tests and tooling).
+  static std::string serialize(std::uint64_t fp, const EvalRecord& rec);
+  static bool deserialize(const std::string& text, std::uint64_t expect_fp,
+                          EvalRecord* out);
+
+ private:
+  std::string path_for(std::uint64_t fp) const;
+  bool load_from_disk(std::uint64_t fp, EvalRecord* out);
+  void store_to_disk(std::uint64_t fp, const EvalRecord& rec);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, EvalRecord> map_;
+  std::string dir_;
+  std::string schema_{kSchemaTag};
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, disk_hits_{0}, stores_{0};
+};
+
+}  // namespace ihw::sweep

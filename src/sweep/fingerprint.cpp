@@ -1,0 +1,67 @@
+#include "sweep/fingerprint.h"
+
+#include <bit>
+
+namespace ihw::sweep {
+
+void Fingerprint::mix_double(double v) {
+  byte(0x04);
+  mix_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void mix_config(Fingerprint& fp, const IhwConfig& cfg) {
+  fp.mix_bool(cfg.add_enabled);
+  fp.mix_int(cfg.add_th);
+  fp.mix_int(static_cast<int>(cfg.mul_mode));
+  fp.mix_int(cfg.mul_trunc);
+  fp.mix_bool(cfg.rcp_enabled);
+  fp.mix_bool(cfg.rsqrt_enabled);
+  fp.mix_bool(cfg.sqrt_enabled);
+  fp.mix_bool(cfg.log2_enabled);
+  fp.mix_bool(cfg.exp2_enabled);
+  fp.mix_bool(cfg.div_enabled);
+  fp.mix_bool(cfg.fma_enabled);
+
+  fp.mix_u64(cfg.faults.seed);
+  for (const auto& u : cfg.faults.units) {
+    fp.mix_double(u.rate);
+    fp.mix_int(static_cast<int>(u.model));
+    fp.mix_int(u.bit_lo);
+    fp.mix_int(u.bit_hi);
+  }
+
+  fp.mix_bool(cfg.guard.enabled);
+  fp.mix_double(cfg.guard.tolerance);
+  fp.mix_double(cfg.guard.scale_floor);
+  fp.mix_int(cfg.guard.epoch_trip_limit);
+  fp.mix_u64(cfg.guard.run_trip_limit);
+  fp.mix_bool(cfg.guard.recover);
+  fp.mix_bool(cfg.guard.retry_epoch);
+}
+
+std::uint64_t config_fingerprint(const IhwConfig& cfg) {
+  Fingerprint fp("config");
+  mix_config(fp, cfg);
+  return fp.digest();
+}
+
+void Workload::mix_into(Fingerprint& fp) const {
+  fp.mix_str(name);
+  fp.mix_u64(params.size());
+  for (const auto& [key, value] : params) {
+    fp.mix_str(key);
+    fp.mix_double(value);
+  }
+  fp.mix_u64(seed);
+  fp.mix_u64(samples);
+}
+
+std::uint64_t Workload::fingerprint(const IhwConfig* cfg) const {
+  Fingerprint fp("workload");
+  mix_into(fp);
+  fp.mix_bool(cfg != nullptr);
+  if (cfg != nullptr) mix_config(fp, *cfg);
+  return fp.digest();
+}
+
+}  // namespace ihw::sweep

@@ -1,0 +1,90 @@
+#pragma once
+// Canonical 64-bit fingerprints for the sweep engine (DESIGN.md §11). A
+// fingerprint names one evaluation point completely: the workload (app or
+// characterization target plus its structural parameters and seeds), the
+// IhwConfig under test (including the fault model and guard policy), and the
+// sample count. Two evaluations with equal fingerprints are bit-identical by
+// the determinism contracts of DESIGN.md §8-§10, which is what makes the
+// evaluation cache sound. The hash is FNV-1a over a fixed canonical byte
+// stream -- stable across runs, processes, and hosts (no pointer values, no
+// std::hash, no locale).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ihw/config.h"
+
+namespace ihw::sweep {
+
+/// Version tag of the cache record schema. Bump whenever the serialized
+/// EvalRecord layout or any evaluation semantics change: the disk layer
+/// namespaces records by this tag, so stale caches invalidate wholesale.
+inline constexpr char kSchemaTag[] = "ihw-sweep-v1";
+
+/// Incremental FNV-1a hasher with type-tagged mixing. Every mix_* call
+/// feeds a one-byte type tag before the payload so adjacent fields cannot
+/// alias (e.g. the empty string vs. a zero integer).
+class Fingerprint {
+ public:
+  Fingerprint() = default;
+  /// Seeds the stream with a domain string, e.g. "char32" or "app".
+  explicit Fingerprint(const std::string& domain) { mix_str(domain); }
+
+  void mix_u64(std::uint64_t v) {
+    byte(0x01);
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void mix_i64(std::int64_t v) {
+    byte(0x02);
+    mix_u64(static_cast<std::uint64_t>(v));
+  }
+  void mix_int(int v) { mix_i64(v); }
+  void mix_bool(bool v) {
+    byte(0x03);
+    byte(v ? 1 : 0);
+  }
+  /// Hashes the IEEE-754 bit pattern, so -0.0 != 0.0 and every NaN payload
+  /// is distinct -- exact structural identity, not numeric equality.
+  void mix_double(double v);
+  void mix_str(const std::string& s) {
+    byte(0x05);
+    mix_u64(s.size());
+    for (char c : s) byte(static_cast<unsigned char>(c));
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  void byte(unsigned char b) {
+    h_ = (h_ ^ b) * 0x100000001b3ull;  // FNV-1a 64 prime
+  }
+  std::uint64_t h_ = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+};
+
+/// Mixes every field of an IhwConfig -- unit enables and structural
+/// parameters, the per-class fault specs with their seed, and the guard
+/// policy -- in a fixed canonical order.
+void mix_config(Fingerprint& fp, const IhwConfig& cfg);
+
+/// Convenience: fingerprint of a bare configuration.
+std::uint64_t config_fingerprint(const IhwConfig& cfg);
+
+/// Descriptor of one workload a sweep point evaluates: a stable name, the
+/// structural parameters that select the input (grid sizes, iteration
+/// counts, recursion depths, ...), the input-generation seed, and the
+/// sample count for sampling-based workloads. Parameters are hashed in the
+/// order given; use a fixed order at every call site.
+struct Workload {
+  std::string name;
+  std::vector<std::pair<std::string, double>> params;
+  std::uint64_t seed = 0;
+  std::uint64_t samples = 0;
+
+  void mix_into(Fingerprint& fp) const;
+
+  /// Fingerprint of (workload, config). Pass nullptr for unit-level points
+  /// that have no IhwConfig (quasi-MC characterizations).
+  std::uint64_t fingerprint(const IhwConfig* cfg = nullptr) const;
+};
+
+}  // namespace ihw::sweep

@@ -1,0 +1,38 @@
+#pragma once
+// Lazily-computed, compute-once values shared across the points of a sweep:
+// precise reference runs, generated input sets, golden images. Construction
+// races are resolved by std::call_once, so concurrent grid points can all
+// demand the baseline and exactly one of them pays for it; the rest block
+// until it is ready and then borrow the same object (DESIGN.md §11).
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ihw::sweep {
+
+template <typename T>
+class Shared {
+ public:
+  explicit Shared(std::function<T()> make) : make_(std::move(make)) {}
+  Shared(const Shared&) = delete;
+  Shared& operator=(const Shared&) = delete;
+
+  /// The shared value; computed on first call, from whichever thread gets
+  /// there first. Throws whatever `make` throws (and retries on the next
+  /// get() if construction failed, per std::call_once semantics).
+  const T& get() const {
+    std::call_once(once_, [this] { value_.emplace(make_()); });
+    return *value_;
+  }
+
+  /// True once the value has been materialized (no side effects).
+  bool ready() const { return value_.has_value(); }
+
+ private:
+  mutable std::once_flag once_;
+  std::function<T()> make_;
+  mutable std::optional<T> value_;
+};
+
+}  // namespace ihw::sweep

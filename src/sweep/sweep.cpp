@@ -1,0 +1,136 @@
+#include "sweep/sweep.h"
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "runtime/parallel.h"
+
+namespace ihw::sweep {
+
+GridOutcome run_grid(const std::vector<GridPoint>& points, EvalCache* cache,
+                     int threads) {
+  const std::size_t n = points.size();
+  GridOutcome out;
+  out.records.resize(n);
+  out.cache_hit.assign(n, 0);
+
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::unordered_map<std::uint64_t, std::size_t> first;  // fp -> owner index
+  std::vector<std::size_t> copy_from(n, kNone);
+  std::vector<std::size_t> cold;  // owner points with no cached record
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [it, fresh] = first.emplace(points[i].fp, i);
+    if (!fresh) {
+      copy_from[i] = it->second;
+      continue;
+    }
+    if (cache != nullptr) {
+      if (auto rec = cache->lookup(points[i].fp)) {
+        out.records[i] = std::move(*rec);
+        out.cache_hit[i] = 1;
+        continue;
+      }
+    }
+    cold.push_back(i);
+  }
+
+  runtime::parallel_tasks(
+      cold.size(),
+      [&](std::size_t k) { out.records[cold[k]] = points[cold[k]].eval(); },
+      threads);
+
+  // Stores happen on the caller in point order, so the disk layer's write
+  // sequence is deterministic regardless of evaluation schedule.
+  if (cache != nullptr)
+    for (const std::size_t i : cold) cache->store(points[i].fp, out.records[i]);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (copy_from[i] == kNone) continue;
+    out.records[i] = out.records[copy_from[i]];
+    out.cache_hit[i] = out.cache_hit[copy_from[i]];
+  }
+  return out;
+}
+
+std::uint64_t char_fingerprint(const CharPoint& p, bool is64) {
+  Fingerprint fp(is64 ? "char64" : "char32");
+  fp.mix_int(static_cast<int>(p.kind));
+  fp.mix_int(p.param);
+  fp.mix_u64(p.samples);
+  return fp.digest();
+}
+
+namespace {
+
+std::vector<error::CharResult> characterize_grid(
+    const std::vector<CharPoint>& points, EvalCache* cache, bool is64,
+    std::vector<char>* hits) {
+  const std::size_t n = points.size();
+  std::vector<error::CharResult> out(n);
+  std::vector<char> hit(n, 0);
+
+  // Cache pass; the misses are then grouped by sample budget so every group
+  // runs as one shared-stream characterization (error/characterize.cpp
+  // run_many shares the operand stream and the exact references).
+  std::vector<std::uint64_t> fps(n, 0);
+  std::vector<std::size_t> miss;
+  for (std::size_t i = 0; i < n; ++i) {
+    fps[i] = char_fingerprint(points[i], is64);
+    if (cache != nullptr) {
+      if (auto rec = cache->lookup(fps[i]); rec && rec->has_char) {
+        out[i] = std::move(rec->chr);
+        hit[i] = 1;
+        continue;
+      }
+    }
+    miss.push_back(i);
+  }
+
+  std::vector<char> grouped(miss.size(), 0);
+  for (std::size_t j = 0; j < miss.size(); ++j) {
+    if (grouped[j]) continue;
+    const std::uint64_t samples = points[miss[j]].samples;
+    std::vector<std::size_t> group;  // point indices sharing this budget
+    for (std::size_t k = j; k < miss.size(); ++k) {
+      if (grouped[k] || points[miss[k]].samples != samples) continue;
+      grouped[k] = 1;
+      group.push_back(miss[k]);
+    }
+    std::vector<error::CharRequest> reqs;
+    reqs.reserve(group.size());
+    for (const std::size_t i : group)
+      reqs.push_back({points[i].kind, points[i].param});
+    std::vector<error::CharResult> res =
+        is64 ? error::characterize64_many(reqs, samples)
+             : error::characterize32_many(reqs, samples);
+    for (std::size_t k = 0; k < group.size(); ++k)
+      out[group[k]] = std::move(res[k]);
+  }
+
+  if (cache != nullptr) {
+    for (const std::size_t i : miss) {
+      EvalRecord rec;
+      rec.has_char = true;
+      rec.chr = out[i];
+      cache->store(fps[i], rec);
+    }
+  }
+  if (hits != nullptr) *hits = std::move(hit);
+  return out;
+}
+
+}  // namespace
+
+std::vector<error::CharResult> characterize_grid32(
+    const std::vector<CharPoint>& points, EvalCache* cache,
+    std::vector<char>* hits) {
+  return characterize_grid(points, cache, /*is64=*/false, hits);
+}
+
+std::vector<error::CharResult> characterize_grid64(
+    const std::vector<CharPoint>& points, EvalCache* cache,
+    std::vector<char>* hits) {
+  return characterize_grid(points, cache, /*is64=*/true, hits);
+}
+
+}  // namespace ihw::sweep

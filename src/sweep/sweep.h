@@ -1,0 +1,69 @@
+#pragma once
+// Memoizing sweep driver (DESIGN.md §11). A sweep is a list of evaluation
+// points, each named by a canonical fingerprint (sweep/fingerprint.h) and
+// carrying a closure that computes its EvalRecord from scratch. run_grid
+// consults the EvalCache first, dedups points that share a fingerprint, and
+// schedules the remaining cold evaluations across the thread pool with
+// runtime::parallel_tasks. Results come back in point order and are
+// bit-identical to a sequential, cache-less evaluation: every closure builds
+// its own deterministic context (DESIGN.md §8-§10), so neither the schedule
+// nor the cache can change a record's bytes.
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "error/characterize.h"
+#include "sweep/cache.h"
+
+namespace ihw::sweep {
+
+/// One sweep point: a fingerprint plus the closure that evaluates it cold.
+/// The closure must be self-contained (it may run on any pool thread) and
+/// deterministic, i.e. equal fingerprints imply bit-equal records.
+struct GridPoint {
+  std::uint64_t fp = 0;
+  std::function<EvalRecord()> eval;
+};
+
+/// Records in point order plus per-point provenance for reporting.
+struct GridOutcome {
+  std::vector<EvalRecord> records;
+  /// records[i] was served from the cache (memory or disk) rather than
+  /// evaluated in this call. Points deduplicated onto an earlier point with
+  /// the same fingerprint inherit that point's flag.
+  std::vector<char> cache_hit;
+};
+
+/// Evaluates every point: cache lookups first, then the cold points -- one
+/// evaluation per distinct fingerprint -- across the pool (`threads`, 0 =
+/// process default), then stores fresh records back into `cache` in point
+/// order. `cache` may be nullptr (dedup still applies).
+GridOutcome run_grid(const std::vector<GridPoint>& points, EvalCache* cache,
+                     int threads = 0);
+
+/// One unit-characterization point of a quasi-MC sweep.
+struct CharPoint {
+  error::UnitKind kind;
+  int param = 0;
+  std::uint64_t samples = 0;
+};
+
+/// Cached shared-stream characterization grid: cache hits are replayed from
+/// their stored accumulator state, and the remaining cold points with equal
+/// sample budgets share one Sobol operand stream and one exact-reference
+/// evaluation per distinct reference op (error::characterize32_many).
+/// Results are in point order and bit-identical to standalone
+/// characterize32/64 calls. `hits` (optional) receives the per-point
+/// cache-hit flags.
+std::vector<error::CharResult> characterize_grid32(
+    const std::vector<CharPoint>& points, EvalCache* cache,
+    std::vector<char>* hits = nullptr);
+std::vector<error::CharResult> characterize_grid64(
+    const std::vector<CharPoint>& points, EvalCache* cache,
+    std::vector<char>* hits = nullptr);
+
+/// Fingerprint of one characterization point (the cache key used by
+/// characterize_grid32/64; exposed for bench JSON output and tests).
+std::uint64_t char_fingerprint(const CharPoint& p, bool is64);
+
+}  // namespace ihw::sweep

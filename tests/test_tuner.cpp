@@ -103,5 +103,91 @@ TEST(Tuner, HistoryIsMonotonicallyLessAggressive) {
     EXPECT_GE(res.history[i].quality + 1e-12, res.history[i - 1].quality);
 }
 
+TEST(Tuner, HistoryNeverRepeatsAConfiguration) {
+  // The duplicate-evaluation guarantee: no two history steps may carry an
+  // equal IhwConfig, for any constraint (including unsatisfiable ones that
+  // walk the whole ladder plus the precise fallback).
+  const ihw::IhwConfig starts[] = {
+      ihw::IhwConfig::all_imprecise(),
+      ihw::IhwConfig::mul_only(ihw::MulMode::ImpreciseSimple, 0),
+      ihw::IhwConfig::precise(),
+  };
+  for (const auto& start : starts) {
+    for (const double constraint : {0.05, 0.8, 0.97, 2.0}) {
+      const auto res = tune(synthetic_quality, constraint, start);
+      for (std::size_t i = 0; i < res.history.size(); ++i)
+        for (std::size_t j = i + 1; j < res.history.size(); ++j)
+          EXPECT_FALSE(res.history[i].config == res.history[j].config)
+              << "duplicate config at steps " << i << " and " << j
+              << " (constraint " << constraint << ")";
+    }
+  }
+}
+
+TEST(Tuner, BackoffCandidatesAreUniqueAndStartAtTheStart) {
+  const auto start = ihw::IhwConfig::all_imprecise();
+  const auto cands = backoff_candidates(start);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_TRUE(cands.front() == start);
+  EXPECT_FALSE(cands.back().any_enabled());  // ladder ends fully precise
+  for (std::size_t i = 0; i < cands.size(); ++i)
+    for (std::size_t j = i + 1; j < cands.size(); ++j)
+      EXPECT_FALSE(cands[i] == cands[j]);
+}
+
+void expect_results_identical(const TuneResult& a, const TuneResult& b) {
+  EXPECT_TRUE(a.config == b.config);
+  EXPECT_DOUBLE_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.satisfied, b.satisfied);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_TRUE(a.history[i].config == b.history[i].config);
+    EXPECT_DOUBLE_EQ(a.history[i].quality, b.history[i].quality);
+    EXPECT_EQ(a.history[i].met_constraint, b.history[i].met_constraint);
+  }
+}
+
+TEST(TunerSpeculative, MatchesSequentialForEveryConstraint) {
+  // The speculative variant must return the exact TuneResult of the
+  // sequential walk: same final config, same history prefix. Sweep the
+  // constraint through every interesting region (first-step pass, ladder
+  // stops, precise fallback, unsatisfiable).
+  for (const double constraint :
+       {0.05, 0.5, 0.65, 0.8, 0.9, 0.97, 0.99, 1.0, 2.0}) {
+    const auto seq =
+        tune(synthetic_quality, constraint, ihw::IhwConfig::all_imprecise());
+    const auto spec = tune_speculative(synthetic_quality, constraint,
+                                       ihw::IhwConfig::all_imprecise());
+    expect_results_identical(seq, spec);
+  }
+}
+
+TEST(TunerSpeculative, MatchesSequentialWithFaultModel) {
+  const auto faults = fault::FaultConfig::uniform(1e-4, 99);
+  fault::GuardPolicy guard;
+  guard.enabled = true;
+  for (const double constraint : {0.5, 0.9, 2.0}) {
+    const auto seq = tune(synthetic_quality, constraint,
+                          ihw::IhwConfig::all_imprecise(), faults, guard);
+    const auto spec =
+        tune_speculative(synthetic_quality, constraint,
+                         ihw::IhwConfig::all_imprecise(), faults, guard);
+    expect_results_identical(seq, spec);
+    // The fault descriptors ride along through every history step.
+    for (const auto& step : seq.history) {
+      if (step.config.any_enabled())
+        EXPECT_TRUE(step.config.faults == faults);
+    }
+  }
+}
+
+TEST(TunerSpeculative, ThreadCountInvariant) {
+  const auto one = tune_speculative(synthetic_quality, 0.9,
+                                    ihw::IhwConfig::all_imprecise(), 1);
+  const auto four = tune_speculative(synthetic_quality, 0.9,
+                                     ihw::IhwConfig::all_imprecise(), 4);
+  expect_results_identical(one, four);
+}
+
 }  // namespace
 }  // namespace ihw::quality

@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
 """Gate on the batched-SoA speedups in a google-benchmark JSON report.
 
-Usage: check_bench_regression.py BENCH.json
+Usage:
+  check_bench_regression.py BENCH.json
+  check_bench_regression.py --sweep COLD.json WARM.json [--min-speedup=R]
 
 The batched span kernels (src/ihw/batch.h) are only worth their complexity
 while they stay far ahead of the element-wise SimReal path, so the gate is
@@ -14,6 +16,13 @@ Pairs whose batch side intentionally runs element-wise (the screened
 `guarded` configuration, the scalar-datapath `acfp_full` mode) only gate
 against the batch entry point becoming grossly *slower* than the scalar
 loop it wraps.
+
+--sweep mode gates the memoizing sweep engine (DESIGN.md §11) instead:
+COLD.json and WARM.json are the --json outputs of the same sweep bench run
+twice against the same --cache-dir. The warm run must have served every row
+from the cache (cache_hit true, zero misses), the row fingerprints must
+match the cold run's exactly, and the warm elapsed time must beat the cold
+time by at least --min-speedup (default 10x).
 """
 
 import json
@@ -55,7 +64,69 @@ def load_times(path: str) -> dict:
     return times
 
 
+def check_sweep(argv: list) -> int:
+    min_speedup = 10.0
+    paths = []
+    for arg in argv:
+        if arg.startswith("--min-speedup="):
+            min_speedup = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(paths[0]) as f:
+        cold = json.load(f)
+    with open(paths[1]) as f:
+        warm = json.load(f)
+
+    failures = []
+    if cold.get("bench") != warm.get("bench"):
+        failures.append(
+            f"bench mismatch: cold={cold.get('bench')} warm={warm.get('bench')}"
+        )
+    cold_rows, warm_rows = cold.get("rows", []), warm.get("rows", [])
+    if len(cold_rows) != len(warm_rows):
+        failures.append(
+            f"row count mismatch: cold={len(cold_rows)} warm={len(warm_rows)}"
+        )
+    for i, (c, w) in enumerate(zip(cold_rows, warm_rows)):
+        if c.get("fingerprint") != w.get("fingerprint"):
+            failures.append(
+                f"row {i}: fingerprint changed between runs "
+                f"({c.get('fingerprint')} vs {w.get('fingerprint')})"
+            )
+        if not w.get("cache_hit"):
+            failures.append(f"row {i}: warm run missed the cache")
+    if warm.get("cache_misses", 1) != 0:
+        failures.append(f"warm run had {warm.get('cache_misses')} cache misses")
+
+    cold_ms, warm_ms = cold.get("elapsed_ms", 0.0), warm.get("elapsed_ms", 0.0)
+    speedup = cold_ms / warm_ms if warm_ms > 0 else float("inf")
+    print(
+        f"sweep {cold.get('bench')}: cold {cold_ms:.1f} ms, warm "
+        f"{warm_ms:.1f} ms -> {speedup:.1f}x (floor {min_speedup:.1f}x), "
+        f"{len(warm_rows)} rows all cached"
+        if not failures
+        else f"sweep {cold.get('bench')}: cold {cold_ms:.1f} ms, warm "
+        f"{warm_ms:.1f} ms -> {speedup:.1f}x (floor {min_speedup:.1f}x)"
+    )
+    if speedup < min_speedup:
+        failures.append(
+            f"warm-cache speedup {speedup:.1f}x below floor {min_speedup:.1f}x"
+        )
+    if failures:
+        print("\nsweep cache regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("warm-cache sweep at or above its speedup floor")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--sweep":
+        return check_sweep(sys.argv[2:])
     if len(sys.argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
