@@ -39,11 +39,17 @@ Operating apply_dvfs(const gpu::PowerBreakdown& b, double ihw_saving,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   common::Args args(argc, argv);
+  sweep::install_drain_handler();
   std::printf("[runtime] threads=%d\n",
               runtime::configure_threads_from_args(args));
   sweep::EvalCache cache(args.get("cache-dir", ""));
+  cache.attach_journal("ablation_dvfs", args.resume());
+  sweep::FailPolicy policy;
+  policy.isolate = args.get_bool("isolate", false);
+  policy.fail_fast = !policy.isolate;
+  policy.soft_deadline_s = args.deadline();
   const std::string json_path = args.get("json", "");
   HotspotParams p;
   p.rows = p.cols = static_cast<std::size_t>(args.get_int("size", 192));
@@ -65,7 +71,17 @@ int main(int argc, char** argv) {
                       });
                       return rec;
                     }});
-  const auto grid = sweep::run_grid(points, &cache);
+  const auto grid = sweep::run_grid(points, &cache, policy);
+  if (sweep::drain_requested()) {
+    std::fprintf(stderr, "[sweep] drained (rerun with --resume): %s\n",
+                 grid.health.summary().c_str());
+    return sweep::kDrainExitCode;
+  }
+  if (grid.status[0] == sweep::PointStatus::Failed) {
+    std::fprintf(stderr, "[sweep] point 0 failed: %s\n",
+                 grid.error_message(0).c_str());
+    return sweep::kPointFailureExitCode;
+  }
 
   gpu::GpuPowerParams params;
   params.dram_fraction = 0.15;
@@ -93,7 +109,8 @@ int main(int argc, char** argv) {
                   .set("power_w", op.power_w)
                   .set("saving", 1.0 - op.power_w / base_w)
                   .set("relative_perf", op.perf)
-                  .set("cache_hit", grid.cache_hit[0] != 0));
+                  .set("cache_hit", grid.cache_hit[0] != 0)
+                  .set("status", sweep::to_string(grid.status[0])));
   };
   row("baseline (precise, nominal V)", {base_w, 1.0, 1.0}, "exact");
   row("DVFS to 0.9 V", apply_dvfs(rep.breakdown, 0.0, 0.9), "exact");
@@ -117,11 +134,12 @@ int main(int argc, char** argv) {
                         .count();
   std::fprintf(stderr,
                "[sweep] hits=%llu misses=%llu disk_hits=%llu stores=%llu "
-               "elapsed_ms=%.1f\n",
+               "elapsed_ms=%.1f | %s\n",
                static_cast<unsigned long long>(cache.hits()),
                static_cast<unsigned long long>(cache.misses()),
                static_cast<unsigned long long>(cache.disk_hits()),
-               static_cast<unsigned long long>(cache.stores()), ms);
+               static_cast<unsigned long long>(cache.stores()), ms,
+               grid.health.summary().c_str());
   if (!json_path.empty()) {
     sweep::Json doc = sweep::Json::object();
     doc.set("bench", "ablation_dvfs")
@@ -130,9 +148,13 @@ int main(int argc, char** argv) {
         .set("cache_hits", cache.hits())
         .set("cache_misses", cache.misses())
         .set("disk_hits", cache.disk_hits())
+        .set("health", grid.health.to_json())
         .set("rows", std::move(rows));
     if (!doc.write_file(json_path))
       std::fprintf(stderr, "[sweep] failed to write %s\n", json_path.c_str());
   }
   return 0;
+} catch (const ihw::common::ArgError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

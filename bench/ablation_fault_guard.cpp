@@ -19,6 +19,9 @@
 //   --seed=S         fault-injection seed
 //   --cache-dir=D    persist per-point records under D
 //   --json=PATH      structured results (fingerprint/quality/cache per row)
+//   --resume         replay the journal in --cache-dir before evaluating
+//   --isolate        keep going past a failed point (exit 3 at the end)
+//   --deadline=S     soft per-point deadline in seconds (0 = off)
 #include <array>
 #include <chrono>
 #include <cstdint>
@@ -61,6 +64,7 @@ long long sum(const std::array<std::uint64_t, fault::kNumUnitClasses>& a) {
 
 int main(int argc, char** argv) try {
   common::Args args(argc, argv);
+  sweep::install_drain_handler();
   const int threads = runtime::configure_threads_from_args(args);
   std::printf("[runtime] threads=%d\n", threads);
 
@@ -69,6 +73,11 @@ int main(int argc, char** argv) try {
       args.get_int("seed", 0x51ce));
   const bool retry = args.get_bool("retry", false);
   sweep::EvalCache cache(args.get("cache-dir", ""));
+  cache.attach_journal("ablation_fault_guard", args.resume());
+  sweep::FailPolicy policy;
+  policy.isolate = args.get_bool("isolate", false);
+  policy.fail_fast = !policy.isolate;
+  policy.soft_deadline_s = args.deadline();
   const std::string json_path = args.get("json", "");
 
   std::vector<double> rates = {0.0, 1e-5, 1e-4, 1e-3, 1e-2};
@@ -151,7 +160,16 @@ int main(int argc, char** argv) try {
     }
   }
 
-  const auto grid = sweep::run_grid(points, &cache);
+  const auto grid = sweep::run_grid(points, &cache, policy);
+  if (sweep::drain_requested()) {
+    std::fprintf(stderr, "[sweep] drained (rerun with --resume): %s\n",
+                 grid.health.summary().c_str());
+    return sweep::kDrainExitCode;
+  }
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (grid.status[i] == sweep::PointStatus::Failed)
+      std::fprintf(stderr, "[sweep] point %zu failed: %s\n", i,
+                   grid.error_message(i).c_str());
 
   common::Table t({"app", "fault rate", "guard", "quality", "injected",
                    "trips", "degr epochs", "run degr", "retried"});
@@ -181,7 +199,8 @@ int main(int argc, char** argv) try {
                      .set("fingerprint", hex)
                      .set(r.metric, q)
                      .set("injected", rec.faults.total_injected())
-                     .set("cache_hit", grid.cache_hit[i] != 0));
+                     .set("cache_hit", grid.cache_hit[i] != 0)
+                     .set("status", sweep::to_string(grid.status[i])));
     }
   }
 
@@ -197,11 +216,12 @@ int main(int argc, char** argv) try {
                         .count();
   std::fprintf(stderr,
                "[sweep] hits=%llu misses=%llu disk_hits=%llu stores=%llu "
-               "elapsed_ms=%.1f\n",
+               "elapsed_ms=%.1f | %s\n",
                static_cast<unsigned long long>(cache.hits()),
                static_cast<unsigned long long>(cache.misses()),
                static_cast<unsigned long long>(cache.disk_hits()),
-               static_cast<unsigned long long>(cache.stores()), ms);
+               static_cast<unsigned long long>(cache.stores()), ms,
+               grid.health.summary().c_str());
   if (!json_path.empty()) {
     sweep::Json doc = sweep::Json::object();
     doc.set("bench", "ablation_fault_guard")
@@ -210,11 +230,12 @@ int main(int argc, char** argv) try {
         .set("cache_hits", cache.hits())
         .set("cache_misses", cache.misses())
         .set("disk_hits", cache.disk_hits())
+        .set("health", grid.health.to_json())
         .set("rows", std::move(jrows));
     if (!doc.write_file(json_path))
       std::fprintf(stderr, "[sweep] failed to write %s\n", json_path.c_str());
   }
-  return 0;
+  return grid.health.failures > 0 ? sweep::kPointFailureExitCode : 0;
 } catch (const ihw::common::ArgError& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

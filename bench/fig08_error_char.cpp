@@ -18,13 +18,15 @@
 
 using namespace ihw;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   common::Args args(argc, argv);
+  sweep::install_drain_handler();
   std::printf("[runtime] threads=%d\n",
               runtime::configure_threads_from_args(args));
   const auto samples =
       static_cast<std::uint64_t>(args.get_int("samples", 4'000'000));
   sweep::EvalCache cache(args.get("cache-dir", ""));
+  cache.attach_journal("fig08_error_char", args.resume());
   const std::string json_path = args.get("json", "");
 
   const error::UnitKind kinds[] = {
@@ -39,7 +41,14 @@ int main(int argc, char** argv) {
   std::vector<sweep::CharPoint> points;
   for (auto k : kinds) points.push_back({k, 0, samples});
   std::vector<char> hits;
-  const auto results = sweep::characterize_grid32(points, &cache, &hits);
+  sweep::HealthReport health;
+  const auto results =
+      sweep::characterize_grid32(points, &cache, &hits, &health);
+  if (sweep::drain_requested()) {
+    std::fprintf(stderr, "[sweep] drained (rerun with --resume): %s\n",
+                 health.summary().c_str());
+    return sweep::kDrainExitCode;
+  }
 
   // One table: rows = log2 bucket, columns = units.
   int lo = 8, hi = -24;
@@ -71,11 +80,12 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "[sweep] hits=%llu misses=%llu disk_hits=%llu stores=%llu "
-               "elapsed_ms=%.1f\n",
+               "elapsed_ms=%.1f | %s\n",
                static_cast<unsigned long long>(cache.hits()),
                static_cast<unsigned long long>(cache.misses()),
                static_cast<unsigned long long>(cache.disk_hits()),
-               static_cast<unsigned long long>(cache.stores()), ms);
+               static_cast<unsigned long long>(cache.stores()), ms,
+               health.summary().c_str());
   if (!json_path.empty()) {
     sweep::Json rows = sweep::Json::array();
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -88,7 +98,8 @@ int main(int argc, char** argv) {
                     .set("fingerprint", hex)
                     .set("error_rate", results[i].pmf.error_rate())
                     .set("max_rel_err", results[i].stats.max_rel())
-                    .set("cache_hit", hits[i] != 0));
+                    .set("cache_hit", hits[i] != 0)
+                    .set("status", hits[i] != 0 ? "cache_hit" : "evaluated"));
     }
     sweep::Json doc = sweep::Json::object();
     doc.set("bench", "fig08_error_char")
@@ -97,9 +108,13 @@ int main(int argc, char** argv) {
         .set("cache_hits", cache.hits())
         .set("cache_misses", cache.misses())
         .set("disk_hits", cache.disk_hits())
+        .set("health", health.to_json())
         .set("rows", std::move(rows));
     if (!doc.write_file(json_path))
       std::fprintf(stderr, "[sweep] failed to write %s\n", json_path.c_str());
   }
   return 0;
+} catch (const ihw::common::ArgError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

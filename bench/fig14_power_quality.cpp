@@ -23,8 +23,12 @@ using namespace ihw;
 
 namespace {
 
-void sweep_precision(bool is64, std::uint64_t samples, const power::SynthesisDb& db,
-           sweep::EvalCache& cache, sweep::Json* json_rows) {
+// Returns false when a graceful drain interrupted the grid: nothing is
+// printed for this precision (stdout stays all-or-nothing) and the caller
+// exits with the drain code; completed groups are already journaled.
+bool sweep_precision(bool is64, std::uint64_t samples, const power::SynthesisDb& db,
+           sweep::EvalCache& cache, sweep::Json* json_rows,
+           sweep::HealthReport& health) {
   const double dw =
       db.multiplier(MulMode::Precise, 0, is64).power_mw;
   struct Line {
@@ -49,8 +53,10 @@ void sweep_precision(bool is64, std::uint64_t samples, const power::SynthesisDb&
   for (const auto& l : lines)
     for (int tr : l.trs) points.push_back({l.kind, tr, samples});
   std::vector<char> hits;
-  const auto results = is64 ? sweep::characterize_grid64(points, &cache, &hits)
-                            : sweep::characterize_grid32(points, &cache, &hits);
+  const auto results =
+      is64 ? sweep::characterize_grid64(points, &cache, &hits, &health)
+           : sweep::characterize_grid32(points, &cache, &hits, &health);
+  if (sweep::drain_requested()) return false;
 
   common::Table t({"datapath", "trunc", "max err%", "power(mW)", "reduction"});
   std::size_t idx = 0;
@@ -77,33 +83,47 @@ void sweep_precision(bool is64, std::uint64_t samples, const power::SynthesisDb&
                             .set("max_err_pct", res.stats.max_rel() * 100.0)
                             .set("power_mw", m.power_mw)
                             .set("reduction", dw / m.power_mw)
-                            .set("cache_hit", hits[idx] != 0));
+                            .set("cache_hit", hits[idx] != 0)
+                            .set("status", hits[idx] != 0 ? "cache_hit"
+                                                          : "evaluated"));
       }
       ++idx;
     }
   }
   std::printf("-- %d-bit imprecise FP multiplier --\n", is64 ? 64 : 32);
   std::printf("%s", t.str().c_str());
+  return true;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   common::Args args(argc, argv);
+  sweep::install_drain_handler();
   std::printf("[runtime] threads=%d\n",
               runtime::configure_threads_from_args(args));
   const auto samples =
       static_cast<std::uint64_t>(args.get_int("samples", 400'000));
   sweep::EvalCache cache(args.get("cache-dir", ""));
+  cache.attach_journal("fig14_power_quality", args.resume());
   const std::string json_path = args.get("json", "");
   sweep::Json rows = sweep::Json::array();
+  sweep::HealthReport health;
 
   const auto t0 = std::chrono::steady_clock::now();
   const power::SynthesisDb db;
   std::printf("== Fig. 14: power-quality trade-off, accuracy-configurable "
               "multiplier ==\n");
-  sweep_precision(false, samples, db, cache, json_path.empty() ? nullptr : &rows);
-  sweep_precision(true, samples, db, cache, json_path.empty() ? nullptr : &rows);
+  const bool done =
+      sweep_precision(false, samples, db, cache,
+                      json_path.empty() ? nullptr : &rows, health) &&
+      sweep_precision(true, samples, db, cache,
+                      json_path.empty() ? nullptr : &rows, health);
+  if (!done) {
+    std::fprintf(stderr, "[sweep] drained (rerun with --resume): %s\n",
+                 health.summary().c_str());
+    return sweep::kDrainExitCode;
+  }
   std::printf("(paper: log path >25X at tr19 / 18%% err; intuitive "
               "truncation saturates near 2.3X at ~21%% err; 49X at tr48 for "
               "64-bit)\n");
@@ -113,11 +133,12 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "[sweep] hits=%llu misses=%llu disk_hits=%llu stores=%llu "
-               "elapsed_ms=%.1f\n",
+               "elapsed_ms=%.1f | %s\n",
                static_cast<unsigned long long>(cache.hits()),
                static_cast<unsigned long long>(cache.misses()),
                static_cast<unsigned long long>(cache.disk_hits()),
-               static_cast<unsigned long long>(cache.stores()), ms);
+               static_cast<unsigned long long>(cache.stores()), ms,
+               health.summary().c_str());
   if (!json_path.empty()) {
     sweep::Json doc = sweep::Json::object();
     doc.set("bench", "fig14_power_quality")
@@ -126,9 +147,13 @@ int main(int argc, char** argv) {
         .set("cache_hits", cache.hits())
         .set("cache_misses", cache.misses())
         .set("disk_hits", cache.disk_hits())
+        .set("health", health.to_json())
         .set("rows", std::move(rows));
     if (!doc.write_file(json_path))
       std::fprintf(stderr, "[sweep] failed to write %s\n", json_path.c_str());
   }
   return 0;
+} catch (const ihw::common::ArgError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -22,12 +22,18 @@
 using namespace ihw;
 using namespace ihw::apps;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   common::Args args(argc, argv);
+  sweep::install_drain_handler();
   std::printf("[runtime] threads=%d\n",
               runtime::configure_threads_from_args(args));
   const double scale = args.get_double("scale", 1.0);
   sweep::EvalCache cache(args.get("cache-dir", ""));
+  cache.attach_journal("table5_system_savings", args.resume());
+  sweep::FailPolicy policy;
+  policy.isolate = args.get_bool("isolate", false);
+  policy.fail_fast = !policy.isolate;
+  policy.soft_deadline_s = args.deadline();
   const std::string json_path = args.get("json", "");
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -78,7 +84,16 @@ int main(int argc, char** argv) {
                           precise, [&] { render_ray<gpu::SimFloat>(ray); });
                       return rec;
                     }});
-  const auto grid = sweep::run_grid(points, &cache);
+  const auto grid = sweep::run_grid(points, &cache, policy);
+  if (sweep::drain_requested()) {
+    std::fprintf(stderr, "[sweep] drained (rerun with --resume): %s\n",
+                 grid.health.summary().c_str());
+    return sweep::kDrainExitCode;
+  }
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (grid.status[i] == sweep::PointStatus::Failed)
+      std::fprintf(stderr, "[sweep] point %zu failed: %s\n", i,
+                   grid.error_message(i).c_str());
 
   common::Table t({"application", "config", "sys saving", "paper",
                    "arith saving", "paper "});
@@ -94,7 +109,8 @@ int main(int argc, char** argv) {
                   .set("fingerprint", hex)
                   .set("sys_saving", s.system_power_impr)
                   .set("arith_saving", s.arith_power_impr)
-                  .set("cache_hit", grid.cache_hit[pt] != 0));
+                  .set("cache_hit", grid.cache_hit[pt] != 0)
+                  .set("status", sweep::to_string(grid.status[pt])));
   };
 
   {
@@ -162,11 +178,12 @@ int main(int argc, char** argv) {
                         .count();
   std::fprintf(stderr,
                "[sweep] hits=%llu misses=%llu disk_hits=%llu stores=%llu "
-               "elapsed_ms=%.1f\n",
+               "elapsed_ms=%.1f | %s\n",
                static_cast<unsigned long long>(cache.hits()),
                static_cast<unsigned long long>(cache.misses()),
                static_cast<unsigned long long>(cache.disk_hits()),
-               static_cast<unsigned long long>(cache.stores()), ms);
+               static_cast<unsigned long long>(cache.stores()), ms,
+               grid.health.summary().c_str());
   if (!json_path.empty()) {
     sweep::Json doc = sweep::Json::object();
     doc.set("bench", "table5_system_savings")
@@ -175,9 +192,13 @@ int main(int argc, char** argv) {
         .set("cache_hits", cache.hits())
         .set("cache_misses", cache.misses())
         .set("disk_hits", cache.disk_hits())
+        .set("health", grid.health.to_json())
         .set("rows", std::move(rows));
     if (!doc.write_file(json_path))
       std::fprintf(stderr, "[sweep] failed to write %s\n", json_path.c_str());
   }
-  return 0;
+  return grid.health.failures > 0 ? sweep::kPointFailureExitCode : 0;
+} catch (const ihw::common::ArgError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -68,6 +68,14 @@ int Args::threads() const {
   return static_cast<int>(v);
 }
 
+double Args::deadline() const {
+  const double v = get_double("deadline", 0.0);
+  if (!(v >= 0.0) || v > 1e9)
+    throw ArgError("--deadline must be in [0, 1e9] seconds, got " +
+                   std::to_string(v));
+  return v;
+}
+
 bool Args::get_bool(const std::string& key, bool def) const {
   auto it = kv_.find(key);
   if (it == kv_.end()) return def;

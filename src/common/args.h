@@ -36,6 +36,16 @@ class Args {
   /// Throws ArgError when negative or absurd (> 1e6).
   int threads() const;
 
+  /// The shared `--resume` flag of the sweep benches: replay the crash-safe
+  /// journal under --cache-dir before scheduling cold points (DESIGN.md
+  /// §12). Meaningless without --cache-dir.
+  bool resume() const { return get_bool("resume", false); }
+
+  /// The shared `--deadline=S` flag of the sweep benches: per-point soft
+  /// watchdog deadline in seconds, 0 (or absent) disables the watchdog.
+  /// Throws ArgError when negative or non-numeric.
+  double deadline() const;
+
   /// Positional (non `--`) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -51,17 +51,35 @@ int configure_threads_from_args(const common::Args& args) {
 
 void parallel_tasks(std::size_t n, const std::function<void(std::size_t)>& task,
                     int threads) {
+  const auto errors = parallel_tasks_capture(n, task, threads);
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+std::vector<std::exception_ptr> parallel_tasks_capture(
+    std::size_t n, const std::function<void(std::size_t)>& task, int threads) {
+  // Slot i is written only by the worker that ran task i, so no lock is
+  // needed; the run_sharded join publishes every slot to the caller.
+  std::vector<std::exception_ptr> errors(n);
+  auto captured = [&](std::size_t i) {
+    try {
+      task(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
   const int shards = detail::resolve_shards(threads, n);
   if (shards <= 1) {
-    for (std::size_t i = 0; i < n; ++i) task(i);
-    return;
+    for (std::size_t i = 0; i < n; ++i) captured(i);
+    return errors;
   }
   std::atomic<std::size_t> next{0};
   detail::run_sharded(shards, [&](int) {
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
          i = next.fetch_add(1, std::memory_order_relaxed))
-      task(i);
+      captured(i);
   });
+  return errors;
 }
 
 namespace detail {

@@ -19,7 +19,8 @@ namespace ihw::sweep {
 /// Version tag of the cache record schema. Bump whenever the serialized
 /// EvalRecord layout or any evaluation semantics change: the disk layer
 /// namespaces records by this tag, so stale caches invalidate wholesale.
-inline constexpr char kSchemaTag[] = "ihw-sweep-v1";
+/// v2: records carry a whole-payload checksum line (DESIGN.md §12).
+inline constexpr char kSchemaTag[] = "ihw-sweep-v2";
 
 /// Incremental FNV-1a hasher with type-tagged mixing. Every mix_* call
 /// feeds a one-byte type tag before the payload so adjacent fields cannot

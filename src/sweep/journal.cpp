@@ -1,0 +1,160 @@
+#include "sweep/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace ihw::sweep {
+namespace fs = std::filesystem;
+
+namespace {
+
+// Writes `data` to `path` and fsyncs the file descriptor, so the bytes are
+// durable before the caller renames the file into place.
+bool write_synced(const std::string& path, const std::string& data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t w = ::write(fd, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    p += w;
+    left -= static_cast<std::size_t>(w);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  return (::close(fd) == 0) && synced;
+}
+
+// Best-effort fsync of the directory entry, so the rename itself is durable.
+void sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Journal::Journal(std::string dir, std::string schema, std::string name)
+    : dir_(std::move(dir)) {
+  path_ = dir_ + "/" + schema + "/journal-" + name + ".log";
+}
+
+std::size_t Journal::replay(
+    const std::function<void(std::uint64_t, EvalRecord&&)>& sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  content_.clear();
+  entries_ = 0;
+
+  std::string text;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) return 0;  // no journal yet: nothing to replay
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  // Frames: "entry <fp-hex> <nbytes>\n" followed by exactly nbytes of
+  // payload (a self-checksummed EvalCache record). Stop at the first frame
+  // that is malformed, truncated, or fails record validation.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) break;
+    std::istringstream head(text.substr(pos, eol - pos));
+    std::string tag, hex;
+    std::size_t nbytes = 0;
+    if (!(head >> tag >> hex >> nbytes) || tag != "entry") break;
+    char* end = nullptr;
+    const std::uint64_t fp = std::strtoull(hex.c_str(), &end, 16);
+    if (end == hex.c_str() || *end != '\0') break;
+    const std::size_t body = eol + 1;
+    if (nbytes > text.size() - body) break;  // truncated tail
+    EvalRecord rec;
+    if (!EvalCache::deserialize(text.substr(body, nbytes), fp, &rec)) break;
+    sink(fp, std::move(rec));
+    content_.append(text, pos, body + nbytes - pos);
+    ++entries_;
+    pos = body + nbytes;
+  }
+  if (pos < text.size())
+    std::fprintf(stderr,
+                 "[sweep] journal %s: dropped invalid tail (%zu bytes) after "
+                 "%zu valid entries\n",
+                 path_.c_str(), text.size() - pos, entries_);
+  return entries_;
+}
+
+void Journal::discard() {
+  std::lock_guard<std::mutex> lock(mu_);
+  content_.clear();
+  entries_ = 0;
+  std::error_code ec;
+  fs::remove(path_, ec);
+}
+
+bool Journal::append(std::uint64_t fp, const EvalRecord& rec) {
+  const std::string payload = EvalCache::serialize(fp, rec);
+  char head[64];
+  std::snprintf(head, sizeof head, "entry %016llx %zu\n",
+                static_cast<unsigned long long>(fp), payload.size());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  content_ += head;
+  content_ += payload;
+  ++entries_;
+  return commit_locked();
+}
+
+std::size_t Journal::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+bool Journal::commit_locked() {
+  std::error_code ec;
+  const fs::path parent = fs::path(path_).parent_path();
+  fs::create_directories(parent, ec);
+
+  // Bounded retry with backoff: a transient failure (EINTR storm, momentary
+  // ENOSPC, slow NFS) should not silently drop a checkpoint.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (attempt > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+    char suffix[64];
+    std::snprintf(suffix, sizeof suffix, ".tmp.%ld.%llu",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(tmp_seq_++));
+    const std::string tmp = path_ + suffix;
+    if (!write_synced(tmp, content_)) {
+      fs::remove(tmp, ec);
+      continue;
+    }
+    fs::rename(tmp, path_, ec);
+    if (ec) {
+      fs::remove(tmp, ec);
+      continue;
+    }
+    sync_dir(parent.string());
+    return true;
+  }
+  std::fprintf(stderr, "[sweep] journal %s: commit failed after retries: %s\n",
+               path_.c_str(), std::strerror(errno));
+  return false;
+}
+
+}  // namespace ihw::sweep

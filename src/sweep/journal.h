@@ -1,0 +1,70 @@
+#pragma once
+// Crash-safe checkpoint journal for the sweep engine (DESIGN.md §12). A
+// journal is a single sequential file under the cache directory that records
+// every (fingerprint, EvalRecord) a sweep run has completed, so a run killed
+// mid-grid can be resumed: `--resume` replays the journal into the in-memory
+// cache before any cold point is scheduled, and only the points missing from
+// the journal are re-evaluated.
+//
+// Durability model: every commit serializes the full journal (previously
+// committed entries plus the new batch) to a uniquely-named temporary file,
+// fsyncs it, and renames it over the journal path -- a reader (or a resumed
+// run) therefore always observes either the old or the new journal, never a
+// torn one, even across SIGKILL or power loss. Entries are framed with their
+// fingerprint and byte length, and each payload is an EvalCache record text
+// carrying its own checksum, so replay validates every entry and stops at
+// the first invalid frame (a torn tail from a pre-rename crash of an older
+// scheme) instead of propagating corruption.
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "sweep/cache.h"
+
+namespace ihw::sweep {
+
+class Journal {
+ public:
+  /// Journal for one bench under `<dir>/<schema>/journal-<name>.log`.
+  /// Construction only names the file; nothing is read or written until
+  /// replay() / discard() / append().
+  Journal(std::string dir, std::string schema, std::string name);
+
+  /// Path of the journal file (exposed for tests and tooling).
+  const std::string& path() const { return path_; }
+
+  /// Reads the journal and feeds every valid entry to `sink`. Stops at the
+  /// first malformed or truncated frame (with a stderr diagnostic); the
+  /// valid prefix is retained as the journal's committed content, so later
+  /// appends preserve it. Returns the number of entries replayed.
+  std::size_t replay(
+      const std::function<void(std::uint64_t, EvalRecord&&)>& sink);
+
+  /// Starts a fresh journal: drops any committed content and removes the
+  /// file. A non-resume run calls this so a stale journal from a previous
+  /// invocation cannot grow without bound or replay into the wrong grid.
+  void discard();
+
+  /// Appends one completed point and commits the batch durably
+  /// (write-then-rename + fsync). Thread-safe: concurrent workers may
+  /// checkpoint points as they finish in any order -- replay is
+  /// order-insensitive. Returns false (with a stderr diagnostic) if the
+  /// commit could not be made durable after bounded retries.
+  bool append(std::uint64_t fp, const EvalRecord& rec);
+
+  /// Number of entries committed or replayed so far.
+  std::size_t entries() const;
+
+ private:
+  bool commit_locked();  // writes content_ via tmp+rename+fsync
+
+  mutable std::mutex mu_;
+  std::string dir_;     // cache root
+  std::string path_;    // full journal file path
+  std::string content_; // committed entry frames, in commit order
+  std::size_t entries_ = 0;
+  std::uint64_t tmp_seq_ = 0;
+};
+
+}  // namespace ihw::sweep

@@ -4,6 +4,7 @@
 Usage:
   check_bench_regression.py BENCH.json
   check_bench_regression.py --sweep COLD.json WARM.json [--min-speedup=R]
+  check_bench_regression.py --sweep --resume COLD.json RESUMED.json
 
 The batched span kernels (src/ihw/batch.h) are only worth their complexity
 while they stay far ahead of the element-wise SimReal path, so the gate is
@@ -23,6 +24,13 @@ twice against the same --cache-dir. The warm run must have served every row
 from the cache (cache_hit true, zero misses), the row fingerprints must
 match the cold run's exactly, and the warm elapsed time must beat the cold
 time by at least --min-speedup (default 10x).
+
+--sweep --resume gates the resilience layer (DESIGN.md §12) instead: COLD
+is a clean reference run and RESUMED is a --resume run after a mid-grid
+kill. A resumed run may legitimately mix journal replays with fresh
+evaluations, so per-row cache_hit/status and the speedup floor are not
+checked; every *result* field of every row must still match the reference
+exactly, and the resumed health must report at least one journal replay.
 """
 
 import json
@@ -66,10 +74,13 @@ def load_times(path: str) -> dict:
 
 def check_sweep(argv: list) -> int:
     min_speedup = 10.0
+    resume = False
     paths = []
     for arg in argv:
         if arg.startswith("--min-speedup="):
             min_speedup = float(arg.split("=", 1)[1])
+        elif arg == "--resume":
+            resume = True
         else:
             paths.append(arg)
     if len(paths) != 2:
@@ -90,14 +101,42 @@ def check_sweep(argv: list) -> int:
         failures.append(
             f"row count mismatch: cold={len(cold_rows)} warm={len(warm_rows)}"
         )
+    # Provenance fields legitimately differ between a reference run and a
+    # resumed run; everything else is a result and must be identical.
+    provenance = {"cache_hit", "status"}
     for i, (c, w) in enumerate(zip(cold_rows, warm_rows)):
         if c.get("fingerprint") != w.get("fingerprint"):
             failures.append(
                 f"row {i}: fingerprint changed between runs "
                 f"({c.get('fingerprint')} vs {w.get('fingerprint')})"
             )
-        if not w.get("cache_hit"):
+        if resume:
+            for key in sorted(set(c) | set(w)):
+                if key in provenance:
+                    continue
+                if c.get(key) != w.get(key):
+                    failures.append(
+                        f"row {i}: {key} differs after resume "
+                        f"({c.get(key)!r} vs {w.get(key)!r})"
+                    )
+        elif not w.get("cache_hit"):
             failures.append(f"row {i}: warm run missed the cache")
+    if resume:
+        replayed = warm.get("health", {}).get("journal_replayed", 0)
+        if replayed < 1:
+            failures.append(
+                f"resumed run replayed {replayed} journal entries (expected >= 1)"
+            )
+        if failures:
+            print("\nsweep resume regression:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(
+            f"sweep {cold.get('bench')}: resumed run matches the reference "
+            f"({len(warm_rows)} rows, {replayed} journal entries replayed)"
+        )
+        return 0
     if warm.get("cache_misses", 1) != 0:
         failures.append(f"warm run had {warm.get('cache_misses')} cache misses")
 
