@@ -12,6 +12,7 @@
 #include "apps/hotspot.h"
 #include "apps/runner.h"
 #include "common/args.h"
+#include "common/sweep_flags.h"
 #include "common/table.h"
 #include "runtime/parallel.h"
 #include "sweep/json.h"
@@ -44,12 +45,10 @@ int main(int argc, char** argv) try {
   sweep::install_drain_handler();
   std::printf("[runtime] threads=%d\n",
               runtime::configure_threads_from_args(args));
-  sweep::EvalCache cache(args.get("cache-dir", ""));
-  cache.attach_journal("ablation_dvfs", args.resume());
-  sweep::FailPolicy policy;
-  policy.isolate = args.get_bool("isolate", false);
-  policy.fail_fast = !policy.isolate;
-  policy.soft_deadline_s = args.deadline();
+  const auto flags = common::SweepFlags::from_args(args);
+  sweep::EvalCache cache(flags.cache_dir);
+  cache.attach_journal("ablation_dvfs", flags.resume);
+  const sweep::FailPolicy policy = sweep::make_fail_policy(flags);
   const std::string json_path = args.get("json", "");
   HotspotParams p;
   p.rows = p.cols = static_cast<std::size_t>(args.get_int("size", 192));

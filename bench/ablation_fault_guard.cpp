@@ -33,6 +33,7 @@
 #include "apps/ray.h"
 #include "apps/runner.h"
 #include "common/args.h"
+#include "common/sweep_flags.h"
 #include "common/table.h"
 #include "fault/spec.h"
 #include "quality/grid_metrics.h"
@@ -72,12 +73,10 @@ int main(int argc, char** argv) try {
   const auto seed = static_cast<std::uint64_t>(
       args.get_int("seed", 0x51ce));
   const bool retry = args.get_bool("retry", false);
-  sweep::EvalCache cache(args.get("cache-dir", ""));
-  cache.attach_journal("ablation_fault_guard", args.resume());
-  sweep::FailPolicy policy;
-  policy.isolate = args.get_bool("isolate", false);
-  policy.fail_fast = !policy.isolate;
-  policy.soft_deadline_s = args.deadline();
+  const auto flags = common::SweepFlags::from_args(args);
+  sweep::EvalCache cache(flags.cache_dir);
+  cache.attach_journal("ablation_fault_guard", flags.resume);
+  const sweep::FailPolicy policy = sweep::make_fail_policy(flags);
   const std::string json_path = args.get("json", "");
 
   std::vector<double> rates = {0.0, 1e-5, 1e-4, 1e-3, 1e-2};

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/args.h"
+#include "common/sweep_flags.h"
 #include "common/table.h"
 #include "error/characterize.h"
 #include "runtime/parallel.h"
@@ -25,8 +26,9 @@ int main(int argc, char** argv) try {
               runtime::configure_threads_from_args(args));
   const auto samples =
       static_cast<std::uint64_t>(args.get_int("samples", 4'000'000));
-  sweep::EvalCache cache(args.get("cache-dir", ""));
-  cache.attach_journal("fig08_error_char", args.resume());
+  const auto flags = common::SweepFlags::from_args(args);
+  sweep::EvalCache cache(flags.cache_dir);
+  cache.attach_journal("fig08_error_char", flags.resume);
   const std::string json_path = args.get("json", "");
 
   const error::UnitKind kinds[] = {

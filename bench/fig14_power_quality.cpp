@@ -6,16 +6,21 @@
 // The characterization grid runs through the memoizing sweep engine
 // (DESIGN.md §11): all datapaths of one precision share a single quasi-MC
 // operand stream and exact-reference pass, and every point is memoized by
-// fingerprint -- pass --cache-dir=DIR to persist records across runs.
-// Table output on stdout is byte-identical to the pre-sweep implementation.
+// fingerprint -- pass --cache-dir=DIR to persist records across runs. With
+// --server=SOCKET the grid is evaluated by a running ihw_sweepd daemon
+// instead (DESIGN.md §13); results are bit-exact either way, so stdout is
+// byte-identical between the two modes (and to the pre-sweep implementation).
 #include <chrono>
 #include <cstdio>
+#include <functional>
 
 #include "common/args.h"
+#include "common/sweep_flags.h"
 #include "common/table.h"
 #include "error/characterize.h"
 #include "power/nfm.h"
 #include "runtime/parallel.h"
+#include "serve/client.h"
 #include "sweep/json.h"
 #include "sweep/sweep.h"
 
@@ -23,12 +28,18 @@ using namespace ihw;
 
 namespace {
 
+/// Evaluates one characterization grid: either the in-process shared-stream
+/// engine or a round trip through the daemon. Both produce bit-identical
+/// CharResults in point order and fill the per-point warm flags.
+using CharGridFn = std::function<std::vector<error::CharResult>(
+    const std::vector<sweep::CharPoint>& points, bool is64,
+    std::vector<char>* hits)>;
+
 // Returns false when a graceful drain interrupted the grid: nothing is
 // printed for this precision (stdout stays all-or-nothing) and the caller
 // exits with the drain code; completed groups are already journaled.
 bool sweep_precision(bool is64, std::uint64_t samples, const power::SynthesisDb& db,
-           sweep::EvalCache& cache, sweep::Json* json_rows,
-           sweep::HealthReport& health) {
+           const CharGridFn& grid_fn, sweep::Json* json_rows) {
   const double dw =
       db.multiplier(MulMode::Precise, 0, is64).power_mw;
   struct Line {
@@ -53,9 +64,7 @@ bool sweep_precision(bool is64, std::uint64_t samples, const power::SynthesisDb&
   for (const auto& l : lines)
     for (int tr : l.trs) points.push_back({l.kind, tr, samples});
   std::vector<char> hits;
-  const auto results =
-      is64 ? sweep::characterize_grid64(points, &cache, &hits, &health)
-           : sweep::characterize_grid32(points, &cache, &hits, &health);
+  const auto results = grid_fn(points, is64, &hits);
   if (sweep::drain_requested()) return false;
 
   common::Table t({"datapath", "trunc", "max err%", "power(mW)", "reduction"});
@@ -104,21 +113,64 @@ int main(int argc, char** argv) try {
               runtime::configure_threads_from_args(args));
   const auto samples =
       static_cast<std::uint64_t>(args.get_int("samples", 400'000));
-  sweep::EvalCache cache(args.get("cache-dir", ""));
-  cache.attach_journal("fig14_power_quality", args.resume());
+  const auto flags = common::SweepFlags::from_args(args);
+  // In server mode the cache and journal belong to the daemon.
+  sweep::EvalCache cache(flags.server_mode() ? "" : flags.cache_dir);
+  if (!flags.server_mode())
+    cache.attach_journal("fig14_power_quality", flags.resume);
   const std::string json_path = args.get("json", "");
   sweep::Json rows = sweep::Json::array();
   sweep::HealthReport health;
+
+  serve::Client client;
+  CharGridFn grid_fn;
+  if (flags.server_mode()) {
+    std::string err;
+    if (!client.connect(flags.server, &err)) {
+      std::fprintf(stderr, "[serve] %s\n", err.c_str());
+      return 1;
+    }
+    grid_fn = [&client, &health](const std::vector<sweep::CharPoint>& pts,
+                                 bool is64, std::vector<char>* hits) {
+      const auto res = client.characterize(pts, is64);
+      std::vector<error::CharResult> out;
+      out.reserve(res.size());
+      hits->clear();
+      for (const auto& r : res) {
+        out.push_back(r.rec.chr);
+        hits->push_back(r.served_warm() ? 1 : 0);
+        ++health.points;
+        if (r.served_warm())
+          ++health.cache_hits;
+        else
+          ++health.evaluated;
+      }
+      return out;
+    };
+  } else {
+    grid_fn = [&cache, &health](const std::vector<sweep::CharPoint>& pts,
+                                bool is64, std::vector<char>* hits) {
+      return is64 ? sweep::characterize_grid64(pts, &cache, hits, &health)
+                  : sweep::characterize_grid32(pts, &cache, hits, &health);
+    };
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   const power::SynthesisDb db;
   std::printf("== Fig. 14: power-quality trade-off, accuracy-configurable "
               "multiplier ==\n");
-  const bool done =
-      sweep_precision(false, samples, db, cache,
-                      json_path.empty() ? nullptr : &rows, health) &&
-      sweep_precision(true, samples, db, cache,
-                      json_path.empty() ? nullptr : &rows, health);
+  bool done = false;
+  try {
+    done = sweep_precision(false, samples, db, grid_fn,
+                           json_path.empty() ? nullptr : &rows) &&
+           sweep_precision(true, samples, db, grid_fn,
+                           json_path.empty() ? nullptr : &rows);
+  } catch (const serve::ServeError& e) {
+    std::fprintf(stderr, "[serve] %s failed: %s (code=%s)\n",
+                 flags.server.c_str(), e.what(), e.code().c_str());
+    return e.retryable() ? sweep::kDrainExitCode
+                         : sweep::kPointFailureExitCode;
+  }
   if (!done) {
     std::fprintf(stderr, "[sweep] drained (rerun with --resume): %s\n",
                  health.summary().c_str());

@@ -1,0 +1,261 @@
+// Multi-client load generator for the evaluation daemon (DESIGN.md §13).
+// Drives three phases against one daemon and reports throughput and
+// latency quantiles per phase, plus the single-flight proof:
+//
+//  - cold:      one client walks N distinct characterization points, every
+//               request paying a full evaluation (the baseline);
+//  - warm:      C clients hammer the same N points concurrently -- every
+//               request is a cache hit, demonstrating the daemon's reason to
+//               exist (the warm/cold throughput ratio is gated in CI);
+//  - coalesced: C clients fire the SAME fresh fingerprint simultaneously;
+//               single-flight dedup must evaluate it exactly once (asserted
+//               via the daemon's cache store counter and per-response
+//               sources).
+//
+// Self-hosts the daemon in-process by default; --socket=PATH drives an
+// external ihw_sweepd instead (metrics-based counters work either way).
+// --json=PATH writes the BENCH_pr6.json document consumed by
+// tools/check_bench_regression.py --serve.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/args.h"
+#include "common/table.h"
+#include "error/characterize.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "sweep/json.h"
+#include "sweep/sweep.h"
+
+using namespace ihw;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PhaseStats {
+  std::vector<double> latencies_ms;  // per request
+  double elapsed_ms = 0.0;
+
+  double rps() const {
+    return elapsed_ms > 0.0 ? 1e3 * static_cast<double>(latencies_ms.size()) /
+                                  elapsed_ms
+                            : 0.0;
+  }
+  double quantile(double q) const {
+    if (latencies_ms.empty()) return 0.0;
+    std::vector<double> v = latencies_ms;
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(v.size() - 1),
+                         q * static_cast<double>(v.size())));
+    return v[idx];
+  }
+  sweep::Json to_json() const {
+    return sweep::Json::object()
+        .set("requests", static_cast<std::uint64_t>(latencies_ms.size()))
+        .set("elapsed_ms", elapsed_ms)
+        .set("rps", rps())
+        .set("p50_ms", quantile(0.50))
+        .set("p95_ms", quantile(0.95))
+        .set("p99_ms", quantile(0.99));
+  }
+};
+
+/// One request = one single-point char grid; returns the source label.
+std::string request_point(serve::Client& client, const sweep::CharPoint& p,
+                          PhaseStats* stats) {
+  const double t0 = now_ms();
+  const auto res = client.characterize({p}, /*is64=*/false);
+  stats->latencies_ms.push_back(now_ms() - t0);
+  return res[0].source;
+}
+
+std::uint64_t metrics_stores(serve::Client& client) {
+  return client.metrics()["cache"]["stores"].as_u64();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  common::Args args(argc, argv);
+  const int clients = static_cast<int>(args.get_int("clients", 4));
+  const int requests = static_cast<int>(args.get_int("requests", 50));
+  const int cold_points = static_cast<int>(args.get_int("cold-points", 24));
+  const auto samples =
+      static_cast<std::uint64_t>(args.get_int("samples", 20'000));
+  const std::string json_path = args.get("json", "");
+  std::string socket = args.get("socket", "");
+
+  // Self-host unless pointed at an external daemon. Workers >= clients so
+  // the coalesced burst actually overlaps in the executors.
+  std::unique_ptr<serve::Server> server;
+  if (socket.empty()) {
+    socket = "/tmp/ihw_loadgen_" + std::to_string(::getpid()) + ".sock";
+    serve::ServerOptions opts;
+    opts.socket_path = socket;
+    opts.workers = std::max(2, clients);
+    opts.queue_limit = std::max(64, clients * requests + clients);
+    server = std::make_unique<serve::Server>(opts);
+    std::string err;
+    if (!server->start(&err)) {
+      std::fprintf(stderr, "[serve] start failed: %s\n", err.c_str());
+      return 1;
+    }
+  }
+
+  // The point set: distinct (param, samples) pairs over the BitTrunc unit,
+  // cheap enough that cold latency is evaluation-dominated but bounded.
+  std::vector<sweep::CharPoint> points;
+  for (int i = 0; i < cold_points; ++i)
+    points.push_back({error::UnitKind::BitTrunc, i % 21,
+                      samples + static_cast<std::uint64_t>(i)});
+
+  serve::Client probe;
+  std::string cerr_;
+  if (!probe.connect(socket, &cerr_)) {
+    std::fprintf(stderr, "[serve] %s\n", cerr_.c_str());
+    return 1;
+  }
+
+  // ---- Phase 1: cold, single client, every request a fresh evaluation.
+  PhaseStats cold;
+  {
+    const double t0 = now_ms();
+    for (const auto& p : points) request_point(probe, p, &cold);
+    cold.elapsed_ms = now_ms() - t0;
+  }
+
+  // ---- Phase 2: warm, C concurrent clients over the now-cached points.
+  PhaseStats warm;
+  {
+    std::vector<PhaseStats> per_client(clients);
+    std::vector<std::thread> threads;
+    const double t0 = now_ms();
+    for (int c = 0; c < clients; ++c)
+      threads.emplace_back([&, c] {
+        serve::Client cl;
+        if (!cl.connect(socket)) return;
+        for (int j = 0; j < requests; ++j)
+          request_point(cl, points[(c * requests + j) % points.size()],
+                        &per_client[c]);
+      });
+    for (auto& t : threads) t.join();
+    warm.elapsed_ms = now_ms() - t0;
+    for (const auto& pc : per_client)
+      warm.latencies_ms.insert(warm.latencies_ms.end(),
+                               pc.latencies_ms.begin(),
+                               pc.latencies_ms.end());
+  }
+
+  // ---- Phase 3: coalesced burst, C clients on ONE fresh fingerprint.
+  // 10x the sample budget so the evaluation comfortably spans the burst.
+  PhaseStats coal;
+  std::vector<std::string> sources(clients);
+  const std::uint64_t stores_before = metrics_stores(probe);
+  {
+    const sweep::CharPoint fresh{error::UnitKind::BitTrunc, 3, samples * 10};
+    std::vector<std::thread> threads;
+    const double t0 = now_ms();
+    std::vector<PhaseStats> per_client(clients);
+    for (int c = 0; c < clients; ++c)
+      threads.emplace_back([&, c] {
+        serve::Client cl;
+        if (!cl.connect(socket)) return;
+        sources[c] = request_point(cl, fresh, &per_client[c]);
+      });
+    for (auto& t : threads) t.join();
+    coal.elapsed_ms = now_ms() - t0;
+    for (const auto& pc : per_client)
+      coal.latencies_ms.insert(coal.latencies_ms.end(),
+                               pc.latencies_ms.begin(),
+                               pc.latencies_ms.end());
+  }
+  const std::uint64_t store_delta = metrics_stores(probe) - stores_before;
+  std::uint64_t n_eval = 0, n_coal = 0, n_cache = 0;
+  for (const auto& s : sources) {
+    if (s == "evaluated") ++n_eval;
+    if (s == "coalesced") ++n_coal;
+    if (s == "cache") ++n_cache;
+  }
+
+  const double speedup = cold.rps() > 0.0 ? warm.rps() / cold.rps() : 0.0;
+
+  common::Table t({"phase", "requests", "rps", "p50(ms)", "p95(ms)",
+                   "p99(ms)"});
+  auto add = [&](const char* name, const PhaseStats& s) {
+    t.row()
+        .add(name)
+        .add(static_cast<long long>(s.latencies_ms.size()))
+        .add(s.rps(), 1)
+        .add(s.quantile(0.50), 3)
+        .add(s.quantile(0.95), 3)
+        .add(s.quantile(0.99), 3);
+  };
+  add("cold", cold);
+  add("warm", warm);
+  add("coalesced", coal);
+  std::printf("== serve_loadgen: %d clients x %d requests ==\n", clients,
+              requests);
+  std::printf("%s", t.str().c_str());
+  std::printf("warm/cold speedup: %.1fx\n", speedup);
+  std::printf("coalesced burst: store_delta=%llu sources "
+              "evaluated=%llu coalesced=%llu cache=%llu\n",
+              static_cast<unsigned long long>(store_delta),
+              static_cast<unsigned long long>(n_eval),
+              static_cast<unsigned long long>(n_coal),
+              static_cast<unsigned long long>(n_cache));
+
+  const sweep::Json metrics = probe.metrics();
+  if (!json_path.empty()) {
+    sweep::Json doc =
+        sweep::Json::object()
+            .set("bench", "serve_loadgen")
+            .set("clients", clients)
+            .set("requests_per_client", requests)
+            .set("samples", samples)
+            .set("cold", cold.to_json())
+            .set("warm", warm.to_json())
+            .set("coalesced",
+                 coal.to_json()
+                     .set("store_delta", store_delta)
+                     .set("unique_evaluations", n_eval)
+                     .set("sources", sweep::Json::object()
+                                         .set("evaluated", n_eval)
+                                         .set("coalesced", n_coal)
+                                         .set("cache", n_cache)))
+            .set("warm_vs_cold_speedup", speedup)
+            .set("metrics", metrics);
+    if (!doc.write_file(json_path))
+      std::fprintf(stderr, "[serve] failed to write %s\n", json_path.c_str());
+  }
+
+  probe.close();
+  if (server) server->stop();
+  // Failure here means the daemon evaluated a duplicated in-flight
+  // fingerprint more than once -- the single-flight contract is broken.
+  if (store_delta != 1 || n_eval != 1) {
+    std::fprintf(stderr,
+                 "[serve] single-flight violation: store_delta=%llu "
+                 "unique_evaluations=%llu (want 1/1)\n",
+                 static_cast<unsigned long long>(store_delta),
+                 static_cast<unsigned long long>(n_eval));
+    return 1;
+  }
+  return 0;
+} catch (const ihw::common::ArgError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+} catch (const ihw::serve::ServeError& e) {
+  std::fprintf(stderr, "[serve] %s (code=%s)\n", e.what(), e.code().c_str());
+  return 1;
+}

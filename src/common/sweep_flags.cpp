@@ -1,0 +1,17 @@
+#include "common/sweep_flags.h"
+
+#include "common/args.h"
+
+namespace ihw::common {
+
+SweepFlags SweepFlags::from_args(const Args& args) {
+  SweepFlags f;
+  f.cache_dir = args.get("cache-dir", "");
+  f.resume = args.resume();
+  f.isolate = args.get_bool("isolate", false);
+  f.deadline_s = args.deadline();
+  f.server = args.get("server", "");
+  return f;
+}
+
+}  // namespace ihw::common

@@ -1,0 +1,36 @@
+#pragma once
+// The CLI surface every sweep-engine bench shares, parsed in one place
+// instead of five copies: the cache/resilience flags of DESIGN.md §11-§12
+// (--cache-dir, --resume, --isolate, --deadline) plus the --server flag that
+// turns a bench into a thin client of a running ihw_sweepd evaluation daemon
+// (DESIGN.md §13).
+#include <string>
+
+namespace ihw::common {
+
+class Args;
+
+struct SweepFlags {
+  /// --cache-dir=DIR: root of the on-disk record layer (empty = memory only).
+  std::string cache_dir;
+  /// --resume: replay the crash-safe journal under --cache-dir first.
+  bool resume = false;
+  /// --isolate: keep going past a failed point (exit kExitPointFailure).
+  bool isolate = false;
+  /// --deadline=S: per-point soft watchdog deadline, 0 disables.
+  double deadline_s = 0.0;
+  /// --server=SOCKET: evaluate through the ihw_sweepd daemon listening on
+  /// this Unix-domain socket instead of in-process. The bench becomes a thin
+  /// client with byte-identical stdout; the cache/journal flags then belong
+  /// to the daemon, not the bench.
+  std::string server;
+
+  /// True when the bench should run as a daemon client.
+  bool server_mode() const { return !server.empty(); }
+
+  /// Parses the shared flags (strict numeric validation via Args; throws
+  /// ArgError on malformed values).
+  static SweepFlags from_args(const Args& args);
+};
+
+}  // namespace ihw::common

@@ -1,0 +1,198 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/wire.h"
+
+namespace ihw::serve {
+namespace {
+
+std::uint64_t parse_fp_hex(const std::string& hex) {
+  return std::strtoull(hex.c_str(), nullptr, 16);
+}
+
+/// Decodes one wire record: "records"/"fingerprints"/"sources" entry i of a
+/// successful char/sweep response.
+PointResult decode_point(const sweep::Json& resp, std::size_t i) {
+  PointResult out;
+  out.fp = parse_fp_hex(resp["fingerprints"].at(i).as_str());
+  out.source = resp["sources"].at(i).as_str();
+  if (!sweep::EvalCache::deserialize(resp["records"].at(i).as_str(), out.fp,
+                                     &out.rec))
+    throw ServeError("internal",
+                     "response record failed checksum/fingerprint validation",
+                     false);
+  return out;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string& socket_path, std::string* err) {
+  auto fail = [&](const std::string& msg) {
+    if (err != nullptr) *err = msg;
+    return false;
+  };
+  if (fd_ >= 0) return fail("client already connected");
+  struct sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof addr.sun_path)
+    return fail("bad socket path '" + socket_path + "'");
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return fail("socket(): " + std::string(strerror(errno)));
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    const std::string msg =
+        "connect(" + socket_path + "): " + std::string(strerror(errno));
+    close();
+    return fail(msg);
+  }
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+sweep::Json Client::call(const sweep::Json& req) {
+  if (fd_ < 0) throw ServeError("transport", "client is not connected", false);
+  if (!write_frame(fd_, req.dump()))
+    throw ServeError("transport", "failed to send request frame", true);
+  std::string payload;
+  const WireStatus st = read_frame(fd_, &payload);
+  if (st != WireStatus::Ok)
+    throw ServeError("transport",
+                     std::string("failed to read response frame (") +
+                         to_string(st) + ")",
+                     st == WireStatus::Closed);
+  sweep::Json resp;
+  std::string perr;
+  if (!sweep::Json::parse(payload, &resp, &perr) || !resp.is_object())
+    throw ServeError("transport", "unparseable response: " + perr, false);
+  return resp;
+}
+
+sweep::Json Client::call_checked(const sweep::Json& req) {
+  sweep::Json resp = call(req);
+  if (!resp["ok"].as_bool(false)) {
+    const std::string code =
+        resp["code"].is_string() ? resp["code"].as_str() : "internal";
+    const std::string msg = resp["error"].is_string()
+                                ? resp["error"].as_str()
+                                : "server reported failure";
+    throw ServeError(code, msg, resp["retryable"].as_bool(false));
+  }
+  return resp;
+}
+
+bool Client::ping(std::string* proto) {
+  try {
+    const sweep::Json resp =
+        call_checked(sweep::Json::object().set("op", "ping"));
+    if (proto != nullptr) *proto = resp["proto"].as_str();
+    return true;
+  } catch (const ServeError&) {
+    return false;
+  }
+}
+
+sweep::Json Client::metrics() {
+  return call_checked(sweep::Json::object().set("op", "metrics"));
+}
+
+void Client::shutdown_server() {
+  call_checked(sweep::Json::object().set("op", "shutdown"));
+}
+
+void Client::stall(int ms) {
+  call_checked(sweep::Json::object().set("op", "stall").set("ms", ms));
+}
+
+std::vector<PointResult> Client::characterize(
+    const std::vector<sweep::CharPoint>& points, bool is64) {
+  sweep::Json arr = sweep::Json::array();
+  for (const auto& p : points)
+    arr.push(sweep::Json::object()
+                 .set("kind", static_cast<int>(p.kind))
+                 .set("param", p.param)
+                 .set("samples", p.samples));
+  const sweep::Json resp = call_checked(sweep::Json::object()
+                                            .set("op", "char")
+                                            .set("is64", is64)
+                                            .set("points", std::move(arr)));
+  if (resp["records"].size() != points.size())
+    throw ServeError("internal", "response point count mismatch", false);
+  std::vector<PointResult> out;
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.push_back(decode_point(resp, i));
+    if (!out.back().rec.has_char)
+      throw ServeError("internal",
+                       "char response record has no characterization payload",
+                       false);
+  }
+  return out;
+}
+
+namespace {
+
+sweep::Json workload_to_json(const sweep::Workload& w) {
+  sweep::Json params = sweep::Json::object();
+  for (const auto& [k, v] : w.params) params.set(k, v);
+  return sweep::Json::object()
+      .set("name", w.name)
+      .set("params", std::move(params))
+      .set("seed", w.seed)
+      .set("samples", w.samples);
+}
+
+}  // namespace
+
+std::vector<PointResult> Client::eval_workloads(
+    const std::vector<sweep::Workload>& workloads,
+    const std::string& config_tag) {
+  sweep::Json arr = sweep::Json::array();
+  for (const auto& w : workloads) arr.push(workload_to_json(w));
+  const sweep::Json resp = call_checked(sweep::Json::object()
+                                            .set("op", "sweep")
+                                            .set("config", config_tag)
+                                            .set("points", std::move(arr)));
+  if (resp["records"].size() != workloads.size())
+    throw ServeError("internal", "response point count mismatch", false);
+  std::vector<PointResult> out;
+  out.reserve(workloads.size());
+  for (std::size_t i = 0; i < workloads.size(); ++i)
+    out.push_back(decode_point(resp, i));
+  return out;
+}
+
+PointResult Client::eval_workload(const sweep::Workload& w,
+                                  const std::string& config_tag) {
+  const sweep::Json resp =
+      call_checked(sweep::Json::object()
+                       .set("op", "eval")
+                       .set("config", config_tag)
+                       .set("point", workload_to_json(w)));
+  PointResult out;
+  out.fp = parse_fp_hex(resp["fingerprint"].as_str());
+  out.source = resp["source"].as_str();
+  if (!sweep::EvalCache::deserialize(resp["record"].as_str(), out.fp,
+                                     &out.rec))
+    throw ServeError("internal",
+                     "response record failed checksum/fingerprint validation",
+                     false);
+  return out;
+}
+
+}  // namespace ihw::serve

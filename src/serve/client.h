@@ -1,0 +1,102 @@
+#pragma once
+// Client side of the evaluation daemon protocol (DESIGN.md §13). Wraps one
+// Unix-domain connection to ihw_sweepd: framing, request/response JSON, and
+// typed helpers that return bit-exact sweep::EvalRecord payloads (records
+// travel as EvalCache::serialize text, so a daemon answer is byte-identical
+// to the in-process evaluation of the same fingerprint).
+//
+// Error model: transport failures and server error responses both surface as
+// ServeError. `retryable` mirrors the wire flag -- "overloaded" (admission
+// shed) and "shutting_down" (drain) mean back off and retry, everything else
+// means the request itself is wrong or the evaluation failed.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sweep/cache.h"
+#include "sweep/fingerprint.h"
+#include "sweep/json.h"
+#include "sweep/sweep.h"
+
+namespace ihw::serve {
+
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(std::string code, const std::string& msg, bool retryable)
+      : std::runtime_error(msg), code_(std::move(code)), retryable_(retryable) {}
+  const std::string& code() const { return code_; }
+  bool retryable() const { return retryable_; }
+
+ private:
+  std::string code_;
+  bool retryable_;
+};
+
+/// One point's answer: the record, its fingerprint, and how the daemon
+/// produced it ("evaluated" cold, "cache" warm, or "coalesced" onto another
+/// request's in-flight evaluation).
+struct PointResult {
+  sweep::EvalRecord rec;
+  std::uint64_t fp = 0;
+  std::string source;
+
+  bool served_warm() const { return source != "evaluated"; }
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to the daemon socket. False (with *err set) on failure.
+  bool connect(const std::string& socket_path, std::string* err = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One request/response round trip. Throws ServeError on transport
+  /// failure; returns the response document verbatim (including error
+  /// responses -- use call_checked for the throwing variant).
+  sweep::Json call(const sweep::Json& req);
+  /// call() + throws ServeError when the response carries ok=false.
+  sweep::Json call_checked(const sweep::Json& req);
+
+  /// Protocol liveness probe; fills *proto with the server's version tag.
+  bool ping(std::string* proto = nullptr);
+  /// The daemon's metrics document (server counters, cache, health).
+  sweep::Json metrics();
+  /// Asks the daemon to drain and exit (returns once acknowledged).
+  void shutdown_server();
+  /// Diagnostic: occupy one executor slot for `ms` (admission-control tests).
+  void stall(int ms);
+
+  /// Remote characterize_grid32/64: same points, same fingerprints, and
+  /// bit-identical CharResults as the in-process grid.
+  std::vector<PointResult> characterize(
+      const std::vector<sweep::CharPoint>& points, bool is64);
+
+  /// Remote run_grid over named workload points ("hotspot"/"srad"/"ray",
+  /// see serve/workloads.h); bit-identical records.
+  std::vector<PointResult> eval_workloads(
+      const std::vector<sweep::Workload>& workloads,
+      const std::string& config_tag = "precise");
+  /// Single-point convenience (the "eval" op).
+  PointResult eval_workload(const sweep::Workload& w,
+                            const std::string& config_tag = "precise");
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ihw::serve

@@ -1,0 +1,805 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+
+#include "error/characterize.h"
+#include "serve/wire.h"
+#include "serve/workloads.h"
+#include "sweep/sweep.h"
+
+namespace ihw::serve {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Upper bound on one characterization point's sample budget: admission is
+/// per-request, so one absurd point must not pin an executor for hours.
+constexpr std::uint64_t kMaxCharSamples = 1'000'000'000ull;
+
+/// A request that fails validation or must be retried elsewhere. `code` is
+/// the wire error code; retryable tells the client whether backing off and
+/// resending can succeed.
+struct RequestError : std::runtime_error {
+  RequestError(std::string c, const std::string& msg, bool retry)
+      : std::runtime_error(msg), code(std::move(c)), retryable(retry) {}
+  std::string code;
+  bool retryable;
+};
+
+sweep::Json make_error(const std::string& code, const std::string& msg,
+                       bool retryable) {
+  return sweep::Json::object()
+      .set("ok", false)
+      .set("code", code)
+      .set("error", msg)
+      .set("retryable", retryable);
+}
+
+std::string fp_hex(std::uint64_t fp) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+const char* source_name(bool evaluated, bool from_cache) {
+  if (evaluated) return "evaluated";
+  return from_cache ? "cache" : "coalesced";
+}
+
+}  // namespace
+
+// -------------------------------------------------------- LatencyHistogram
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  int b = 0;
+  while (b + 1 < kBuckets && (1ull << (b + 1)) <= ns) ++b;
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::quantile_ms(double q) const {
+  const std::uint64_t n = samples_.load();
+  if (n == 0) return 0.0;
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::min<double>(static_cast<double>(n - 1), q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[b].load();
+    if (seen > rank) return static_cast<double>(1ull << (b + 1)) * 1e-6;
+  }
+  return static_cast<double>(1ull << kBuckets) * 1e-6;
+}
+
+sweep::Json LatencyHistogram::to_json() const {
+  return sweep::Json::object()
+      .set("samples", samples_.load())
+      .set("total_ms", static_cast<double>(total_ns_.load()) * 1e-6)
+      .set("p50_ms", quantile_ms(0.50))
+      .set("p95_ms", quantile_ms(0.95))
+      .set("p99_ms", quantile_ms(0.99));
+}
+
+// ------------------------------------------------------------ Conn / Task
+
+struct Server::Flight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool from_cache = false;
+  sweep::EvalRecord rec;
+  std::exception_ptr error;
+};
+
+struct Server::Task {
+  std::shared_ptr<Conn> conn;
+  sweep::Json req;
+  std::uint64_t enqueue_ns = 0;
+};
+
+struct Server::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::mutex write_mu;        // serializes response frames on this socket
+  std::deque<Task> queue;     // guarded by Server::sched_mu_
+  bool in_ready = false;      // guarded by Server::sched_mu_
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+// ------------------------------------------------------------------ Server
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cache_dir) {
+  opts_.workers = std::max(1, opts_.workers);
+  opts_.queue_limit = std::max(1, opts_.queue_limit);
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* err) {
+  auto fail = [&](const std::string& msg) {
+    if (err != nullptr) *err = msg;
+    return false;
+  };
+  if (running_.load()) return fail("server already running");
+  if (opts_.socket_path.empty()) return fail("socket path is empty");
+
+  struct sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof addr.sun_path)
+    return fail("socket path too long for AF_UNIX");
+  std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket(): " + std::string(strerror(errno)));
+  // Replace a stale socket file from a dead daemon; a live daemon on the
+  // same path will have its clients stolen -- one daemon per socket path is
+  // the deployment contract (mirrors the single-writer cache-dir rule).
+  ::unlink(opts_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail("bind(" + opts_.socket_path +
+                "): " + std::string(strerror(errno)));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail("listen(): " + std::string(strerror(errno)));
+  }
+
+  cache_.attach_journal(opts_.journal_name, opts_.resume);
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_.journal_replayed = cache_.journal_replayed();
+  }
+
+  stopping_.store(false);
+  running_.store(true);
+  for (int i = 0; i < opts_.workers; ++i)
+    executors_.emplace_back([this] { executor_loop(); });
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) {
+    // Never started (or already stopped): still mark shutdown for waiters.
+    shutdown_requested_.store(true);
+    shutdown_cv_.notify_all();
+    return;
+  }
+  stopping_.store(true);
+  sched_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const auto& c : conns_)
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RD);  // wake blocked readers
+  }
+  for (auto& t : readers_)
+    if (t.joinable()) t.join();
+  // Executors drain every admitted request before exiting (graceful drain).
+  for (auto& t : executors_)
+    if (t.joinable()) t.join();
+  executors_.clear();
+  readers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns_.clear();  // closes the descriptors
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(opts_.socket_path.c_str());
+  shutdown_requested_.store(true);
+  shutdown_cv_.notify_all();
+}
+
+void Server::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_.load(); });
+}
+
+void Server::acceptor_loop() {
+  while (!stopping_.load()) {
+    struct pollfd p{};
+    p.fd = listen_fd_;
+    p.events = POLLIN;
+    const int r = ::poll(&p, 1, 200);
+    if (r <= 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->id = connections_total_.fetch_add(1) + 1;
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void Server::respond(Conn& conn, const sweep::Json& req, sweep::Json resp) {
+  if (const sweep::Json* id = req.find("id"))
+    resp.set("id", sweep::Json(id->as_u64()));
+  const std::uint64_t t0 = now_ns();
+  const std::string text = resp.dump();
+  {
+    std::lock_guard<std::mutex> lock(conn.write_mu);
+    write_frame(conn.fd, text);  // a vanished peer is not an error
+  }
+  write_hist_.record(now_ns() - t0);
+  responses_total_.fetch_add(1);
+}
+
+void Server::reader_loop(std::shared_ptr<Conn> conn) {
+  const sweep::Json no_req;
+  while (true) {
+    std::string payload;
+    const WireStatus st = read_frame(conn->fd, &payload,
+                                     [this] { return stopping_.load(); });
+    if (st == WireStatus::Closed) break;
+    if (st != WireStatus::Ok) {
+      // Frame boundaries are gone: diagnose once and hang up.
+      protocol_errors_.fetch_add(1);
+      respond(*conn, no_req,
+              make_error("bad_request",
+                         std::string("malformed frame (") + to_string(st) +
+                             "); closing connection",
+                         false));
+      break;
+    }
+    sweep::Json req;
+    std::string perr;
+    if (!sweep::Json::parse(payload, &req, &perr) || !req.is_object()) {
+      // The frame itself was well-formed, so the stream is still usable.
+      protocol_errors_.fetch_add(1);
+      respond(*conn, no_req,
+              make_error("bad_request", "invalid request JSON: " + perr,
+                         false));
+      continue;
+    }
+    const std::string op = req["op"].as_str();
+    if (op == "ping") {
+      inline_total_.fetch_add(1);
+      respond(*conn, req,
+              sweep::Json::object().set("ok", true).set("proto",
+                                                        kProtocolVersion));
+      continue;
+    }
+    if (op == "metrics") {
+      inline_total_.fetch_add(1);
+      sweep::Json m = metrics_json();
+      m.set("ok", true);
+      respond(*conn, req, std::move(m));
+      continue;
+    }
+    if (op == "shutdown") {
+      inline_total_.fetch_add(1);
+      // Flag before acking so the flag is visible once the client has the
+      // acknowledgement in hand.
+      shutdown_requested_.store(true);
+      shutdown_cv_.notify_all();
+      respond(*conn, req, sweep::Json::object().set("ok", true));
+      continue;
+    }
+    if (op != "char" && op != "sweep" && op != "eval" && op != "stall") {
+      protocol_errors_.fetch_add(1);
+      respond(*conn, req,
+              make_error("bad_request", "unknown op '" + op + "'", false));
+      continue;
+    }
+    if (stopping_.load()) {
+      respond(*conn, req,
+              make_error("shutting_down", "daemon is draining", true));
+      continue;
+    }
+    if (!enqueue(conn, std::move(req))) {
+      shed_total_.fetch_add(1);
+      respond(*conn, no_req,
+              make_error("overloaded",
+                         "request queue is full; back off and retry", true));
+    }
+  }
+}
+
+bool Server::enqueue(std::shared_ptr<Conn> conn, sweep::Json req) {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  if (queued_total_ >= static_cast<std::size_t>(opts_.queue_limit))
+    return false;
+  Task t;
+  t.conn = conn;
+  t.req = std::move(req);
+  t.enqueue_ns = now_ns();
+  conn->queue.push_back(std::move(t));
+  ++queued_total_;
+  if (!conn->in_ready) {
+    conn->in_ready = true;
+    ready_.push_back(std::move(conn));
+  }
+  requests_total_.fetch_add(1);
+  sched_cv_.notify_one();
+  return true;
+}
+
+void Server::executor_loop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      sched_cv_.wait(lock, [this] {
+        return !ready_.empty() || stopping_.load();
+      });
+      if (ready_.empty()) {
+        if (stopping_.load()) return;  // drained
+        continue;
+      }
+      // Round-robin fairness: take ONE request from the head connection,
+      // then rotate it to the tail if it still has work -- a client with a
+      // deep backlog shares the executors with single-request clients.
+      std::shared_ptr<Conn> conn = ready_.front();
+      ready_.pop_front();
+      task = std::move(conn->queue.front());
+      conn->queue.pop_front();
+      --queued_total_;
+      if (!conn->queue.empty())
+        ready_.push_back(conn);
+      else
+        conn->in_ready = false;
+    }
+    process(task);
+  }
+}
+
+void Server::process(Task& task) {
+  const std::uint64_t t0 = now_ns();
+  queue_hist_.record(t0 - task.enqueue_ns);
+  active_.fetch_add(1);
+  sweep::Json resp;
+  try {
+    resp = handle_request(task.req);
+  } catch (const RequestError& e) {
+    if (e.code == "eval_failed" || e.code == "shutting_down")
+      eval_failures_.fetch_add(1);
+    resp = make_error(e.code, e.what(), e.retryable);
+  } catch (const std::exception& e) {
+    eval_failures_.fetch_add(1);
+    resp = make_error("eval_failed", e.what(), false);
+  } catch (...) {
+    eval_failures_.fetch_add(1);
+    resp = make_error("eval_failed", "unknown evaluation error", false);
+  }
+  active_.fetch_sub(1);
+  eval_hist_.record(now_ns() - t0);
+  respond(*task.conn, task.req, std::move(resp));
+}
+
+sweep::Json Server::handle_request(const sweep::Json& req) {
+  const std::string op = req["op"].as_str();
+  if (op == "char") return handle_char(req);
+  if (op == "sweep") return handle_sweep(req, /*single_point=*/false);
+  if (op == "eval") return handle_sweep(req, /*single_point=*/true);
+  if (op == "stall") return handle_stall(req);
+  throw RequestError("bad_request", "unknown op '" + op + "'", false);
+}
+
+sweep::Json Server::handle_stall(const sweep::Json& req) {
+  // Diagnostic op: occupies one executor slot for `ms` without touching the
+  // cache. The admission-control tests and operators probing queue behavior
+  // use it; it plays no part in evaluation.
+  const std::int64_t ms =
+      std::clamp<std::int64_t>(req["ms"].as_i64(0), 0, 10'000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  return sweep::Json::object().set("ok", true).set("op", "stall");
+}
+
+std::pair<std::shared_ptr<Server::Flight>, bool> Server::claim(
+    std::uint64_t fp) {
+  std::lock_guard<std::mutex> lock(flight_mu_);
+  auto it = flights_.find(fp);
+  if (it != flights_.end()) return {it->second, false};
+  auto flight = std::make_shared<Flight>();
+  flights_.emplace(fp, flight);
+  return {flight, true};
+}
+
+void Server::fulfill(std::uint64_t fp, const std::shared_ptr<Flight>& flight,
+                     sweep::EvalRecord rec, bool from_cache,
+                     std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    flights_.erase(fp);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->rec = std::move(rec);
+    flight->from_cache = from_cache;
+    flight->error = error;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+}
+
+sweep::Json Server::handle_char(const sweep::Json& req) {
+  const bool is64 = req["is64"].as_bool(false);
+  const sweep::Json* pts = req.find("points");
+  if (pts == nullptr || !pts->is_array() || pts->size() == 0)
+    throw RequestError("bad_request", "char: missing points array", false);
+  const std::size_t n = pts->size();
+  std::vector<sweep::CharPoint> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sweep::Json& p = pts->at(i);
+    if (!p.is_object())
+      throw RequestError("bad_request", "char: point is not an object", false);
+    const std::int64_t kind = p["kind"].as_i64(-1);
+    if (kind < 0 || kind > static_cast<std::int64_t>(error::UnitKind::BitTrunc))
+      throw RequestError("bad_request", "char: unknown unit kind", false);
+    const std::uint64_t samples = p["samples"].as_u64(0);
+    if (samples == 0 || samples > kMaxCharSamples)
+      throw RequestError("bad_request", "char: samples out of range", false);
+    points[i].kind = static_cast<error::UnitKind>(kind);
+    points[i].param = static_cast<int>(p["param"].as_i64(0));
+    points[i].samples = samples;
+  }
+
+  // Claim: first in-request occurrence of each fingerprint either owns the
+  // evaluation or waits on another request's in-flight one.
+  std::vector<std::uint64_t> fps(n);
+  std::vector<std::size_t> owner_of(n);
+  std::unordered_map<std::uint64_t, std::size_t> first;
+  std::vector<std::size_t> owned;
+  std::vector<std::pair<std::size_t, std::shared_ptr<Flight>>> waits;
+  std::vector<std::shared_ptr<Flight>> owned_flights;
+  for (std::size_t i = 0; i < n; ++i) {
+    fps[i] = sweep::char_fingerprint(points[i], is64);
+    auto [it, fresh] = first.emplace(fps[i], i);
+    owner_of[i] = it->second;
+    if (!fresh) continue;
+    auto [flight, owner] = claim(fps[i]);
+    if (owner) {
+      owned.push_back(i);
+      owned_flights.push_back(flight);
+    } else {
+      coalesced_total_.fetch_add(1);
+      waits.emplace_back(i, flight);
+    }
+  }
+
+  std::vector<sweep::EvalRecord> records(n);
+  std::vector<char> evaluated(n, 0), from_cache(n, 0);
+  sweep::HealthReport local;
+
+  // Evaluate every owned point through the shared-stream grid (which also
+  // consults and fills the cache), fulfilling each claimed flight -- on the
+  // failure path too, or waiters would hang.
+  try {
+    std::vector<sweep::CharPoint> owned_pts;
+    owned_pts.reserve(owned.size());
+    for (const std::size_t i : owned) owned_pts.push_back(points[i]);
+    std::vector<char> hits;
+    const auto res =
+        is64 ? sweep::characterize_grid64(owned_pts, &cache_, &hits, &local)
+             : sweep::characterize_grid32(owned_pts, &cache_, &hits, &local);
+    bool skipped = false;
+    for (std::size_t k = 0; k < owned.size(); ++k) {
+      const std::size_t i = owned[k];
+      // A graceful drain mid-grid leaves skipped points default-constructed.
+      if (res[k].stats.state().samples == 0) {
+        skipped = true;
+        fulfill(fps[i], owned_flights[k], sweep::EvalRecord{}, false,
+                std::make_exception_ptr(RequestError(
+                    "shutting_down", "daemon drained mid-evaluation", true)));
+        continue;
+      }
+      sweep::EvalRecord rec;
+      rec.has_char = true;
+      rec.chr = res[k];
+      fulfill(fps[i], owned_flights[k], rec, hits[k] != 0, nullptr);
+      records[i] = std::move(rec);
+      evaluated[i] = hits[k] != 0 ? 0 : 1;
+      from_cache[i] = hits[k];
+    }
+    if (skipped)
+      throw RequestError("shutting_down", "daemon drained mid-evaluation",
+                         true);
+  } catch (const RequestError&) {
+    throw;
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    for (std::size_t k = 0; k < owned.size(); ++k)
+      fulfill(fps[owned[k]], owned_flights[k], sweep::EvalRecord{}, false,
+              err);
+    std::rethrow_exception(err);
+  }
+
+  // Wait for foreign flights (their owners are executing right now; owners
+  // never wait before fulfilling, so this cannot deadlock).
+  for (auto& [i, flight] : waits) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    records[i] = flight->rec;
+  }
+
+  // In-request duplicates inherit their owner's record.
+  for (std::size_t i = 0; i < n; ++i)
+    if (owner_of[i] != i) {
+      records[i] = records[owner_of[i]];
+      evaluated[i] = 0;
+      from_cache[i] = 1;
+    }
+
+  local.points += n - owned.size();
+  local.cache_hits += n - owned.size();
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_.points += local.points;
+    health_.cache_hits += local.cache_hits;
+    health_.evaluated += local.evaluated;
+    health_.skipped += local.skipped;
+    health_.quarantines += local.quarantines;
+    health_.io_retries += local.io_retries;
+    health_.journal_replayed = cache_.journal_replayed();
+  }
+
+  sweep::Json fingerprints = sweep::Json::array();
+  sweep::Json sources = sweep::Json::array();
+  sweep::Json recs = sweep::Json::array();
+  for (std::size_t i = 0; i < n; ++i) {
+    fingerprints.push(fp_hex(fps[i]));
+    sources.push(source_name(evaluated[i] != 0, from_cache[i] != 0));
+    recs.push(sweep::EvalCache::serialize(fps[i], records[i]));
+  }
+  return sweep::Json::object()
+      .set("ok", true)
+      .set("is64", is64)
+      .set("fingerprints", std::move(fingerprints))
+      .set("sources", std::move(sources))
+      .set("records", std::move(recs));
+}
+
+sweep::Json Server::handle_sweep(const sweep::Json& req, bool single_point) {
+  const std::string config_tag =
+      req.find("config") != nullptr ? (req)["config"].as_str() : "precise";
+  sweep::Json synthesized = sweep::Json::array();
+  const sweep::Json* pts = nullptr;
+  if (single_point) {
+    const sweep::Json* p = req.find("point");
+    if (p == nullptr || !p->is_object())
+      throw RequestError("bad_request", "eval: missing point object", false);
+    synthesized.push(*p);
+    pts = &synthesized;
+  } else {
+    pts = req.find("points");
+    if (pts == nullptr || !pts->is_array() || pts->size() == 0)
+      throw RequestError("bad_request", "sweep: missing points array", false);
+  }
+  const std::size_t n = pts->size();
+
+  // Validate and rebuild every workload BEFORE claiming any flight, so a
+  // bad request cannot leave a half-claimed set behind.
+  std::vector<sweep::Workload> workloads(n);
+  std::vector<std::function<sweep::EvalRecord()>> evals(n);
+  std::vector<std::uint64_t> fps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sweep::Json& p = pts->at(i);
+    if (!p.is_object() || !p["name"].is_string())
+      throw RequestError("bad_request", "sweep: point needs a workload name",
+                         false);
+    sweep::Workload& w = workloads[i];
+    w.name = p["name"].as_str();
+    if (const sweep::Json* params = p.find("params")) {
+      if (!params->is_object())
+        throw RequestError("bad_request", "sweep: params must be an object",
+                           false);
+      for (const auto& [k, v] : params->members())
+        w.params.emplace_back(k, v.as_double());
+    }
+    w.seed = p["seed"].as_u64(0);
+    w.samples = p["samples"].as_u64(0);
+    std::string err;
+    evals[i] = make_workload_eval(w, config_tag, &err);
+    if (!evals[i]) throw RequestError("bad_request", err, false);
+    fps[i] = workload_fingerprint(w);
+  }
+
+  std::vector<std::size_t> owner_of(n);
+  std::unordered_map<std::uint64_t, std::size_t> first;
+  std::vector<std::size_t> owned;
+  std::vector<std::pair<std::size_t, std::shared_ptr<Flight>>> waits;
+  std::vector<std::shared_ptr<Flight>> owned_flights;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [it, fresh] = first.emplace(fps[i], i);
+    owner_of[i] = it->second;
+    if (!fresh) continue;
+    auto [flight, owner] = claim(fps[i]);
+    if (owner) {
+      owned.push_back(i);
+      owned_flights.push_back(flight);
+    } else {
+      coalesced_total_.fetch_add(1);
+      waits.emplace_back(i, flight);
+    }
+  }
+
+  std::vector<sweep::EvalRecord> records(n);
+  std::vector<char> evaluated(n, 0), from_cache(n, 0);
+  sweep::HealthReport local;
+
+  try {
+    std::vector<sweep::GridPoint> grid_points;
+    grid_points.reserve(owned.size());
+    for (const std::size_t i : owned)
+      grid_points.push_back({fps[i], evals[i]});
+    sweep::FailPolicy policy;
+    policy.fail_fast = false;
+    policy.isolate = true;  // per-point containment; errors mapped below
+    const auto grid = sweep::run_grid(grid_points, &cache_, policy);
+    local = grid.health;
+    std::exception_ptr first_err;
+    for (std::size_t k = 0; k < owned.size(); ++k) {
+      const std::size_t i = owned[k];
+      switch (grid.status[k]) {
+        case sweep::PointStatus::Failed: {
+          if (!first_err) first_err = grid.errors[k];
+          fulfill(fps[i], owned_flights[k], sweep::EvalRecord{}, false,
+                  grid.errors[k]);
+          break;
+        }
+        case sweep::PointStatus::Skipped: {
+          const auto err = std::make_exception_ptr(RequestError(
+              "shutting_down", "daemon drained mid-evaluation", true));
+          if (!first_err) first_err = err;
+          fulfill(fps[i], owned_flights[k], sweep::EvalRecord{}, false, err);
+          break;
+        }
+        default: {
+          fulfill(fps[i], owned_flights[k], grid.records[k],
+                  grid.cache_hit[k] != 0, nullptr);
+          records[i] = grid.records[k];
+          evaluated[i] = grid.cache_hit[k] != 0 ? 0 : 1;
+          from_cache[i] = grid.cache_hit[k];
+          break;
+        }
+      }
+    }
+    if (first_err) std::rethrow_exception(first_err);
+  } catch (const RequestError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Flights for failed points are already fulfilled above; any flight not
+    // yet fulfilled (run_grid itself threw) must be released too.
+    const std::exception_ptr err = std::current_exception();
+    for (std::size_t k = 0; k < owned.size(); ++k) {
+      bool pending = false;
+      {
+        std::lock_guard<std::mutex> lock(flight_mu_);
+        pending = flights_.count(fps[owned[k]]) != 0 &&
+                  flights_[fps[owned[k]]] == owned_flights[k];
+      }
+      if (pending)
+        fulfill(fps[owned[k]], owned_flights[k], sweep::EvalRecord{}, false,
+                err);
+    }
+    throw RequestError("eval_failed", e.what(), false);
+  }
+
+  for (auto& [i, flight] : waits) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    records[i] = flight->rec;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    if (owner_of[i] != i) {
+      records[i] = records[owner_of[i]];
+      evaluated[i] = 0;
+      from_cache[i] = 1;
+    }
+
+  local.points += n - owned.size();
+  local.cache_hits += n - owned.size();
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_.points += local.points;
+    health_.cache_hits += local.cache_hits;
+    health_.evaluated += local.evaluated;
+    health_.failures += local.failures;
+    health_.skipped += local.skipped;
+    health_.deadline_flags += local.deadline_flags;
+    health_.quarantines += local.quarantines;
+    health_.io_retries += local.io_retries;
+    health_.journal_replayed = cache_.journal_replayed();
+  }
+
+  if (single_point) {
+    return sweep::Json::object()
+        .set("ok", true)
+        .set("fingerprint", fp_hex(fps[0]))
+        .set("source", source_name(evaluated[0] != 0, from_cache[0] != 0))
+        .set("record", sweep::EvalCache::serialize(fps[0], records[0]));
+  }
+  sweep::Json fingerprints = sweep::Json::array();
+  sweep::Json sources = sweep::Json::array();
+  sweep::Json recs = sweep::Json::array();
+  for (std::size_t i = 0; i < n; ++i) {
+    fingerprints.push(fp_hex(fps[i]));
+    sources.push(source_name(evaluated[i] != 0, from_cache[i] != 0));
+    recs.push(sweep::EvalCache::serialize(fps[i], records[i]));
+  }
+  return sweep::Json::object()
+      .set("ok", true)
+      .set("fingerprints", std::move(fingerprints))
+      .set("sources", std::move(sources))
+      .set("records", std::move(recs));
+}
+
+sweep::Json Server::metrics_json() const {
+  std::size_t queue_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    queue_depth = queued_total_;
+  }
+  sweep::Json health_json;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_json = health_.to_json();
+  }
+  sweep::Json stages = sweep::Json::object()
+                           .set("queue", queue_hist_.to_json())
+                           .set("eval", eval_hist_.to_json())
+                           .set("write", write_hist_.to_json());
+  sweep::Json server = sweep::Json::object()
+                           .set("proto", kProtocolVersion)
+                           .set("connections", connections_total_.load())
+                           .set("requests", requests_total_.load())
+                           .set("inline_requests", inline_total_.load())
+                           .set("responses", responses_total_.load())
+                           .set("coalesced", coalesced_total_.load())
+                           .set("shed", shed_total_.load())
+                           .set("protocol_errors", protocol_errors_.load())
+                           .set("eval_failures", eval_failures_.load())
+                           .set("queue_depth",
+                                static_cast<std::uint64_t>(queue_depth))
+                           .set("active",
+                                static_cast<std::int64_t>(active_.load()))
+                           .set("queue_limit", opts_.queue_limit)
+                           .set("workers", opts_.workers)
+                           .set("stage_latency", std::move(stages));
+  sweep::Json cache = sweep::Json::object()
+                          .set("hits", cache_.hits())
+                          .set("misses", cache_.misses())
+                          .set("disk_hits", cache_.disk_hits())
+                          .set("stores", cache_.stores())
+                          .set("quarantines", cache_.quarantines())
+                          .set("io_retries", cache_.io_retries())
+                          .set("journal_replayed", cache_.journal_replayed());
+  return sweep::Json::object()
+      .set("server", std::move(server))
+      .set("cache", std::move(cache))
+      .set("health", std::move(health_json));
+}
+
+}  // namespace ihw::serve

@@ -1,0 +1,181 @@
+#pragma once
+// Persistent evaluation daemon core (DESIGN.md §13): a Unix-domain-socket
+// server that keeps one process-wide sweep::EvalCache (plus its crash-safe
+// journal) hot across requests and serves the length-prefixed JSON protocol
+// of serve/wire.h. The daemon binary (ihw_sweepd) is a thin main() around
+// this class, and tests drive it in-process.
+//
+// Server structure:
+//  - one acceptor thread; one reader thread per connection; a fixed pool of
+//    executor threads that evaluate queued requests (each evaluation itself
+//    fans out over the PR-1 runtime thread pool);
+//  - per-client FIFO queues drained round-robin, one request per turn, so a
+//    client streaming a deep pipeline of sweeps cannot starve a client
+//    issuing single point lookups (fair scheduling);
+//  - admission control: a bound on the total queued requests; past it a
+//    request is shed immediately with the retryable "overloaded" error
+//    instead of growing the backlog without bound;
+//  - single-flight coalescing: concurrent requests for the same evaluation
+//    fingerprint collapse onto one cold evaluation whose result fans out to
+//    every waiter (the "coalesced" source in responses);
+//  - metrics: request/coalesce/shed counters, queue depth, per-stage
+//    (queue-wait / evaluate / respond) latency histograms, the cache
+//    counters, and the accumulated sweep::HealthReport.
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sweep/cache.h"
+#include "sweep/health.h"
+#include "sweep/json.h"
+
+namespace ihw::serve {
+
+struct ServerOptions {
+  /// Filesystem path of the Unix-domain listening socket (required; a stale
+  /// socket file from a dead daemon is replaced).
+  std::string socket_path;
+  /// Cache/journal root shared by every request (empty = in-memory only).
+  std::string cache_dir;
+  /// Replay the journal under cache_dir into memory on start.
+  bool resume = false;
+  /// Journal name under the cache root (one daemon per cache dir).
+  std::string journal_name = "ihw_sweepd";
+  /// Executor threads: concurrently evaluated requests. Each executor fans
+  /// its evaluation out over the shared runtime pool, so a small number
+  /// keeps the machine busy while preserving coalescing opportunities.
+  int workers = 2;
+  /// Admission bound on queued (not yet executing) requests.
+  int queue_limit = 64;
+};
+
+/// Lock-free log2-bucketed latency histogram (nanoseconds). Bucket b counts
+/// samples in [2^b, 2^(b+1)) ns; quantiles are bucket-upper-bound estimates,
+/// good to a factor of two, which is all a regression gate needs.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;  // 2^39 ns ~ 9.1 min: ample
+
+  void record(std::uint64_t ns);
+  std::uint64_t samples() const { return samples_.load(); }
+  /// Upper-bound estimate of the q-quantile in milliseconds (0 when empty).
+  double quantile_ms(double q) const;
+  /// {"samples":N,"total_ms":T,"p50_ms":...,"p95_ms":...,"p99_ms":...}
+  sweep::Json to_json() const;
+
+ private:
+  std::atomic<std::uint64_t> counts_[kBuckets] = {};
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();  // stops if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and spawns the acceptor and executors. False (with
+  /// *err set) when the socket cannot be created.
+  bool start(std::string* err = nullptr);
+
+  /// Graceful drain: stop accepting, let executors finish every admitted
+  /// request, join all threads, close connections, unlink the socket.
+  /// Idempotent.
+  void stop();
+
+  /// True once a client issued the shutdown op (the daemon main loop then
+  /// calls stop()) or stop() ran.
+  bool shutdown_requested() const { return shutdown_requested_.load(); }
+
+  /// Blocks until shutdown_requested() (daemon main loop helper).
+  void wait_for_shutdown();
+
+  /// The process-wide evaluation cache (exposed for tests and the loadgen).
+  sweep::EvalCache& cache() { return cache_; }
+
+  const std::string& socket_path() const { return opts_.socket_path; }
+
+  /// Full metrics document: server counters, queue/stage histograms, cache
+  /// counters, accumulated HealthReport. Same payload the metrics op serves.
+  sweep::Json metrics_json() const;
+
+ private:
+  struct Conn;
+  struct Task;
+  struct Flight;
+
+  void acceptor_loop();
+  void reader_loop(std::shared_ptr<Conn> conn);
+  void executor_loop();
+
+  bool enqueue(std::shared_ptr<Conn> conn, sweep::Json req);
+  void process(Task& task);
+  sweep::Json handle_request(const sweep::Json& req);
+  sweep::Json handle_char(const sweep::Json& req);
+  sweep::Json handle_sweep(const sweep::Json& req, bool single_point);
+  sweep::Json handle_stall(const sweep::Json& req);
+  void respond(Conn& conn, const sweep::Json& req, sweep::Json resp);
+
+  // Single-flight registry. claim() returns the flight for `fp` and whether
+  // the caller owns it (owner must evaluate and fulfill; everyone else
+  // waits). Owners never block on foreign flights before fulfilling their
+  // own, which makes cross-request waits deadlock-free.
+  std::pair<std::shared_ptr<Flight>, bool> claim(std::uint64_t fp);
+  void fulfill(std::uint64_t fp, const std::shared_ptr<Flight>& flight,
+               sweep::EvalRecord rec, bool from_cache,
+               std::exception_ptr error);
+
+  ServerOptions opts_;
+  sweep::EvalCache cache_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  mutable std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> executors_;
+  std::mutex conn_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::thread> readers_;
+
+  // Round-robin scheduler state: connections with pending tasks, one task
+  // granted per turn.
+  mutable std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  std::deque<std::shared_ptr<Conn>> ready_;
+  std::size_t queued_total_ = 0;
+
+  std::mutex flight_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> flights_;
+
+  mutable std::mutex health_mu_;
+  sweep::HealthReport health_;
+
+  // Counters (metrics endpoint).
+  std::atomic<std::uint64_t> connections_total_{0};
+  std::atomic<std::uint64_t> requests_total_{0};   // admitted, queued ops
+  std::atomic<std::uint64_t> inline_total_{0};     // ping/metrics/shutdown
+  std::atomic<std::uint64_t> responses_total_{0};
+  std::atomic<std::uint64_t> coalesced_total_{0};  // waits on foreign flights
+  std::atomic<std::uint64_t> shed_total_{0};       // admission rejections
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> eval_failures_{0};
+  std::atomic<std::int64_t> active_{0};            // executing right now
+  LatencyHistogram queue_hist_, eval_hist_, write_hist_;
+};
+
+}  // namespace ihw::serve

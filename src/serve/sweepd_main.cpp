@@ -1,0 +1,70 @@
+// ihw_sweepd: the persistent evaluation daemon (DESIGN.md §13). Binds a
+// Unix-domain socket, keeps one process-wide EvalCache (+ crash-safe
+// journal) hot, and serves the serve/wire.h protocol until a client issues
+// the shutdown op or the process receives SIGINT/SIGTERM -- both paths run
+// the same graceful drain: admitted requests finish, the journal is flushed,
+// the socket file is unlinked, and the process exits 0.
+//
+// Usage:
+//   ihw_sweepd --socket=/tmp/ihw.sock [--cache-dir=DIR] [--resume]
+//              [--workers=N] [--queue-limit=N] [--threads=N]
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/args.h"
+#include "common/sweep_flags.h"
+#include "runtime/parallel.h"
+#include "serve/server.h"
+#include "sweep/health.h"
+
+using namespace ihw;
+
+int main(int argc, char** argv) try {
+  common::Args args(argc, argv);
+  sweep::install_drain_handler();
+  const int threads = runtime::configure_threads_from_args(args);
+  const auto flags = common::SweepFlags::from_args(args);
+
+  serve::ServerOptions opts;
+  opts.socket_path = args.get("socket", "");
+  if (opts.socket_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: ihw_sweepd --socket=PATH [--cache-dir=DIR] "
+                 "[--resume] [--workers=N] [--queue-limit=N] [--threads=N]\n");
+    return 1;
+  }
+  opts.cache_dir = flags.cache_dir;
+  opts.resume = flags.resume;
+  opts.workers = static_cast<int>(args.get_int("workers", 2));
+  opts.queue_limit = static_cast<int>(args.get_int("queue-limit", 64));
+
+  serve::Server server(opts);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "[serve] start failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[serve] listening on %s (threads=%d workers=%d "
+               "queue_limit=%d cache_dir=%s resume=%d)\n",
+               opts.socket_path.c_str(), threads, opts.workers,
+               opts.queue_limit,
+               opts.cache_dir.empty() ? "<memory>" : opts.cache_dir.c_str(),
+               flags.resume ? 1 : 0);
+
+  // The drain flag is the same one the sweep benches use; install_drain_
+  // handler covers SIGINT/SIGTERM, and the shutdown op covers the protocol
+  // path. Either way: stop accepting, finish admitted work, exit cleanly.
+  while (!sweep::drain_requested() && !server.shutdown_requested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::fprintf(stderr, "[serve] draining\n");
+  server.stop();
+  std::fprintf(stderr, "[serve] stopped: %s\n",
+               server.metrics_json().dump().c_str());
+  return 0;
+} catch (const ihw::common::ArgError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,103 @@
+#include "serve/wire.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace ihw::serve {
+namespace {
+
+// Waits until fd is readable or `stop` fires. Returns false to abandon.
+bool wait_readable(int fd, const std::function<bool()>& stop) {
+  while (true) {
+    if (stop && stop()) return false;
+    struct pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int r = ::poll(&p, 1, 200);
+    if (r > 0) return true;
+    if (r < 0 && errno != EINTR && errno != EAGAIN) return false;
+  }
+}
+
+// Reads exactly n bytes. Returns bytes read (< n on EOF/stop/error;
+// *err distinguishes error from EOF).
+std::size_t read_exact(int fd, char* buf, std::size_t n,
+                       const std::function<bool()>& stop, bool* err) {
+  std::size_t got = 0;
+  *err = false;
+  while (got < n) {
+    if (!wait_readable(fd, stop)) return got;
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return got;  // EOF
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    *err = true;
+    return got;
+  }
+  return got;
+}
+
+}  // namespace
+
+const char* to_string(WireStatus s) {
+  switch (s) {
+    case WireStatus::Ok: return "ok";
+    case WireStatus::Closed: return "closed";
+    case WireStatus::Malformed: return "malformed";
+    case WireStatus::Error: return "error";
+  }
+  return "unknown";
+}
+
+WireStatus read_frame(int fd, std::string* payload,
+                      const std::function<bool()>& stop) {
+  unsigned char hdr[4];
+  bool err = false;
+  std::size_t got =
+      read_exact(fd, reinterpret_cast<char*>(hdr), sizeof hdr, stop, &err);
+  if (err) return WireStatus::Error;
+  if (got == 0) return WireStatus::Closed;     // clean close between frames
+  if (got < sizeof hdr) return WireStatus::Malformed;  // torn prefix
+  const std::uint32_t len = (static_cast<std::uint32_t>(hdr[0]) << 24) |
+                            (static_cast<std::uint32_t>(hdr[1]) << 16) |
+                            (static_cast<std::uint32_t>(hdr[2]) << 8) |
+                            static_cast<std::uint32_t>(hdr[3]);
+  if (len == 0 || len > kMaxFrameBytes) return WireStatus::Malformed;
+  payload->assign(len, '\0');
+  got = read_exact(fd, payload->data(), len, stop, &err);
+  if (err) return WireStatus::Error;
+  if (got < len) return WireStatus::Malformed;  // EOF mid-frame
+  return WireStatus::Ok;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+  if (payload.empty() || payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  unsigned char hdr[4] = {static_cast<unsigned char>(len >> 24),
+                          static_cast<unsigned char>(len >> 16),
+                          static_cast<unsigned char>(len >> 8),
+                          static_cast<unsigned char>(len)};
+  std::string buf(reinterpret_cast<char*>(hdr), sizeof hdr);
+  buf += payload;
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    // MSG_NOSIGNAL: a vanished peer yields EPIPE, not a process-wide signal.
+    const ssize_t r =
+        ::send(fd, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ihw::serve

@@ -1,0 +1,45 @@
+#pragma once
+// Wire framing for the evaluation daemon (DESIGN.md §13). Every message --
+// request or response -- is one frame: a 4-byte big-endian payload length
+// followed by that many bytes of UTF-8 JSON. The length prefix is bounded
+// (kMaxFrameBytes) so a hostile or corrupt peer cannot make the server
+// allocate unbounded memory, and a malformed prefix poisons the stream: the
+// reader reports WireStatus::Malformed and the connection must be closed,
+// because frame boundaries can no longer be trusted.
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ihw::serve {
+
+/// Protocol identity, echoed by ping and checked by the client library.
+/// Bump on any incompatible framing or request-schema change.
+inline constexpr char kProtocolVersion[] = "ihw-serve-1";
+
+/// Upper bound on one frame's payload. Large enough for a whole grid sweep
+/// response (records serialize to a few KB each), small enough to shrug off
+/// a garbage length prefix.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class WireStatus {
+  Ok,         // one complete frame read
+  Closed,     // clean EOF at a frame boundary, or stop() asked us to give up
+  Malformed,  // oversized/zero length prefix, or EOF mid-frame
+  Error,      // socket error
+};
+
+const char* to_string(WireStatus s);
+
+/// Reads one frame into *payload. Blocks, but polls `stop` (when given)
+/// roughly five times a second so a draining server can abandon the read;
+/// a stop request surfaces as Closed.
+WireStatus read_frame(int fd, std::string* payload,
+                      const std::function<bool()>& stop = {});
+
+/// Writes one frame (length prefix + payload). False on any socket error,
+/// including a peer that went away (EPIPE is swallowed, never raised as a
+/// signal). Returns false without writing when the payload exceeds
+/// kMaxFrameBytes.
+bool write_frame(int fd, const std::string& payload);
+
+}  // namespace ihw::serve

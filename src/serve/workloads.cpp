@@ -1,0 +1,98 @@
+#include "serve/workloads.h"
+
+#include "apps/hotspot.h"
+#include "apps/ray.h"
+#include "apps/runner.h"
+#include "apps/srad.h"
+#include "gpu/simreal.h"
+
+namespace ihw::serve {
+namespace {
+
+// Strict parameter lookup: a daemon must not silently default a structural
+// parameter, or the evaluated point would not match its fingerprint.
+bool get_param(const sweep::Workload& w, const char* key, double* out,
+               std::string* err) {
+  for (const auto& [k, v] : w.params) {
+    if (k == key) {
+      *out = v;
+      return true;
+    }
+  }
+  *err = "workload '" + w.name + "' is missing required parameter '" + key +
+         "'";
+  return false;
+}
+
+}  // namespace
+
+std::function<sweep::EvalRecord()> make_workload_eval(
+    const sweep::Workload& w, const std::string& config_tag,
+    std::string* err) {
+  if (config_tag != "precise") {
+    *err = "unknown config tag '" + config_tag +
+           "' (this protocol version evaluates only \"precise\" points)";
+    return {};
+  }
+  const IhwConfig precise = IhwConfig::precise();
+  double rows = 0, cols = 0, iterations = 0, width = 0, height = 0;
+  if (w.name == "hotspot") {
+    if (!get_param(w, "rows", &rows, err) ||
+        !get_param(w, "cols", &cols, err) ||
+        !get_param(w, "iterations", &iterations, err))
+      return {};
+    apps::HotspotParams hs;
+    hs.rows = static_cast<std::size_t>(rows);
+    hs.cols = static_cast<std::size_t>(cols);
+    hs.iterations = static_cast<int>(iterations);
+    const std::uint64_t seed = w.seed;
+    return [hs, seed, precise] {
+      sweep::EvalRecord rec;
+      const auto in = apps::make_hotspot_input(hs, seed);
+      rec.perf = apps::run_with_config(
+          precise, [&] { apps::run_hotspot<gpu::SimFloat>(hs, in); });
+      return rec;
+    };
+  }
+  if (w.name == "srad") {
+    if (!get_param(w, "rows", &rows, err) ||
+        !get_param(w, "cols", &cols, err) ||
+        !get_param(w, "iterations", &iterations, err))
+      return {};
+    apps::SradParams sr;
+    sr.rows = static_cast<std::size_t>(rows);
+    sr.cols = static_cast<std::size_t>(cols);
+    sr.iterations = static_cast<int>(iterations);
+    const std::uint64_t seed = w.seed;
+    return [sr, seed, precise] {
+      sweep::EvalRecord rec;
+      const auto in = apps::make_srad_input(sr, seed);
+      rec.perf = apps::run_with_config(
+          precise, [&] { apps::run_srad<gpu::SimFloat>(sr, in.image); });
+      return rec;
+    };
+  }
+  if (w.name == "ray") {
+    if (!get_param(w, "width", &width, err) ||
+        !get_param(w, "height", &height, err))
+      return {};
+    apps::RayParams ray;
+    ray.width = static_cast<std::size_t>(width);
+    ray.height = static_cast<std::size_t>(height);
+    return [ray, precise] {
+      sweep::EvalRecord rec;
+      rec.perf = apps::run_with_config(
+          precise, [&] { apps::render_ray<gpu::SimFloat>(ray); });
+      return rec;
+    };
+  }
+  *err = "unknown workload '" + w.name + "'";
+  return {};
+}
+
+std::uint64_t workload_fingerprint(const sweep::Workload& w) {
+  const IhwConfig precise = IhwConfig::precise();
+  return w.fingerprint(&precise);
+}
+
+}  // namespace ihw::serve

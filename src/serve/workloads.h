@@ -1,0 +1,31 @@
+#pragma once
+// Server-side registry of named application workloads (DESIGN.md §13). A
+// sweep client cannot ship a closure over the wire, so a point-evaluation
+// request names its workload ("hotspot", "srad", "ray"), carries the same
+// structural parameters and seed the in-process benches put into
+// sweep::Workload, and the daemon rebuilds the identical evaluation closure
+// here. Fingerprints are computed from the same Workload descriptor on both
+// sides, so a daemon evaluation is cache-compatible -- and bit-identical --
+// with an in-process run of the same point.
+#include <functional>
+#include <string>
+
+#include "sweep/cache.h"
+#include "sweep/fingerprint.h"
+
+namespace ihw::serve {
+
+/// Builds the cold-evaluation closure for `w` under the precise reference
+/// configuration (`config_tag` must be "precise" -- the only configuration
+/// the current protocol names; the tag is part of the request so richer
+/// config transport can be added without a wire break). Returns an empty
+/// function and sets *err when the workload name, a required parameter, or
+/// the config tag is unknown.
+std::function<sweep::EvalRecord()> make_workload_eval(
+    const sweep::Workload& w, const std::string& config_tag, std::string* err);
+
+/// Fingerprint the daemon uses for a named workload point; matches
+/// Workload::fingerprint(&IhwConfig::precise()) on the client side.
+std::uint64_t workload_fingerprint(const sweep::Workload& w);
+
+}  // namespace ihw::serve

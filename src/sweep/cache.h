@@ -78,6 +78,13 @@ class EvalCache {
   /// files left by a killed writer are swept; without it the journal starts
   /// fresh. No-op when the cache has no disk layer. Resume assumes a single
   /// writer per cache directory.
+  ///
+  /// Safe to call again on an already-attached cache: a re-attach under the
+  /// same name is an idempotent no-op (the committed journal, its entries,
+  /// and the replay counters are untouched), so a long-running daemon can
+  /// defensively re-invoke it after quarantine events without discarding or
+  /// double-replaying its journal. Re-attaching under a *different* name is
+  /// a programming error and throws std::logic_error.
   void attach_journal(const std::string& name, bool resume);
 
   /// Returns the record for `fp`, consulting memory then disk.
@@ -120,6 +127,7 @@ class EvalCache {
   std::unordered_map<std::uint64_t, EvalRecord> map_;
   std::string dir_;
   std::string schema_{kSchemaTag};
+  std::string journal_name_;
   std::unique_ptr<Journal> journal_;
   std::atomic<std::uint64_t> hits_{0}, misses_{0}, disk_hits_{0}, stores_{0};
   std::atomic<std::uint64_t> quarantines_{0}, io_retries_{0},

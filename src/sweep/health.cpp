@@ -3,6 +3,7 @@
 #include <csignal>
 #include <cstdio>
 
+#include "common/sweep_flags.h"
 #include "sweep/json.h"
 
 namespace ihw::sweep {
@@ -22,6 +23,14 @@ const char* to_string(PointStatus s) {
     case PointStatus::Skipped: return "skipped";
   }
   return "unknown";
+}
+
+FailPolicy make_fail_policy(const common::SweepFlags& flags) {
+  FailPolicy policy;
+  policy.isolate = flags.isolate;
+  policy.fail_fast = !flags.isolate;
+  policy.soft_deadline_s = flags.deadline_s;
+  return policy;
 }
 
 std::string HealthReport::summary() const {

@@ -7,6 +7,12 @@
 #include <cstdint>
 #include <string>
 
+#include "common/exit_codes.h"
+
+namespace ihw::common {
+struct SweepFlags;
+}
+
 namespace ihw::sweep {
 
 class Json;
@@ -36,6 +42,10 @@ struct FailPolicy {
   bool isolate = false;
   double soft_deadline_s = 0.0;
 };
+
+/// The FailPolicy every sweep bench derives from its shared CLI flags
+/// (--isolate implies not fail-fast; --deadline arms the soft watchdog).
+FailPolicy make_fail_policy(const common::SweepFlags& flags);
 
 /// Run-level resilience counters. run_grid / characterize_grid* accumulate
 /// into this (so one report can span several grids); the cache-layer fields
@@ -73,12 +83,9 @@ void request_drain();
 /// Clears the drain flag (tests; a new process starts clear).
 void reset_drain();
 
-/// Exit code of a bench that drained gracefully: distinguishes "interrupted
-/// but resumable" from success (0) and from hard failures.
-inline constexpr int kDrainExitCode = 75;  // EX_TEMPFAIL: rerun with --resume
-
-/// Exit code of a bench that completed under FailPolicy::isolate with at
-/// least one failed point.
-inline constexpr int kPointFailureExitCode = 3;
+/// Exit codes live in common/exit_codes.h (shared with the daemon and CI
+/// tooling); these aliases keep the historical sweep:: spellings working.
+inline constexpr int kDrainExitCode = common::kExitDrained;
+inline constexpr int kPointFailureExitCode = common::kExitPointFailure;
 
 }  // namespace ihw::sweep

@@ -293,6 +293,45 @@ TEST(JournalTest, ResumeSweepsStaleTmpFiles) {
   fs::remove_all(dir);
 }
 
+TEST(JournalTest, ReattachSameNameIsIdempotentNoOp) {
+  const std::string dir = testing::TempDir() + "ihw_resil_jreatt";
+  fs::remove_all(dir);
+  EvalCache cache(dir);
+  cache.attach_journal("t", /*resume=*/false);
+  cache.store(11, sample_record(0.25));
+  Journal* before = cache.journal();
+  // A long-running daemon may defensively re-attach; the committed journal,
+  // its entries, and the replay counter must all be untouched.
+  cache.attach_journal("t", /*resume=*/false);
+  cache.attach_journal("t", /*resume=*/true);
+  EXPECT_EQ(cache.journal(), before);
+  EXPECT_EQ(cache.journal_replayed(), 0u);
+
+  // The journaled record still replays into a fresh cache afterwards.
+  EvalCache resumed(dir);
+  resumed.attach_journal("t", /*resume=*/true);
+  EXPECT_EQ(resumed.journal_replayed(), 1u);
+  const auto rec = resumed.lookup(11);
+  ASSERT_TRUE(rec.has_value());
+  expect_record_identical(*rec, sample_record(0.25));
+  fs::remove_all(dir);
+}
+
+TEST(JournalTest, ReattachDifferentNameThrowsLogicError) {
+  const std::string dir = testing::TempDir() + "ihw_resil_jrename";
+  fs::remove_all(dir);
+  EvalCache cache(dir);
+  cache.attach_journal("first", false);
+  EXPECT_THROW(cache.attach_journal("second", false), std::logic_error);
+  // The original journal survives the rejected re-attach.
+  ASSERT_NE(cache.journal(), nullptr);
+  cache.store(5, sample_record());
+  EvalCache resumed(dir);
+  resumed.attach_journal("first", true);
+  EXPECT_EQ(resumed.journal_replayed(), 1u);
+  fs::remove_all(dir);
+}
+
 // ----------------------------------------------------------------- run_grid
 
 std::vector<GridPoint> mixed_points(int n, int failing) {

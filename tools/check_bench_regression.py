@@ -31,6 +31,17 @@ kill. A resumed run may legitimately mix journal replays with fresh
 evaluations, so per-row cache_hit/status and the speedup floor are not
 checked; every *result* field of every row must still match the reference
 exactly, and the resumed health must report at least one journal replay.
+
+--serve mode gates the evaluation daemon (DESIGN.md §13) from one
+BENCH_pr6.json written by bench/serve_loadgen: the warm phase (every point
+already in the process-wide cache) must beat the cold phase by at least
+--min-speedup (default 5x, machine-independent because both phases run in
+the same process against the same socket), the coalesced burst must have
+performed exactly one store / one evaluation (single-flight dedup), and
+the daemon must have finished the run with zero protocol errors and zero
+evaluation failures. --max-warm-p99-ms (default 50) bounds warm tail
+latency; it is deliberately loose -- it catches a daemon that has started
+blocking warm hits behind evaluations, not host-speed noise.
 """
 
 import json
@@ -163,9 +174,86 @@ def check_sweep(argv: list) -> int:
     return 0
 
 
+def check_serve(argv: list) -> int:
+    min_speedup = 5.0
+    max_warm_p99_ms = 50.0
+    paths = []
+    for arg in argv:
+        if arg.startswith("--min-speedup="):
+            min_speedup = float(arg.split("=", 1)[1])
+        elif arg.startswith("--max-warm-p99-ms="):
+            max_warm_p99_ms = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(paths[0]) as f:
+        report = json.load(f)
+
+    failures = []
+    if report.get("bench") != "serve_loadgen":
+        failures.append(f"unexpected bench tag: {report.get('bench')!r}")
+
+    cold = report.get("cold", {})
+    warm = report.get("warm", {})
+    speedup = report.get("warm_vs_cold_speedup", 0.0)
+    print(
+        f"serve {report.get('bench')}: cold {cold.get('rps', 0.0):.0f} rps, "
+        f"warm {warm.get('rps', 0.0):.0f} rps -> {speedup:.1f}x "
+        f"(floor {min_speedup:.1f}x), warm p99 {warm.get('p99_ms', 0.0):.3f} ms "
+        f"(ceiling {max_warm_p99_ms:.1f} ms)"
+    )
+    if speedup < min_speedup:
+        failures.append(
+            f"warm/cold throughput {speedup:.1f}x below floor {min_speedup:.1f}x"
+        )
+    if warm.get("p99_ms", float("inf")) > max_warm_p99_ms:
+        failures.append(
+            f"warm p99 {warm.get('p99_ms'):.3f} ms above ceiling "
+            f"{max_warm_p99_ms:.1f} ms"
+        )
+
+    co = report.get("coalesced", {})
+    if co.get("store_delta") != 1:
+        failures.append(
+            f"coalesced burst stored {co.get('store_delta')} records "
+            "(single-flight should store exactly 1)"
+        )
+    if co.get("unique_evaluations") != 1:
+        failures.append(
+            f"coalesced burst ran {co.get('unique_evaluations')} evaluations "
+            "(single-flight should run exactly 1)"
+        )
+    sources = co.get("sources", {})
+    if sources.get("evaluated") != 1:
+        failures.append(
+            f"coalesced burst reported {sources.get('evaluated')} "
+            "'evaluated' sources (expected exactly 1 owner)"
+        )
+
+    server = report.get("metrics", {}).get("server", {})
+    for counter in ("protocol_errors", "eval_failures"):
+        if server.get(counter, 0) != 0:
+            failures.append(f"daemon finished with {counter}={server.get(counter)}")
+
+    if failures:
+        print("\nserve daemon regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(
+        "daemon warm path at or above its speedup floor; "
+        "coalesced burst deduplicated to a single evaluation"
+    )
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) >= 2 and sys.argv[1] == "--sweep":
         return check_sweep(sys.argv[2:])
+    if len(sys.argv) >= 2 and sys.argv[1] == "--serve":
+        return check_serve(sys.argv[2:])
     if len(sys.argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
