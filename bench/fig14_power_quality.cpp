@@ -14,13 +14,15 @@
 #include <cstdio>
 #include <functional>
 
+#include <memory>
+
 #include "common/args.h"
 #include "common/sweep_flags.h"
 #include "common/table.h"
 #include "error/characterize.h"
 #include "power/nfm.h"
 #include "runtime/parallel.h"
-#include "serve/client.h"
+#include "serve/resilient_client.h"
 #include "sweep/json.h"
 #include "sweep/sweep.h"
 
@@ -122,17 +124,20 @@ int main(int argc, char** argv) try {
   sweep::Json rows = sweep::Json::array();
   sweep::HealthReport health;
 
-  serve::Client client;
+  // Server mode goes through the resilient client (DESIGN.md §14): lazy
+  // connect, retries with deterministic backoff, and -- unless
+  // --server-no-fallback -- degradation to in-process evaluation, so a dead
+  // or flapping daemon still yields byte-identical stdout and exit 0.
+  std::unique_ptr<serve::ResilientClient> client;
   CharGridFn grid_fn;
   if (flags.server_mode()) {
-    std::string err;
-    if (!client.connect(flags.server, &err)) {
-      std::fprintf(stderr, "[serve] %s\n", err.c_str());
-      return 1;
-    }
+    serve::RetryPolicy policy;
+    policy.deadline_ms = flags.server_deadline_ms;
+    policy.local_fallback = !flags.server_no_fallback;
+    client = std::make_unique<serve::ResilientClient>(flags.server, policy);
     grid_fn = [&client, &health](const std::vector<sweep::CharPoint>& pts,
                                  bool is64, std::vector<char>* hits) {
-      const auto res = client.characterize(pts, is64);
+      const auto res = client->characterize(pts, is64);
       std::vector<error::CharResult> out;
       out.reserve(res.size());
       hits->clear();
@@ -191,6 +196,8 @@ int main(int argc, char** argv) try {
                static_cast<unsigned long long>(cache.disk_hits()),
                static_cast<unsigned long long>(cache.stores()), ms,
                health.summary().c_str());
+  if (client)
+    std::fprintf(stderr, "[serve] %s\n", client->stats_summary().c_str());
   if (!json_path.empty()) {
     sweep::Json doc = sweep::Json::object();
     doc.set("bench", "fig14_power_quality")

@@ -16,7 +16,18 @@
 // external ihw_sweepd instead (metrics-based counters work either way).
 // --json=PATH writes the BENCH_pr6.json document consumed by
 // tools/check_bench_regression.py --serve.
+//
+// With --chaos-rate=R (and optionally --chaos-seed=S) a fourth phase runs:
+// C resilient clients walk the point set through a deterministic
+// fault-injecting proxy (serve/chaos.h) that delays, truncates, corrupts,
+// and severs frames. The survivability invariant is asserted exactly:
+// every answer must be bit-identical to the in-process reference (zero
+// incorrect responses) and no operation may fail out of the resilient
+// client -- faults are retried, or degraded to local evaluation, never
+// surfaced as wrong answers. tools/check_bench_regression.py --chaos gates
+// the report.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -27,8 +38,11 @@
 #include "common/args.h"
 #include "common/table.h"
 #include "error/characterize.h"
+#include "serve/chaos.h"
 #include "serve/client.h"
+#include "serve/resilient_client.h"
 #include "serve/server.h"
+#include "sweep/cache.h"
 #include "sweep/json.h"
 #include "sweep/sweep.h"
 
@@ -93,6 +107,9 @@ int main(int argc, char** argv) try {
   const int cold_points = static_cast<int>(args.get_int("cold-points", 24));
   const auto samples =
       static_cast<std::uint64_t>(args.get_int("samples", 20'000));
+  const double chaos_rate = args.get_double("chaos-rate", 0.0);
+  const auto chaos_seed =
+      static_cast<std::uint64_t>(args.get_int("chaos-seed", 1));
   const std::string json_path = args.get("json", "");
   std::string socket = args.get("socket", "");
 
@@ -188,6 +205,91 @@ int main(int argc, char** argv) try {
     if (s == "cache") ++n_cache;
   }
 
+  // ---- Phase 4 (optional): chaos. C resilient clients re-walk the (now
+  // cached) point set through the fault-injecting proxy; every answer is
+  // compared byte-for-byte against an in-process reference evaluation.
+  PhaseStats chaos;
+  serve::ChaosProxy::Counters injected;
+  std::uint64_t chaos_incorrect = 0, chaos_failures = 0;
+  serve::ResilientStats chaos_stats;
+  if (chaos_rate > 0.0) {
+    // The reference every chaos answer must match: the cache codec text
+    // embeds the fingerprint and a whole-payload checksum, so equal text
+    // means bit-equal results.
+    const auto ref = sweep::characterize_grid32(points, nullptr);
+    std::vector<std::string> ref_text(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sweep::EvalRecord rec;
+      rec.has_char = true;
+      rec.chr = ref[i];
+      ref_text[i] = sweep::EvalCache::serialize(
+          sweep::char_fingerprint(points[i], false), rec);
+    }
+
+    serve::ChaosSpec spec;
+    spec.seed = chaos_seed;
+    spec.rate = chaos_rate;
+    spec.delay_ms = 350;  // beyond the 200 ms client read timeout below
+    serve::ChaosProxy proxy(socket + ".chaos", socket, spec);
+    std::string perr;
+    if (!proxy.start(&perr)) {
+      std::fprintf(stderr, "[serve] chaos proxy: %s\n", perr.c_str());
+      return 1;
+    }
+
+    std::vector<PhaseStats> per_client(clients);
+    std::vector<std::uint64_t> incorrect(clients, 0), failed(clients, 0);
+    std::vector<serve::ResilientStats> stats(clients);
+    std::vector<std::thread> threads;
+    const double t0 = now_ms();
+    for (int c = 0; c < clients; ++c)
+      threads.emplace_back([&, c] {
+        serve::RetryPolicy rp;
+        rp.max_attempts = 5;
+        rp.backoff_base_ms = 5.0;
+        rp.backoff_max_ms = 50.0;
+        rp.seed = chaos_seed * 1000 + static_cast<std::uint64_t>(c);
+        rp.connect_timeout_ms = 1000;
+        rp.read_timeout_ms = 200;  // Delay faults manifest as timeouts
+        rp.breaker_cooldown_ms = 50.0;
+        serve::ResilientClient rc(proxy.listen_path(), rp);
+        for (std::size_t j = 0; j < points.size(); ++j) {
+          const double rt0 = now_ms();
+          try {
+            const auto res = rc.characterize({points[j]}, /*is64=*/false);
+            per_client[c].latencies_ms.push_back(now_ms() - rt0);
+            if (sweep::EvalCache::serialize(res[0].fp, res[0].rec) !=
+                ref_text[j])
+              ++incorrect[c];
+          } catch (const serve::ServeError&) {
+            // The invariant allows a clean typed error only when fallback
+            // is off; with fallback on (here), any escape is a failure.
+            ++failed[c];
+          }
+        }
+        stats[c] = rc.stats();
+      });
+    for (auto& t : threads) t.join();
+    chaos.elapsed_ms = now_ms() - t0;
+    proxy.stop();
+    injected = proxy.counters();
+    for (int c = 0; c < clients; ++c) {
+      chaos.latencies_ms.insert(chaos.latencies_ms.end(),
+                                per_client[c].latencies_ms.begin(),
+                                per_client[c].latencies_ms.end());
+      chaos_incorrect += incorrect[c];
+      chaos_failures += failed[c];
+      chaos_stats.operations += stats[c].operations;
+      chaos_stats.attempts += stats[c].attempts;
+      chaos_stats.retries += stats[c].retries;
+      chaos_stats.reconnects += stats[c].reconnects;
+      chaos_stats.failures += stats[c].failures;
+      chaos_stats.breaker_opens += stats[c].breaker_opens;
+      chaos_stats.fallback_operations += stats[c].fallback_operations;
+      chaos_stats.fallback_points += stats[c].fallback_points;
+    }
+  }
+
   const double speedup = cold.rps() > 0.0 ? warm.rps() / cold.rps() : 0.0;
 
   common::Table t({"phase", "requests", "rps", "p50(ms)", "p95(ms)",
@@ -204,6 +306,7 @@ int main(int argc, char** argv) try {
   add("cold", cold);
   add("warm", warm);
   add("coalesced", coal);
+  if (chaos_rate > 0.0) add("chaos", chaos);
   std::printf("== serve_loadgen: %d clients x %d requests ==\n", clients,
               requests);
   std::printf("%s", t.str().c_str());
@@ -214,6 +317,25 @@ int main(int argc, char** argv) try {
               static_cast<unsigned long long>(n_eval),
               static_cast<unsigned long long>(n_coal),
               static_cast<unsigned long long>(n_cache));
+  const std::uint64_t injected_total =
+      injected.delays + injected.truncations + injected.corruptions +
+      injected.severs;
+  if (chaos_rate > 0.0) {
+    std::printf(
+        "chaos: rate=%.2f seed=%llu injected=%llu "
+        "(delay=%llu truncate=%llu corrupt=%llu sever=%llu) "
+        "incorrect=%llu failures=%llu retries=%llu fallback_points=%llu\n",
+        chaos_rate, static_cast<unsigned long long>(chaos_seed),
+        static_cast<unsigned long long>(injected_total),
+        static_cast<unsigned long long>(injected.delays),
+        static_cast<unsigned long long>(injected.truncations),
+        static_cast<unsigned long long>(injected.corruptions),
+        static_cast<unsigned long long>(injected.severs),
+        static_cast<unsigned long long>(chaos_incorrect),
+        static_cast<unsigned long long>(chaos_failures),
+        static_cast<unsigned long long>(chaos_stats.retries),
+        static_cast<unsigned long long>(chaos_stats.fallback_points));
+  }
 
   const sweep::Json metrics = probe.metrics();
   if (!json_path.empty()) {
@@ -235,6 +357,34 @@ int main(int argc, char** argv) try {
                                          .set("cache", n_cache)))
             .set("warm_vs_cold_speedup", speedup)
             .set("metrics", metrics);
+    if (chaos_rate > 0.0) {
+      const double amplification =
+          chaos_stats.operations > 0
+              ? static_cast<double>(chaos_stats.attempts) /
+                    static_cast<double>(chaos_stats.operations)
+              : 0.0;
+      doc.set("chaos",
+              chaos.to_json()
+                  .set("rate", chaos_rate)
+                  .set("seed", chaos_seed)
+                  .set("incorrect", chaos_incorrect)
+                  .set("failures", chaos_failures)
+                  .set("operations", chaos_stats.operations)
+                  .set("attempts", chaos_stats.attempts)
+                  .set("retries", chaos_stats.retries)
+                  .set("reconnects", chaos_stats.reconnects)
+                  .set("breaker_opens", chaos_stats.breaker_opens)
+                  .set("fallback_operations", chaos_stats.fallback_operations)
+                  .set("fallback_points", chaos_stats.fallback_points)
+                  .set("retry_amplification", amplification)
+                  .set("injected", sweep::Json::object()
+                                       .set("total", injected_total)
+                                       .set("frames", injected.frames)
+                                       .set("delays", injected.delays)
+                                       .set("truncations", injected.truncations)
+                                       .set("corruptions", injected.corruptions)
+                                       .set("severs", injected.severs)));
+    }
     if (!doc.write_file(json_path))
       std::fprintf(stderr, "[serve] failed to write %s\n", json_path.c_str());
   }
@@ -249,6 +399,17 @@ int main(int argc, char** argv) try {
                  "unique_evaluations=%llu (want 1/1)\n",
                  static_cast<unsigned long long>(store_delta),
                  static_cast<unsigned long long>(n_eval));
+    return 1;
+  }
+  // The survivability invariant: under fault injection every answer was
+  // retried-and-correct (or degraded to a bit-identical local evaluation);
+  // nothing escaped as a wrong answer or an error.
+  if (chaos_rate > 0.0 && (chaos_incorrect > 0 || chaos_failures > 0)) {
+    std::fprintf(stderr,
+                 "[serve] chaos violation: incorrect=%llu failures=%llu "
+                 "(want 0/0)\n",
+                 static_cast<unsigned long long>(chaos_incorrect),
+                 static_cast<unsigned long long>(chaos_failures));
     return 1;
   }
   return 0;

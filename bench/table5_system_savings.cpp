@@ -20,7 +20,7 @@
 #include "common/sweep_flags.h"
 #include "common/table.h"
 #include "runtime/parallel.h"
-#include "serve/client.h"
+#include "serve/resilient_client.h"
 #include "sweep/json.h"
 #include "sweep/sweep.h"
 
@@ -82,12 +82,13 @@ int main(int argc, char** argv) try {
 
   Outcome out;
   if (flags.server_mode()) {
-    serve::Client client;
-    std::string err;
-    if (!client.connect(flags.server, &err)) {
-      std::fprintf(stderr, "[serve] %s\n", err.c_str());
-      return 1;
-    }
+    // Resilient client (DESIGN.md §14): lazy connect, deterministic-backoff
+    // retries, and degrade-to-local unless --server-no-fallback -- a dead
+    // daemon still yields byte-identical stdout and exit 0.
+    serve::RetryPolicy retry;
+    retry.deadline_ms = flags.server_deadline_ms;
+    retry.local_fallback = !flags.server_no_fallback;
+    serve::ResilientClient client(flags.server, retry);
     try {
       const auto res = client.eval_workloads(workloads);
       for (const auto& r : res) {
@@ -102,6 +103,7 @@ int main(int argc, char** argv) try {
       return e.retryable() ? sweep::kDrainExitCode
                            : sweep::kPointFailureExitCode;
     }
+    std::fprintf(stderr, "[serve] %s\n", client.stats_summary().c_str());
   } else {
     // One grid point per precise reference run; the pool evaluates cold
     // points concurrently and equal fingerprints collapse to one evaluation.

@@ -13,6 +13,14 @@ inline constexpr int kExitDrained = 75;
 
 /// A sweep completed under FailPolicy::isolate (--isolate) with at least one
 /// failed point: the healthy rows are valid, but the run is not clean.
+/// Server-mode benches also use this for fatal (non-retryable) ServeErrors:
+/// retrying or falling back locally cannot change the outcome.
 inline constexpr int kExitPointFailure = 3;
+
+/// Malformed command line (ArgError or missing required flag). Also the
+/// exit for a retryable ServeError that exhausted its budget when local
+/// fallback was disabled would be kExitDrained (75), not this: the work is
+/// recoverable, the invocation was fine.
+inline constexpr int kExitUsage = 1;
 
 }  // namespace ihw::common

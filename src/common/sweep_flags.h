@@ -4,6 +4,7 @@
 // (--cache-dir, --resume, --isolate, --deadline) plus the --server flag that
 // turns a bench into a thin client of a running ihw_sweepd evaluation daemon
 // (DESIGN.md §13).
+#include <cstdint>
 #include <string>
 
 namespace ihw::common {
@@ -24,6 +25,14 @@ struct SweepFlags {
   /// client with byte-identical stdout; the cache/journal flags then belong
   /// to the daemon, not the bench.
   std::string server;
+  /// --server-deadline-ms=N: per-request server-side deadline forwarded on
+  /// every daemon op (0 = none). Requests still queued past it get a typed
+  /// retryable refusal instead of an answer nobody is waiting for.
+  std::uint64_t server_deadline_ms = 0;
+  /// --server-no-fallback: surface daemon failures to the exit code instead
+  /// of degrading to in-process evaluation (the default keeps --server
+  /// benches byte-identical and exit-0 even with a dead daemon).
+  bool server_no_fallback = false;
 
   /// True when the bench should run as a daemon client.
   bool server_mode() const { return !server.empty(); }

@@ -1,0 +1,258 @@
+#include "serve/chaos.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "fault/injector.h"
+#include "serve/wire.h"
+
+namespace ihw::serve {
+namespace {
+
+/// Direction tags fed to the hash; distinct from any fault::UnitClass use
+/// because the whole coordinate tuple is scrambled per call anyway.
+std::uint64_t chaos_hash(const ChaosSpec& spec, std::uint64_t conn, int dir,
+                         std::uint64_t index) {
+  std::uint64_t x = spec.seed;
+  x ^= fault::splitmix64(conn * 0xd1342543de82ef95ull);
+  x ^= fault::splitmix64((index << 8) |
+                         static_cast<std::uint64_t>(dir & 0xff));
+  return fault::splitmix64(x);
+}
+
+}  // namespace
+
+const char* to_string(ChaosFault f) {
+  switch (f) {
+    case ChaosFault::None: return "none";
+    case ChaosFault::Delay: return "delay";
+    case ChaosFault::Truncate: return "truncate";
+    case ChaosFault::Corrupt: return "corrupt";
+    case ChaosFault::Sever: return "sever";
+  }
+  return "unknown";
+}
+
+ChaosFault chaos_fault_at(const ChaosSpec& spec, std::uint64_t conn, int dir,
+                          std::uint64_t index) {
+  if (spec.rate <= 0.0) return ChaosFault::None;
+  const std::uint64_t h = chaos_hash(spec, conn, dir, index);
+  if (!fault::fault_fires(h, spec.rate)) return ChaosFault::None;
+  // A second, independent mix picks WHICH fault, so the kind distribution
+  // does not correlate with the fire/no-fire threshold bits.
+  const std::uint64_t pick = fault::splitmix64(h);
+  if (dir == 0) {
+    // Requests are never corrupted (see header): delay/truncate/sever only.
+    switch (pick % 3) {
+      case 0: return ChaosFault::Delay;
+      case 1: return ChaosFault::Truncate;
+      default: return ChaosFault::Sever;
+    }
+  }
+  switch (pick % 4) {
+    case 0: return ChaosFault::Delay;
+    case 1: return ChaosFault::Truncate;
+    case 2: return ChaosFault::Corrupt;
+    default: return ChaosFault::Sever;
+  }
+}
+
+// ------------------------------------------------------------- ChaosProxy
+
+struct ChaosProxy::Link {
+  std::uint64_t id = 0;
+  int client_fd = -1;    // proxy <-> client
+  int upstream_fd = -1;  // proxy <-> daemon
+  std::atomic<bool> dead{false};
+  void sever() {
+    dead.store(true);
+    if (client_fd >= 0) ::shutdown(client_fd, SHUT_RDWR);
+    if (upstream_fd >= 0) ::shutdown(upstream_fd, SHUT_RDWR);
+  }
+  ~Link() {
+    if (client_fd >= 0) ::close(client_fd);
+    if (upstream_fd >= 0) ::close(upstream_fd);
+  }
+};
+
+ChaosProxy::ChaosProxy(std::string listen_path, std::string upstream_path,
+                       ChaosSpec spec)
+    : listen_path_(std::move(listen_path)),
+      upstream_path_(std::move(upstream_path)),
+      spec_(spec) {}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+bool ChaosProxy::start(std::string* err) {
+  auto fail = [&](const std::string& msg) {
+    if (err != nullptr) *err = msg;
+    return false;
+  };
+  if (running_.load()) return fail("chaos proxy already running");
+  struct sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (listen_path_.empty() || listen_path_.size() >= sizeof addr.sun_path)
+    return fail("bad listen path '" + listen_path_ + "'");
+  std::strncpy(addr.sun_path, listen_path_.c_str(), sizeof addr.sun_path - 1);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket(): " + std::string(strerror(errno)));
+  ::unlink(listen_path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string msg =
+        "bind/listen(" + listen_path_ + "): " + std::string(strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail(msg);
+  }
+  stopping_.store(false);
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void ChaosProxy::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(link_mu_);
+    for (const auto& l : links_) l->sever();
+  }
+  std::vector<std::thread> pumps;
+  {
+    std::lock_guard<std::mutex> lock(link_mu_);
+    pumps.swap(pumps_);
+  }
+  for (auto& t : pumps)
+    if (t.joinable()) t.join();
+  {
+    std::lock_guard<std::mutex> lock(link_mu_);
+    links_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(listen_path_.c_str());
+}
+
+void ChaosProxy::accept_loop() {
+  while (!stopping_.load()) {
+    struct pollfd p{};
+    p.fd = listen_fd_;
+    p.events = POLLIN;
+    const int r = ::poll(&p, 1, 100);
+    if (r <= 0) continue;
+    const int cfd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (cfd < 0) continue;
+
+    struct sockaddr_un up{};
+    up.sun_family = AF_UNIX;
+    std::strncpy(up.sun_path, upstream_path_.c_str(),
+                 sizeof up.sun_path - 1);
+    const int ufd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (ufd < 0 || ::connect(ufd, reinterpret_cast<struct sockaddr*>(&up),
+                             sizeof up) != 0) {
+      // Upstream refused: the client sees an immediate EOF, exactly what a
+      // dead daemon looks like.
+      if (ufd >= 0) ::close(ufd);
+      ::close(cfd);
+      continue;
+    }
+    auto link = std::make_shared<Link>();
+    link->id = next_conn_++;
+    link->client_fd = cfd;
+    link->upstream_fd = ufd;
+    std::lock_guard<std::mutex> lock(link_mu_);
+    links_.push_back(link);
+    pumps_.emplace_back([this, link] { pump(link, 0); });
+    pumps_.emplace_back([this, link] { pump(link, 1); });
+  }
+}
+
+void ChaosProxy::pump(std::shared_ptr<Link> link, int dir) {
+  const int src = dir == 0 ? link->client_fd : link->upstream_fd;
+  const int dst = dir == 0 ? link->upstream_fd : link->client_fd;
+  std::uint64_t index = 0;
+  while (!stopping_.load() && !link->dead.load()) {
+    std::string payload;
+    const WireStatus st = read_frame(
+        src, &payload,
+        [this, &link] { return stopping_.load() || link->dead.load(); });
+    if (st != WireStatus::Ok) break;  // either side closed: tear down both
+    frames_.fetch_add(1);
+    const ChaosFault f = chaos_fault_at(spec_, link->id, dir, index++);
+    switch (f) {
+      case ChaosFault::None:
+        if (!write_frame(dst, payload)) link->sever();
+        break;
+      case ChaosFault::Delay: {
+        delays_.fetch_add(1);
+        // Sleep in slices so stop() is never held hostage by a delay.
+        int left = spec_.delay_ms;
+        while (left > 0 && !stopping_.load() && !link->dead.load()) {
+          const int slice = left < 20 ? left : 20;
+          std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+          left -= slice;
+        }
+        if (!write_frame(dst, payload)) link->sever();
+        break;
+      }
+      case ChaosFault::Truncate: {
+        truncations_.fetch_add(1);
+        // Header promising the full payload, then only half of it: the
+        // receiver sees a torn frame (EOF mid-payload).
+        const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+        const unsigned char hdr[4] = {
+            static_cast<unsigned char>(len >> 24),
+            static_cast<unsigned char>(len >> 16),
+            static_cast<unsigned char>(len >> 8),
+            static_cast<unsigned char>(len)};
+        std::string torn(reinterpret_cast<const char*>(hdr), 4);
+        torn.append(payload.data(), payload.size() / 2);
+        (void)::send(dst, torn.data(), torn.size(), MSG_NOSIGNAL);
+        link->sever();
+        break;
+      }
+      case ChaosFault::Corrupt: {
+        corruptions_.fetch_add(1);
+        const std::uint64_t h =
+            fault::splitmix64(chaos_hash(spec_, link->id, dir, index));
+        payload[h % payload.size()] ^=
+            static_cast<char>(1u << ((h >> 32) % 8));
+        if (!write_frame(dst, payload)) link->sever();
+        break;
+      }
+      case ChaosFault::Sever:
+        severs_.fetch_add(1);
+        link->sever();
+        break;
+    }
+  }
+  link->sever();
+}
+
+ChaosProxy::Counters ChaosProxy::counters() const {
+  Counters c;
+  c.frames = frames_.load();
+  c.delays = delays_.load();
+  c.truncations = truncations_.load();
+  c.corruptions = corruptions_.load();
+  c.severs = severs_.load();
+  return c;
+}
+
+std::uint64_t ChaosProxy::faults_injected() const {
+  return delays_.load() + truncations_.load() + corruptions_.load() +
+         severs_.load();
+}
+
+}  // namespace ihw::serve

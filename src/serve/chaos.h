@@ -1,0 +1,109 @@
+#pragma once
+// Deterministic protocol chaos harness (DESIGN.md §14). A frame-level proxy
+// that sits between a serve client and the daemon and injects transport
+// faults -- delayed, truncated, corrupted, or severed frames -- at positions
+// chosen by a pure hash of (seed, connection, direction, frame index), the
+// same counter-based style as the datapath injector in src/fault/injector.h.
+// No RNG state, no draw-order dependence: a given (seed, rate) pair replays
+// the identical fault schedule on every run, which is what lets the chaos
+// fuzz in tests and CI assert the survivability invariant exactly --
+//
+//   every injected fault yields either a retried-and-correct answer or a
+//   clean typed error; never a wrong answer and never a hang.
+//
+// Requests (client -> server) are never corrupted, only delayed / truncated
+// / severed: request JSON carries no checksum, so a corrupted request is
+// indistinguishable from a client bug and draws a non-retryable
+// "bad_request" -- outside the invariant. Responses are fair game for
+// corruption because evaluation records are checksummed (EvalCache v2):
+// damage is detected client-side and surfaces as the retryable
+// "bad_record"/"bad_response". (A flipped byte in non-record response
+// metadata can in principle survive undetected, but it can never alter a
+// record -- the checksum guards exactly the bytes that carry results.)
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ihw::serve {
+
+enum class ChaosFault : unsigned char {
+  None,      // forward the frame untouched
+  Delay,     // forward after ChaosSpec::delay_ms (trips read timeouts)
+  Truncate,  // forward the header + half the payload, then sever (torn frame)
+  Corrupt,   // flip one hash-chosen payload byte, then forward
+  Sever,     // drop the frame and cut the connection (mid-stream EOF)
+};
+
+const char* to_string(ChaosFault f);
+
+struct ChaosSpec {
+  std::uint64_t seed = 1;
+  /// Per-frame fault probability in [0, 1]. 0 disables injection entirely.
+  double rate = 0.0;
+  /// How long a Delay fault holds a frame. Sized above the client read
+  /// timeout in the harnesses so Delay reliably manifests as a timeout.
+  int delay_ms = 250;
+};
+
+/// Pure per-frame fault decision: which fault (if any) fires on frame
+/// `index` of direction `dir` (0 = client->server, 1 = server->client) of
+/// proxy connection `conn`. Deterministic in its arguments alone.
+ChaosFault chaos_fault_at(const ChaosSpec& spec, std::uint64_t conn, int dir,
+                          std::uint64_t index);
+
+/// The proxy itself: listens on `listen_path`, and for every client opens
+/// one upstream connection to `upstream_path`, pumping frames both ways
+/// through chaos_fault_at. Truncate/Sever cut both sockets, so the client
+/// observes exactly what a dying daemon would produce; the real daemon sees
+/// a vanished client and reaps. Thread-per-direction; stop() severs
+/// everything and joins.
+class ChaosProxy {
+ public:
+  ChaosProxy(std::string listen_path, std::string upstream_path,
+             ChaosSpec spec);
+  ~ChaosProxy();
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  bool start(std::string* err = nullptr);
+  void stop();
+
+  const std::string& listen_path() const { return listen_path_; }
+
+  struct Counters {
+    std::uint64_t frames = 0;  // frames seen (both directions)
+    std::uint64_t delays = 0;
+    std::uint64_t truncations = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t severs = 0;
+  };
+  Counters counters() const;
+  /// Total faults injected so far (harness sanity check: a chaos run that
+  /// injected nothing proves nothing).
+  std::uint64_t faults_injected() const;
+
+ private:
+  struct Link;
+  void accept_loop();
+  void pump(std::shared_ptr<Link> link, int dir);
+
+  std::string listen_path_, upstream_path_;
+  ChaosSpec spec_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex link_mu_;
+  std::vector<std::shared_ptr<Link>> links_;
+  std::vector<std::thread> pumps_;
+  std::uint64_t next_conn_ = 0;
+
+  std::atomic<std::uint64_t> frames_{0}, delays_{0}, truncations_{0},
+      corruptions_{0}, severs_{0};
+};
+
+}  // namespace ihw::serve

@@ -1,10 +1,13 @@
 #include "serve/client.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -18,16 +21,18 @@ std::uint64_t parse_fp_hex(const std::string& hex) {
 }
 
 /// Decodes one wire record: "records"/"fingerprints"/"sources" entry i of a
-/// successful char/sweep response.
+/// successful char/sweep response. Checksum/fingerprint failures are
+/// retryable: the evaluation upstream was fine, the bytes we received were
+/// not, and a fresh request can deliver them intact.
 PointResult decode_point(const sweep::Json& resp, std::size_t i) {
   PointResult out;
   out.fp = parse_fp_hex(resp["fingerprints"].at(i).as_str());
   out.source = resp["sources"].at(i).as_str();
   if (!sweep::EvalCache::deserialize(resp["records"].at(i).as_str(), out.fp,
                                      &out.rec))
-    throw ServeError("internal",
+    throw ServeError("bad_record",
                      "response record failed checksum/fingerprint validation",
-                     false);
+                     true);
   return out;
 }
 
@@ -35,7 +40,8 @@ PointResult decode_point(const sweep::Json& resp, std::size_t i) {
 
 Client::~Client() { close(); }
 
-bool Client::connect(const std::string& socket_path, std::string* err) {
+bool Client::connect(const std::string& socket_path, std::string* err,
+                     int timeout_ms) {
   auto fail = [&](const std::string& msg) {
     if (err != nullptr) *err = msg;
     return false;
@@ -48,6 +54,42 @@ bool Client::connect(const std::string& socket_path, std::string* err) {
   std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
   fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return fail("socket(): " + std::string(strerror(errno)));
+  if (timeout_ms >= 0) {
+    // Non-blocking connect + poll: a daemon whose accept loop stalled (listen
+    // backlog full) otherwise blocks us indefinitely.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                       sizeof addr);
+    if (rc != 0 && errno == EINPROGRESS) {
+      struct pollfd p{};
+      p.fd = fd_;
+      p.events = POLLOUT;
+      const int pr = ::poll(&p, 1, timeout_ms);
+      if (pr <= 0) {
+        close();
+        return fail("connect(" + socket_path + "): timed out after " +
+                    std::to_string(timeout_ms) + " ms");
+      }
+      int soerr = 0;
+      socklen_t len = sizeof soerr;
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      if (soerr != 0) {
+        close();
+        return fail("connect(" + socket_path +
+                    "): " + std::string(strerror(soerr)));
+      }
+      rc = 0;
+    }
+    if (rc != 0) {
+      const std::string msg =
+          "connect(" + socket_path + "): " + std::string(strerror(errno));
+      close();
+      return fail(msg);
+    }
+    ::fcntl(fd_, F_SETFL, flags);  // restore blocking for the frame I/O path
+    return true;
+  }
   if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
                 sizeof addr) != 0) {
     const std::string msg =
@@ -66,20 +108,53 @@ void Client::close() {
 }
 
 sweep::Json Client::call(const sweep::Json& req) {
-  if (fd_ < 0) throw ServeError("transport", "client is not connected", false);
-  if (!write_frame(fd_, req.dump()))
-    throw ServeError("transport", "failed to send request frame", true);
+  const std::string body = req.dump();
+  std::string detail;
+  if (body.size() > kMaxFrameBytes) {
+    // Our own fault, not the wire's: no retry can shrink the request.
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "request of %zu bytes exceeds the %u-byte (16 MiB) cap",
+                  body.size(), kMaxFrameBytes);
+    throw ServeError("bad_request", buf, false);
+  }
+  if (fd_ < 0) throw ServeError("transport", "client is not connected", true);
+  if (!write_frame(fd_, body, &detail)) {
+    close();
+    throw ServeError("transport", "failed to send request frame: " + detail,
+                     true);
+  }
   std::string payload;
-  const WireStatus st = read_frame(fd_, &payload);
-  if (st != WireStatus::Ok)
-    throw ServeError("transport",
-                     std::string("failed to read response frame (") +
-                         to_string(st) + ")",
-                     st == WireStatus::Closed);
+  FrameFault fault = FrameFault::None;
+  const WireStatus st =
+      read_frame(fd_, &payload, {}, read_timeout_ms_, &detail, &fault);
+  if (st != WireStatus::Ok) {
+    // The stream can no longer be trusted (partial frame, unknown peer
+    // state), so every non-Ok outcome closes the connection. All are
+    // retryable on a fresh connection: the daemon either never saw the
+    // request or answered into the void, and requests are idempotent.
+    close();
+    switch (st) {
+      case WireStatus::Timeout:
+        throw ServeError("timeout", "response timed out: " + detail, true);
+      case WireStatus::Closed:
+        throw ServeError("closed",
+                         "connection closed before the response arrived",
+                         true);
+      case WireStatus::Malformed:
+        throw ServeError("bad_frame", "malformed response frame: " + detail,
+                         true);
+      default:
+        throw ServeError("transport", "socket error while reading response",
+                         true);
+    }
+  }
   sweep::Json resp;
   std::string perr;
-  if (!sweep::Json::parse(payload, &resp, &perr) || !resp.is_object())
-    throw ServeError("transport", "unparseable response: " + perr, false);
+  if (!sweep::Json::parse(payload, &resp, &perr) || !resp.is_object()) {
+    close();
+    throw ServeError("bad_response", "unparseable response: " + perr, true);
+  }
   return resp;
 }
 
@@ -119,28 +194,41 @@ void Client::stall(int ms) {
   call_checked(sweep::Json::object().set("op", "stall").set("ms", ms));
 }
 
+namespace {
+
+sweep::Json with_deadline(sweep::Json req, std::uint64_t deadline_ms) {
+  if (deadline_ms > 0)
+    req.set("deadline_ms", static_cast<std::int64_t>(deadline_ms));
+  return req;
+}
+
+}  // namespace
+
 std::vector<PointResult> Client::characterize(
-    const std::vector<sweep::CharPoint>& points, bool is64) {
+    const std::vector<sweep::CharPoint>& points, bool is64,
+    std::uint64_t deadline_ms) {
   sweep::Json arr = sweep::Json::array();
   for (const auto& p : points)
     arr.push(sweep::Json::object()
                  .set("kind", static_cast<int>(p.kind))
                  .set("param", p.param)
                  .set("samples", p.samples));
-  const sweep::Json resp = call_checked(sweep::Json::object()
-                                            .set("op", "char")
-                                            .set("is64", is64)
-                                            .set("points", std::move(arr)));
+  const sweep::Json resp = call_checked(
+      with_deadline(sweep::Json::object()
+                        .set("op", "char")
+                        .set("is64", is64)
+                        .set("points", std::move(arr)),
+                    deadline_ms));
   if (resp["records"].size() != points.size())
-    throw ServeError("internal", "response point count mismatch", false);
+    throw ServeError("bad_response", "response point count mismatch", true);
   std::vector<PointResult> out;
   out.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     out.push_back(decode_point(resp, i));
     if (!out.back().rec.has_char)
-      throw ServeError("internal",
+      throw ServeError("bad_response",
                        "char response record has no characterization payload",
-                       false);
+                       true);
   }
   return out;
 }
@@ -161,15 +249,17 @@ sweep::Json workload_to_json(const sweep::Workload& w) {
 
 std::vector<PointResult> Client::eval_workloads(
     const std::vector<sweep::Workload>& workloads,
-    const std::string& config_tag) {
+    const std::string& config_tag, std::uint64_t deadline_ms) {
   sweep::Json arr = sweep::Json::array();
   for (const auto& w : workloads) arr.push(workload_to_json(w));
-  const sweep::Json resp = call_checked(sweep::Json::object()
-                                            .set("op", "sweep")
-                                            .set("config", config_tag)
-                                            .set("points", std::move(arr)));
+  const sweep::Json resp = call_checked(
+      with_deadline(sweep::Json::object()
+                        .set("op", "sweep")
+                        .set("config", config_tag)
+                        .set("points", std::move(arr)),
+                    deadline_ms));
   if (resp["records"].size() != workloads.size())
-    throw ServeError("internal", "response point count mismatch", false);
+    throw ServeError("bad_response", "response point count mismatch", true);
   std::vector<PointResult> out;
   out.reserve(workloads.size());
   for (std::size_t i = 0; i < workloads.size(); ++i)
@@ -178,20 +268,22 @@ std::vector<PointResult> Client::eval_workloads(
 }
 
 PointResult Client::eval_workload(const sweep::Workload& w,
-                                  const std::string& config_tag) {
-  const sweep::Json resp =
-      call_checked(sweep::Json::object()
-                       .set("op", "eval")
-                       .set("config", config_tag)
-                       .set("point", workload_to_json(w)));
+                                  const std::string& config_tag,
+                                  std::uint64_t deadline_ms) {
+  const sweep::Json resp = call_checked(
+      with_deadline(sweep::Json::object()
+                        .set("op", "eval")
+                        .set("config", config_tag)
+                        .set("point", workload_to_json(w)),
+                    deadline_ms));
   PointResult out;
   out.fp = parse_fp_hex(resp["fingerprint"].as_str());
   out.source = resp["source"].as_str();
   if (!sweep::EvalCache::deserialize(resp["record"].as_str(), out.fp,
                                      &out.rec))
-    throw ServeError("internal",
+    throw ServeError("bad_record",
                      "response record failed checksum/fingerprint validation",
-                     false);
+                     true);
   return out;
 }
 

@@ -1,14 +1,27 @@
 #pragma once
-// Client side of the evaluation daemon protocol (DESIGN.md §13). Wraps one
-// Unix-domain connection to ihw_sweepd: framing, request/response JSON, and
-// typed helpers that return bit-exact sweep::EvalRecord payloads (records
-// travel as EvalCache::serialize text, so a daemon answer is byte-identical
-// to the in-process evaluation of the same fingerprint).
+// Client side of the evaluation daemon protocol (DESIGN.md §13-§14). Wraps
+// one Unix-domain connection to ihw_sweepd: framing, request/response JSON,
+// and typed helpers that return bit-exact sweep::EvalRecord payloads
+// (records travel as EvalCache::serialize text, so a daemon answer is
+// byte-identical to the in-process evaluation of the same fingerprint).
 //
-// Error model: transport failures and server error responses both surface as
-// ServeError. `retryable` mirrors the wire flag -- "overloaded" (admission
-// shed) and "shutting_down" (drain) mean back off and retry, everything else
-// means the request itself is wrong or the evaluation failed.
+// Error model: transport failures and server error responses both surface
+// as ServeError. `retryable` mirrors the wire flag for server responses;
+// for transport-level failures it is true whenever resending the request on
+// a fresh connection can succeed. The full code -> retryable mapping lives
+// in the README failure-semantics table; serve/resilient_client.h drives
+// its retry classification off exactly this bit.
+//
+// Client-originated codes:
+//   "timeout"      no complete response within the read timeout (retryable)
+//   "closed"       EOF / reset while waiting for the response (retryable)
+//   "bad_frame"    malformed response framing (retryable on a fresh conn)
+//   "transport"    send failure or socket error (retryable)
+//   "bad_response" response was not parseable JSON (retryable)
+//   "bad_record"   record failed checksum/fingerprint validation (retryable
+//                  -- it means the response bytes were damaged in transit,
+//                  never that the evaluation itself was wrong)
+//   "bad_request"  the request itself is malformed, e.g. oversized (fatal)
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -33,15 +46,19 @@ class ServeError : public std::runtime_error {
   bool retryable_;
 };
 
-/// One point's answer: the record, its fingerprint, and how the daemon
-/// produced it ("evaluated" cold, "cache" warm, or "coalesced" onto another
-/// request's in-flight evaluation).
+/// One point's answer: the record, its fingerprint, and how it was produced
+/// ("evaluated" cold by the daemon, "cache"/"coalesced" warm by the daemon,
+/// or "local"/"local_cache" when serve::ResilientClient degraded to
+/// in-process evaluation).
 struct PointResult {
   sweep::EvalRecord rec;
   std::uint64_t fp = 0;
   std::string source;
 
-  bool served_warm() const { return source != "evaluated"; }
+  bool served_warm() const {
+    return source == "cache" || source == "coalesced" ||
+           source == "local_cache";
+  }
 };
 
 class Client {
@@ -50,23 +67,38 @@ class Client {
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
-  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), read_timeout_ms_(other.read_timeout_ms_) {
+    other.fd_ = -1;
+  }
   Client& operator=(Client&& other) noexcept {
     if (this != &other) {
       close();
       fd_ = other.fd_;
+      read_timeout_ms_ = other.read_timeout_ms_;
       other.fd_ = -1;
     }
     return *this;
   }
 
   /// Connects to the daemon socket. False (with *err set) on failure.
-  bool connect(const std::string& socket_path, std::string* err = nullptr);
+  /// `timeout_ms` >= 0 bounds the connect itself (a daemon that accepted
+  /// the listen backlog but stopped accept()ing cannot hang the client);
+  /// -1 keeps the OS default blocking connect.
+  bool connect(const std::string& socket_path, std::string* err = nullptr,
+               int timeout_ms = -1);
   void close();
   bool connected() const { return fd_ >= 0; }
 
+  /// Bounds every subsequent response read; a silent peer then surfaces as
+  /// the retryable ServeError{code="timeout"} instead of an indefinite
+  /// hang. -1 (default) blocks forever (the pre-PR-7 behaviour).
+  void set_read_timeout_ms(int ms) { read_timeout_ms_ = ms; }
+  int read_timeout_ms() const { return read_timeout_ms_; }
+
   /// One request/response round trip. Throws ServeError on transport
-  /// failure; returns the response document verbatim (including error
+  /// failure (closing the connection, since the stream can no longer be
+  /// trusted); returns the response document verbatim (including error
   /// responses -- use call_checked for the throwing variant).
   sweep::Json call(const sweep::Json& req);
   /// call() + throws ServeError when the response carries ok=false.
@@ -82,21 +114,25 @@ class Client {
   void stall(int ms);
 
   /// Remote characterize_grid32/64: same points, same fingerprints, and
-  /// bit-identical CharResults as the in-process grid.
+  /// bit-identical CharResults as the in-process grid. `deadline_ms` > 0 is
+  /// forwarded as the request's server-side deadline.
   std::vector<PointResult> characterize(
-      const std::vector<sweep::CharPoint>& points, bool is64);
+      const std::vector<sweep::CharPoint>& points, bool is64,
+      std::uint64_t deadline_ms = 0);
 
   /// Remote run_grid over named workload points ("hotspot"/"srad"/"ray",
   /// see serve/workloads.h); bit-identical records.
   std::vector<PointResult> eval_workloads(
       const std::vector<sweep::Workload>& workloads,
-      const std::string& config_tag = "precise");
+      const std::string& config_tag = "precise", std::uint64_t deadline_ms = 0);
   /// Single-point convenience (the "eval" op).
   PointResult eval_workload(const sweep::Workload& w,
-                            const std::string& config_tag = "precise");
+                            const std::string& config_tag = "precise",
+                            std::uint64_t deadline_ms = 0);
 
  private:
   int fd_ = -1;
+  int read_timeout_ms_ = -1;
 };
 
 }  // namespace ihw::serve

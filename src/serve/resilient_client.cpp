@@ -1,0 +1,301 @@
+#include "serve/resilient_client.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "fault/injector.h"
+#include "serve/workloads.h"
+#include "sweep/sweep.h"
+
+namespace ihw::serve {
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+ResilientClient::ResilientClient(std::string socket_path, RetryPolicy policy,
+                                 const std::string& local_cache_dir)
+    : socket_path_(std::move(socket_path)),
+      policy_(policy),
+      local_cache_(local_cache_dir) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+  if (policy_.breaker_threshold < 1) policy_.breaker_threshold = 1;
+}
+
+double ResilientClient::now_ms() const {
+  if (clock_fn_) return clock_fn_();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) *
+         1e-3;
+}
+
+double ResilientClient::backoff_ms(std::uint64_t op_index, int attempt) const {
+  if (attempt < 1) attempt = 1;
+  double base = policy_.backoff_base_ms;
+  for (int k = 1; k < attempt && base < policy_.backoff_max_ms; ++k)
+    base *= 2.0;
+  if (base > policy_.backoff_max_ms) base = policy_.backoff_max_ms;
+  // Jitter in [0.5, 1.0): a pure hash of (seed, op, attempt) -- the same
+  // counter-based determinism as the datapath injector (fault/injector.h),
+  // so a run's retry schedule replays exactly, while clients with distinct
+  // seeds decorrelate.
+  std::uint64_t x = policy_.seed;
+  x ^= fault::splitmix64(op_index * 0xd1342543de82ef95ull);
+  x ^= fault::splitmix64(static_cast<std::uint64_t>(attempt) << 8);
+  const std::uint64_t h = fault::splitmix64(x);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return base * (0.5 + 0.5 * u);
+}
+
+void ResilientClient::ensure_connected() {
+  if (client_.connected()) return;
+  std::string err;
+  if (!client_.connect(socket_path_, &err, policy_.connect_timeout_ms))
+    throw ServeError("connect", err, true);
+  client_.set_read_timeout_ms(policy_.read_timeout_ms);
+  if (ever_connected_) ++stats_.reconnects;
+  ever_connected_ = true;
+}
+
+bool ResilientClient::breaker_allows() {
+  switch (breaker_) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::HalfOpen:
+      return true;  // the probe op is already in flight (single-threaded)
+    case BreakerState::Open:
+      if (now_ms() - breaker_opened_at_ms_ >= policy_.breaker_cooldown_ms) {
+        breaker_ = BreakerState::HalfOpen;  // admit one probe
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void ResilientClient::note_success() {
+  consecutive_failures_ = 0;
+  breaker_ = BreakerState::Closed;
+}
+
+void ResilientClient::note_failure() {
+  ++consecutive_failures_;
+  if (breaker_ == BreakerState::HalfOpen) {
+    // Probe failed: straight back to Open for a fresh cooldown.
+    breaker_ = BreakerState::Open;
+    breaker_opened_at_ms_ = now_ms();
+    ++stats_.breaker_opens;
+  } else if (breaker_ == BreakerState::Closed &&
+             consecutive_failures_ >= policy_.breaker_threshold) {
+    breaker_ = BreakerState::Open;
+    breaker_opened_at_ms_ = now_ms();
+    ++stats_.breaker_opens;
+  }
+}
+
+template <typename Fn>
+auto ResilientClient::run_op(Fn&& fn) -> decltype(fn()) {
+  const std::uint64_t op = stats_.operations++;
+  if (!breaker_allows()) {
+    ++stats_.breaker_fast_fails;
+    throw ServeError("breaker_open",
+                     "circuit breaker is open after " +
+                         std::to_string(consecutive_failures_) +
+                         " consecutive failures",
+                     true);
+  }
+  std::string last = "no attempt made";
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.retries;
+      const double ms = backoff_ms(op, attempt - 1);
+      if (sleep_fn_) {
+        sleep_fn_(ms);
+      } else {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<long long>(ms * 1e3)));
+      }
+    }
+    ++stats_.attempts;
+    try {
+      ensure_connected();
+      auto result = fn();
+      note_success();
+      return result;
+    } catch (const ServeError& e) {
+      if (!e.retryable()) {
+        note_failure();
+        throw;  // fatal: retrying cannot change the outcome
+      }
+      last = e.code() + ": " + e.what();
+      // Transport-level errors already closed the connection inside
+      // Client::call; server-typed retryable errors (overloaded,
+      // shutting_down, deadline_exceeded) leave it usable for the retry.
+    }
+  }
+  ++stats_.failures;
+  note_failure();
+  throw ServeError("retry_exhausted",
+                   "operation failed after " +
+                       std::to_string(policy_.max_attempts) +
+                       " attempts; last error: " + last,
+                   true);
+}
+
+namespace {
+
+void announce_fallback(const ServeError& e, bool* announced) {
+  if (*announced) return;
+  *announced = true;
+  std::fprintf(stderr,
+               "[serve] daemon unavailable (%s: %s); degrading to local "
+               "evaluation\n",
+               e.code().c_str(), e.what());
+}
+
+}  // namespace
+
+std::vector<PointResult> ResilientClient::characterize(
+    const std::vector<sweep::CharPoint>& points, bool is64) {
+  try {
+    return run_op([&] {
+      return client_.characterize(points, is64, policy_.deadline_ms);
+    });
+  } catch (const ServeError& e) {
+    if (!e.retryable() || !policy_.local_fallback) throw;
+    announce_fallback(e, &fallback_announced_);
+    ++stats_.fallback_operations;
+    return local_characterize(points, is64);
+  }
+}
+
+std::vector<PointResult> ResilientClient::eval_workloads(
+    const std::vector<sweep::Workload>& workloads,
+    const std::string& config_tag) {
+  try {
+    return run_op([&] {
+      return client_.eval_workloads(workloads, config_tag,
+                                    policy_.deadline_ms);
+    });
+  } catch (const ServeError& e) {
+    if (!e.retryable() || !policy_.local_fallback) throw;
+    announce_fallback(e, &fallback_announced_);
+    ++stats_.fallback_operations;
+    return local_eval_workloads(workloads, config_tag);
+  }
+}
+
+PointResult ResilientClient::eval_workload(const sweep::Workload& w,
+                                           const std::string& config_tag) {
+  try {
+    return run_op([&] {
+      return client_.eval_workload(w, config_tag, policy_.deadline_ms);
+    });
+  } catch (const ServeError& e) {
+    if (!e.retryable() || !policy_.local_fallback) throw;
+    announce_fallback(e, &fallback_announced_);
+    ++stats_.fallback_operations;
+    return local_eval_workloads({w}, config_tag).front();
+  }
+}
+
+bool ResilientClient::ping(std::string* proto) {
+  try {
+    ensure_connected();
+  } catch (const ServeError&) {
+    return false;
+  }
+  return client_.ping(proto);
+}
+
+sweep::Json ResilientClient::metrics() {
+  return run_op([&] { return client_.metrics(); });
+}
+
+std::vector<PointResult> ResilientClient::local_characterize(
+    const std::vector<sweep::CharPoint>& points, bool is64) {
+  std::vector<char> hits;
+  const auto res =
+      is64 ? sweep::characterize_grid64(points, &local_cache_, &hits,
+                                        &fallback_health_)
+           : sweep::characterize_grid32(points, &local_cache_, &hits,
+                                        &fallback_health_);
+  std::vector<PointResult> out(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    // A graceful drain mid-grid leaves skipped points default-constructed;
+    // surface it with the drained semantics the benches already map to the
+    // resumable exit code.
+    if (res[i].stats.state().samples == 0)
+      throw ServeError("drained", "local evaluation drained mid-grid", true);
+    out[i].fp = sweep::char_fingerprint(points[i], is64);
+    out[i].rec.has_char = true;
+    out[i].rec.chr = res[i];
+    out[i].source = hits[i] != 0 ? "local_cache" : "local";
+  }
+  stats_.fallback_points += points.size();
+  return out;
+}
+
+std::vector<PointResult> ResilientClient::local_eval_workloads(
+    const std::vector<sweep::Workload>& workloads,
+    const std::string& config_tag) {
+  const std::size_t n = workloads.size();
+  std::vector<sweep::GridPoint> grid_points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string err;
+    grid_points[i].eval = make_workload_eval(workloads[i], config_tag, &err);
+    if (!grid_points[i].eval) throw ServeError("bad_request", err, false);
+    grid_points[i].fp = workload_fingerprint(workloads[i]);
+  }
+  sweep::FailPolicy policy;  // fail-fast: first failure rethrows
+  const auto grid = sweep::run_grid(grid_points, &local_cache_, policy);
+  fallback_health_.points += grid.health.points;
+  fallback_health_.cache_hits += grid.health.cache_hits;
+  fallback_health_.evaluated += grid.health.evaluated;
+  fallback_health_.failures += grid.health.failures;
+  fallback_health_.skipped += grid.health.skipped;
+  fallback_health_.deadline_flags += grid.health.deadline_flags;
+  fallback_health_.quarantines += grid.health.quarantines;
+  fallback_health_.io_retries += grid.health.io_retries;
+  std::vector<PointResult> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (grid.status[i] == sweep::PointStatus::Skipped)
+      throw ServeError("drained", "local evaluation drained mid-grid", true);
+    out[i].fp = grid_points[i].fp;
+    out[i].rec = grid.records[i];
+    out[i].source = grid.cache_hit[i] != 0 ? "local_cache" : "local";
+  }
+  stats_.fallback_points += n;
+  return out;
+}
+
+std::string ResilientClient::stats_summary() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "ops=%llu attempts=%llu retries=%llu reconnects=%llu failures=%llu "
+      "breaker=%s opens=%llu fast_fails=%llu fallback_ops=%llu "
+      "fallback_points=%llu",
+      static_cast<unsigned long long>(stats_.operations),
+      static_cast<unsigned long long>(stats_.attempts),
+      static_cast<unsigned long long>(stats_.retries),
+      static_cast<unsigned long long>(stats_.reconnects),
+      static_cast<unsigned long long>(stats_.failures),
+      to_string(breaker_),
+      static_cast<unsigned long long>(stats_.breaker_opens),
+      static_cast<unsigned long long>(stats_.breaker_fast_fails),
+      static_cast<unsigned long long>(stats_.fallback_operations),
+      static_cast<unsigned long long>(stats_.fallback_points));
+  return buf;
+}
+
+}  // namespace ihw::serve

@@ -1,0 +1,159 @@
+#pragma once
+// Survivable client for the evaluation daemon (DESIGN.md §14). Wraps
+// serve::Client with the full retry state machine:
+//
+//   - deterministic seeded exponential backoff with jitter -- the sleep
+//     schedule is a pure function of (seed, operation index, attempt), so a
+//     given run retries at identical offsets every time (testable, and no
+//     thundering-herd alignment across clients with distinct seeds);
+//   - retry classification driven by ServeError::retryable: fatal errors
+//     ("bad_request", "eval_failed", ...) propagate immediately, retryable
+//     ones ("timeout", "closed", "overloaded", ...) consume retry budget;
+//   - connect/read timeouts on every attempt, with transparent reconnect
+//     after EOF/ECONNRESET -- requests are idempotent (the daemon caches by
+//     fingerprint), so resending a possibly-delivered request is safe;
+//   - a consecutive-failure circuit breaker: after `breaker_threshold`
+//     failed operations in a row the breaker opens and operations fail fast
+//     (no connect attempt) until `breaker_cooldown_ms` passes, then one
+//     half-open probe decides between closing and re-opening;
+//   - degrade-to-local: when an operation exhausts its budget (or the
+//     breaker is open) and local fallback is enabled, the evaluation runs
+//     in-process through the same sweep::characterize_grid* / run_grid
+//     entry points the benches use directly. Records are bit-identical to
+//     the daemon's (same code, same fingerprints), which is what keeps
+//     `--server` bench stdout byte-identical with a dead or flapping
+//     daemon.
+//
+// Single-threaded by design: one ResilientClient per thread, like the
+// underlying Client. All state (breaker, stats, backoff counter) is
+// unsynchronized.
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "sweep/cache.h"
+#include "sweep/health.h"
+
+namespace ihw::serve {
+
+struct RetryPolicy {
+  /// Total tries per operation (first attempt + retries).
+  int max_attempts = 4;
+  /// Backoff before retry k (1-based) is min(max, base * 2^(k-1)) scaled
+  /// by a deterministic jitter factor in [0.5, 1.0].
+  double backoff_base_ms = 25.0;
+  double backoff_max_ms = 1000.0;
+  /// Seed for the jitter hash (per-client; give concurrent clients
+  /// different seeds so their retry schedules decorrelate).
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  int connect_timeout_ms = 2000;
+  int read_timeout_ms = 30000;
+  /// Forwarded as the server-side deadline_ms of every queued op (0 = none).
+  std::uint64_t deadline_ms = 0;
+  /// Consecutive failed operations before the breaker opens.
+  int breaker_threshold = 3;
+  /// How long the breaker stays open before one half-open probe.
+  double breaker_cooldown_ms = 500.0;
+  /// Degrade to in-process evaluation when retries are exhausted or the
+  /// breaker is open. Off = surface the retryable error to the caller.
+  bool local_fallback = true;
+};
+
+enum class BreakerState { Closed, Open, HalfOpen };
+
+const char* to_string(BreakerState s);
+
+struct ResilientStats {
+  std::uint64_t operations = 0;  // typed ops issued by the caller
+  std::uint64_t attempts = 0;    // tries across all ops
+  std::uint64_t retries = 0;     // attempts beyond the first
+  std::uint64_t reconnects = 0;  // successful connects after a loss
+  std::uint64_t failures = 0;    // ops that failed all attempts (pre-fallback)
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_fast_fails = 0;  // ops refused while open
+  std::uint64_t fallback_operations = 0;
+  std::uint64_t fallback_points = 0;  // points evaluated locally
+};
+
+class ResilientClient {
+ public:
+  /// `local_cache_dir` backs the fallback evaluations (empty = memory-only
+  /// fallback cache). The daemon connection is opened lazily on the first
+  /// operation, so constructing against a dead socket is fine.
+  explicit ResilientClient(std::string socket_path, RetryPolicy policy = {},
+                           const std::string& local_cache_dir = "");
+
+  /// The deterministic backoff schedule, exposed for tests: milliseconds
+  /// slept before attempt `attempt`+1 of operation `op_index`. Pure.
+  double backoff_ms(std::uint64_t op_index, int attempt) const;
+
+  /// Typed operations, mirroring serve::Client. Each runs the retry state
+  /// machine; on exhaustion (or an open breaker) with local_fallback they
+  /// evaluate in-process and return bit-identical records with sources
+  /// "local"/"local_cache". Fatal ServeErrors always propagate.
+  std::vector<PointResult> characterize(
+      const std::vector<sweep::CharPoint>& points, bool is64);
+  std::vector<PointResult> eval_workloads(
+      const std::vector<sweep::Workload>& workloads,
+      const std::string& config_tag = "precise");
+  PointResult eval_workload(const sweep::Workload& w,
+                            const std::string& config_tag = "precise");
+
+  /// Best-effort liveness probe: one attempt, no retries, no fallback.
+  bool ping(std::string* proto = nullptr);
+  /// Daemon metrics. Retries like any op but has no local equivalent, so
+  /// exhaustion always throws.
+  sweep::Json metrics();
+
+  BreakerState breaker_state() const { return breaker_; }
+  const ResilientStats& stats() const { return stats_; }
+  /// One-line human summary for bench stderr reporting.
+  std::string stats_summary() const;
+  const sweep::HealthReport& fallback_health() const {
+    return fallback_health_;
+  }
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Test hooks: replace the wall-clock sleep (argument in ms) and the
+  /// monotonic clock (returns ms). Defaults are the real ones.
+  void set_sleep_fn(std::function<void(double)> fn) {
+    sleep_fn_ = std::move(fn);
+  }
+  void set_clock_fn(std::function<double()> fn) { clock_fn_ = std::move(fn); }
+
+ private:
+  template <typename Fn>
+  auto run_op(Fn&& fn) -> decltype(fn());
+  void ensure_connected();
+  bool breaker_allows();
+  void note_success();
+  void note_failure();
+  double now_ms() const;
+
+  std::vector<PointResult> local_characterize(
+      const std::vector<sweep::CharPoint>& points, bool is64);
+  std::vector<PointResult> local_eval_workloads(
+      const std::vector<sweep::Workload>& workloads,
+      const std::string& config_tag);
+
+  std::string socket_path_;
+  RetryPolicy policy_;
+  Client client_;
+  bool ever_connected_ = false;
+
+  BreakerState breaker_ = BreakerState::Closed;
+  int consecutive_failures_ = 0;
+  double breaker_opened_at_ms_ = 0.0;
+
+  ResilientStats stats_;
+  sweep::EvalCache local_cache_;
+  sweep::HealthReport fallback_health_;
+  bool fallback_announced_ = false;
+
+  std::function<void(double)> sleep_fn_;
+  std::function<double()> clock_fn_;
+};
+
+}  // namespace ihw::serve

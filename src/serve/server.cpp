@@ -112,6 +112,10 @@ struct Server::Task {
   std::shared_ptr<Conn> conn;
   sweep::Json req;
   std::uint64_t enqueue_ns = 0;
+  /// Absolute steady-clock deadline (0 = none), from the request's optional
+  /// deadline_ms. Expired-at-dequeue tasks get a typed refusal; tasks that
+  /// finish late are still answered (soft deadline, PR-5 watchdog pattern).
+  std::uint64_t deadline_ns = 0;
 };
 
 struct Server::Conn {
@@ -120,6 +124,13 @@ struct Server::Conn {
   std::mutex write_mu;        // serializes response frames on this socket
   std::deque<Task> queue;     // guarded by Server::sched_mu_
   bool in_ready = false;      // guarded by Server::sched_mu_
+  /// Set by the reader when the peer hung up; executors then skip (reap)
+  /// this connection's tasks instead of evaluating into the void.
+  std::atomic<bool> peer_closed{false};
+  /// Tasks dequeued but not yet responded to. The idle timer only fires
+  /// when both the queue and this are empty -- a silent client waiting on
+  /// a long evaluation is not idle.
+  std::atomic<int> inflight{0};
   ~Conn() {
     if (fd >= 0) ::close(fd);
   }
@@ -198,13 +209,18 @@ void Server::stop() {
     for (const auto& c : conns_)
       if (c->fd >= 0) ::shutdown(c->fd, SHUT_RD);  // wake blocked readers
   }
-  for (auto& t : readers_)
+  std::unordered_map<std::uint64_t, std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    readers.swap(readers_);
+    finished_readers_.clear();
+  }
+  for (auto& [id, t] : readers)
     if (t.joinable()) t.join();
   // Executors drain every admitted request before exiting (graceful drain).
   for (auto& t : executors_)
     if (t.joinable()) t.join();
   executors_.clear();
-  readers_.clear();
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conns_.clear();  // closes the descriptors
@@ -223,8 +239,27 @@ void Server::wait_for_shutdown() {
   shutdown_cv_.wait(lock, [this] { return shutdown_requested_.load(); });
 }
 
+void Server::join_finished_readers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const std::uint64_t id : finished_readers_) {
+      auto it = readers_.find(id);
+      if (it == readers_.end()) continue;
+      done.push_back(std::move(it->second));
+      readers_.erase(it);
+    }
+    finished_readers_.clear();
+  }
+  // Joined outside conn_mu_: a reader's last act (under conn_mu_) is to
+  // report itself finished, so joining under the lock could deadlock.
+  for (auto& t : done)
+    if (t.joinable()) t.join();
+}
+
 void Server::acceptor_loop() {
   while (!stopping_.load()) {
+    join_finished_readers();
     struct pollfd p{};
     p.fd = listen_fd_;
     p.events = POLLIN;
@@ -237,7 +272,7 @@ void Server::acceptor_loop() {
     conn->id = connections_total_.fetch_add(1) + 1;
     std::lock_guard<std::mutex> lock(conn_mu_);
     conns_.push_back(conn);
-    readers_.emplace_back([this, conn] { reader_loop(conn); });
+    readers_.emplace(conn->id, std::thread([this, conn] { reader_loop(conn); }));
   }
 }
 
@@ -256,19 +291,44 @@ void Server::respond(Conn& conn, const sweep::Json& req, sweep::Json resp) {
 
 void Server::reader_loop(std::shared_ptr<Conn> conn) {
   const sweep::Json no_req;
+  const int idle_ms = opts_.idle_timeout_ms > 0 ? opts_.idle_timeout_ms : -1;
+  bool hang_up = false;  // true: we are closing, not the peer
   while (true) {
     std::string payload;
-    const WireStatus st = read_frame(conn->fd, &payload,
-                                     [this] { return stopping_.load(); });
+    std::string detail;
+    FrameFault fault = FrameFault::None;
+    const WireStatus st =
+        read_frame(conn->fd, &payload, [this] { return stopping_.load(); },
+                   idle_ms, &detail, &fault);
     if (st == WireStatus::Closed) break;
+    if (st == WireStatus::Timeout) {
+      // Idle only when nothing is queued or executing for this peer -- a
+      // silent client waiting on a long evaluation keeps its connection.
+      bool idle = false;
+      {
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        idle = conn->queue.empty() && conn->inflight.load() == 0;
+      }
+      if (!idle) continue;  // an idle timer, not a response deadline
+      idle_closed_total_.fetch_add(1);
+      hang_up = true;
+      break;
+    }
     if (st != WireStatus::Ok) {
-      // Frame boundaries are gone: diagnose once and hang up.
+      // Frame boundaries are gone: diagnose with a typed error naming what
+      // broke (e.g. the offending length and the cap for oversized frames),
+      // then hang up. Torn frames can be an accident of a dying peer and
+      // are retryable on a fresh connection; an oversized length prefix is
+      // not something a well-behaved client produces, so it is fatal.
       protocol_errors_.fetch_add(1);
-      respond(*conn, no_req,
-              make_error("bad_request",
-                         std::string("malformed frame (") + to_string(st) +
-                             "); closing connection",
-                         false));
+      bad_frames_.fetch_add(1);
+      const bool retryable = st == WireStatus::Malformed &&
+                             fault != FrameFault::Oversized;
+      std::string msg = std::string("malformed frame (") + to_string(st) + ")";
+      if (!detail.empty()) msg += ": " + detail;
+      msg += "; closing connection";
+      respond(*conn, no_req, make_error("bad_frame", msg, retryable));
+      hang_up = true;
       break;
     }
     sweep::Json req;
@@ -323,6 +383,31 @@ void Server::reader_loop(std::shared_ptr<Conn> conn) {
                          "request queue is full; back off and retry", true));
     }
   }
+  if (hang_up && conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  // Peer-initiated closes (not a server drain) reap everything the dead
+  // connection left behind: queued tasks would evaluate into the void while
+  // pinning queue-limit budget, and executing ones are skipped in process().
+  // During stop() the executors drain admitted work instead, so no reaping.
+  if (!stopping_.load()) {
+    conn->peer_closed.store(true);
+    std::size_t reaped = 0;
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      reaped = conn->queue.size();
+      queued_total_ -= reaped;
+      conn->queue.clear();
+      if (conn->in_ready) {
+        conn->in_ready = false;
+        auto it = std::find(ready_.begin(), ready_.end(), conn);
+        if (it != ready_.end()) ready_.erase(it);
+      }
+    }
+    if (reaped > 0) reaped_total_.fetch_add(reaped);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+                 conns_.end());
+    finished_readers_.push_back(conn->id);
+  }
 }
 
 bool Server::enqueue(std::shared_ptr<Conn> conn, sweep::Json req) {
@@ -331,8 +416,11 @@ bool Server::enqueue(std::shared_ptr<Conn> conn, sweep::Json req) {
     return false;
   Task t;
   t.conn = conn;
-  t.req = std::move(req);
   t.enqueue_ns = now_ns();
+  const std::uint64_t deadline_ms = req["deadline_ms"].as_u64(0);
+  if (deadline_ms > 0)
+    t.deadline_ns = t.enqueue_ns + deadline_ms * 1'000'000ull;
+  t.req = std::move(req);
   conn->queue.push_back(std::move(t));
   ++queued_total_;
   if (!conn->in_ready) {
@@ -361,6 +449,10 @@ void Server::executor_loop() {
       // deep backlog shares the executors with single-request clients.
       std::shared_ptr<Conn> conn = ready_.front();
       ready_.pop_front();
+      // inflight rises before the queue entry vanishes (same lock the
+      // reader's idle check takes), so "queue empty && inflight == 0" never
+      // misreads a task in hand-off as idleness.
+      conn->inflight.fetch_add(1);
       task = std::move(conn->queue.front());
       conn->queue.pop_front();
       --queued_total_;
@@ -370,12 +462,29 @@ void Server::executor_loop() {
         conn->in_ready = false;
     }
     process(task);
+    task.conn->inflight.fetch_sub(1);
   }
 }
 
 void Server::process(Task& task) {
   const std::uint64_t t0 = now_ns();
   queue_hist_.record(t0 - task.enqueue_ns);
+  if (task.conn->peer_closed.load()) {
+    // The reader reaped this connection's queue while we were dequeuing, or
+    // the peer died after the reap: don't burn an executor on an answer
+    // nobody can receive.
+    reaped_total_.fetch_add(1);
+    return;
+  }
+  if (task.deadline_ns != 0 && t0 >= task.deadline_ns) {
+    // Expired while queued: refuse without evaluating. Retryable -- the
+    // same request with a fresh deadline can succeed on a calmer queue.
+    deadline_expired_.fetch_add(1);
+    respond(*task.conn, task.req,
+            make_error("deadline_exceeded",
+                       "deadline expired while the request was queued", true));
+    return;
+  }
   active_.fetch_add(1);
   sweep::Json resp;
   try {
@@ -393,6 +502,10 @@ void Server::process(Task& task) {
   }
   active_.fetch_sub(1);
   eval_hist_.record(now_ns() - t0);
+  // Soft deadline (PR-5 watchdog pattern): an evaluation that finished late
+  // is flagged, never cancelled -- the work is done and the answer correct.
+  if (task.deadline_ns != 0 && now_ns() > task.deadline_ns)
+    deadline_lapsed_.fetch_add(1);
   respond(*task.conn, task.req, std::move(resp));
 }
 
@@ -781,6 +894,11 @@ sweep::Json Server::metrics_json() const {
                            .set("shed", shed_total_.load())
                            .set("protocol_errors", protocol_errors_.load())
                            .set("eval_failures", eval_failures_.load())
+                           .set("bad_frames", bad_frames_.load())
+                           .set("reaped", reaped_total_.load())
+                           .set("idle_closed", idle_closed_total_.load())
+                           .set("deadline_expired", deadline_expired_.load())
+                           .set("deadline_lapsed", deadline_lapsed_.load())
                            .set("queue_depth",
                                 static_cast<std::uint64_t>(queue_depth))
                            .set("active",

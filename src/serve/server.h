@@ -55,6 +55,10 @@ struct ServerOptions {
   int workers = 2;
   /// Admission bound on queued (not yet executing) requests.
   int queue_limit = 64;
+  /// Close a connection that has been silent this long with nothing queued
+  /// or executing on its behalf (0 = never). Keeps a long-lived daemon from
+  /// accumulating dead peers that crashed without closing their socket.
+  int idle_timeout_ms = 0;
 };
 
 /// Lock-free log2-bucketed latency histogram (nanoseconds). Bucket b counts
@@ -118,6 +122,10 @@ class Server {
   void acceptor_loop();
   void reader_loop(std::shared_ptr<Conn> conn);
   void executor_loop();
+  /// Joins reader threads whose loops have returned (called by the acceptor
+  /// between accepts and by stop()), so a long-lived daemon's thread table
+  /// does not grow with every connection ever made.
+  void join_finished_readers();
 
   bool enqueue(std::shared_ptr<Conn> conn, sweep::Json req);
   void process(Task& task);
@@ -150,7 +158,10 @@ class Server {
   std::vector<std::thread> executors_;
   std::mutex conn_mu_;
   std::vector<std::shared_ptr<Conn>> conns_;
-  std::vector<std::thread> readers_;
+  // Reader threads keyed by connection id; ids land on finished_readers_
+  // when a loop returns and join_finished_readers() reclaims them.
+  std::unordered_map<std::uint64_t, std::thread> readers_;
+  std::vector<std::uint64_t> finished_readers_;
 
   // Round-robin scheduler state: connections with pending tasks, one task
   // granted per turn.
@@ -175,6 +186,12 @@ class Server {
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> eval_failures_{0};
   std::atomic<std::int64_t> active_{0};            // executing right now
+  // Survivability counters (DESIGN.md §14).
+  std::atomic<std::uint64_t> bad_frames_{0};       // typed bad_frame replies
+  std::atomic<std::uint64_t> reaped_total_{0};     // tasks of dead conns
+  std::atomic<std::uint64_t> idle_closed_total_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};  // refused at dequeue
+  std::atomic<std::uint64_t> deadline_lapsed_{0};   // finished late, served
   LatencyHistogram queue_hist_, eval_hist_, write_hist_;
 };
 

@@ -8,6 +8,7 @@
 // Usage:
 //   ihw_sweepd --socket=/tmp/ihw.sock [--cache-dir=DIR] [--resume]
 //              [--workers=N] [--queue-limit=N] [--threads=N]
+//              [--idle-timeout=S]
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -38,6 +39,9 @@ int main(int argc, char** argv) try {
   opts.resume = flags.resume;
   opts.workers = static_cast<int>(args.get_int("workers", 2));
   opts.queue_limit = static_cast<int>(args.get_int("queue-limit", 64));
+  // Seconds on the command line (operator-friendly), milliseconds inside.
+  opts.idle_timeout_ms =
+      static_cast<int>(args.get_int("idle-timeout", 0)) * 1000;
 
   serve::Server server(opts);
   std::string err;
@@ -47,9 +51,9 @@ int main(int argc, char** argv) try {
   }
   std::fprintf(stderr,
                "[serve] listening on %s (threads=%d workers=%d "
-               "queue_limit=%d cache_dir=%s resume=%d)\n",
+               "queue_limit=%d idle_timeout_ms=%d cache_dir=%s resume=%d)\n",
                opts.socket_path.c_str(), threads, opts.workers,
-               opts.queue_limit,
+               opts.queue_limit, opts.idle_timeout_ms,
                opts.cache_dir.empty() ? "<memory>" : opts.cache_dir.c_str(),
                flags.resume ? 1 : 0);
 

@@ -4,42 +4,78 @@
 #include <sys/socket.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 
 namespace ihw::serve {
 namespace {
 
-// Waits until fd is readable or `stop` fires. Returns false to abandon.
-bool wait_readable(int fd, const std::function<bool()>& stop) {
+std::int64_t now_ms_steady() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+enum class WaitResult { Ready, Stopped, TimedOut, Failed };
+
+// Waits until fd is readable, `stop` fires, or `deadline_ms` (steady clock,
+// -1 = none) passes. Polls in <=200 ms slices so stop stays responsive.
+WaitResult wait_readable(int fd, const std::function<bool()>& stop,
+                         std::int64_t deadline_ms) {
   while (true) {
-    if (stop && stop()) return false;
+    if (stop && stop()) return WaitResult::Stopped;
+    int slice = 200;
+    if (deadline_ms >= 0) {
+      const std::int64_t left = deadline_ms - now_ms_steady();
+      if (left <= 0) return WaitResult::TimedOut;
+      if (left < slice) slice = static_cast<int>(left);
+    }
     struct pollfd p{};
     p.fd = fd;
     p.events = POLLIN;
-    const int r = ::poll(&p, 1, 200);
-    if (r > 0) return true;
-    if (r < 0 && errno != EINTR && errno != EAGAIN) return false;
+    const int r = ::poll(&p, 1, slice);
+    if (r > 0) return WaitResult::Ready;
+    if (r < 0 && errno != EINTR && errno != EAGAIN) return WaitResult::Failed;
   }
 }
 
-// Reads exactly n bytes. Returns bytes read (< n on EOF/stop/error;
-// *err distinguishes error from EOF).
+enum class ReadStatus { Ok, Eof, Stopped, TimedOut, Err };
+
+// Reads exactly n bytes. Returns bytes read (< n unless *status == Ok).
 std::size_t read_exact(int fd, char* buf, std::size_t n,
-                       const std::function<bool()>& stop, bool* err) {
+                       const std::function<bool()>& stop,
+                       std::int64_t deadline_ms, ReadStatus* status) {
   std::size_t got = 0;
-  *err = false;
+  *status = ReadStatus::Ok;
   while (got < n) {
-    if (!wait_readable(fd, stop)) return got;
+    switch (wait_readable(fd, stop, deadline_ms)) {
+      case WaitResult::Ready: break;
+      case WaitResult::Stopped: *status = ReadStatus::Stopped; return got;
+      case WaitResult::TimedOut: *status = ReadStatus::TimedOut; return got;
+      case WaitResult::Failed: *status = ReadStatus::Err; return got;
+    }
     const ssize_t r = ::recv(fd, buf + got, n - got, 0);
     if (r > 0) {
       got += static_cast<std::size_t>(r);
       continue;
     }
-    if (r == 0) return got;  // EOF
+    if (r == 0) {
+      *status = ReadStatus::Eof;
+      return got;
+    }
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-    *err = true;
+    *status = ReadStatus::Err;
     return got;
   }
   return got;
+}
+
+void set_detail(std::string* detail, std::string msg) {
+  if (detail != nullptr) *detail = std::move(msg);
+}
+
+void set_fault(FrameFault* fault, FrameFault f) {
+  if (fault != nullptr) *fault = f;
 }
 
 }  // namespace
@@ -49,34 +85,88 @@ const char* to_string(WireStatus s) {
     case WireStatus::Ok: return "ok";
     case WireStatus::Closed: return "closed";
     case WireStatus::Malformed: return "malformed";
+    case WireStatus::Timeout: return "timeout";
     case WireStatus::Error: return "error";
   }
   return "unknown";
 }
 
 WireStatus read_frame(int fd, std::string* payload,
-                      const std::function<bool()>& stop) {
+                      const std::function<bool()>& stop, int timeout_ms,
+                      std::string* detail, FrameFault* fault) {
+  set_fault(fault, FrameFault::None);
+  const std::int64_t deadline_ms =
+      timeout_ms >= 0 ? now_ms_steady() + timeout_ms : -1;
   unsigned char hdr[4];
-  bool err = false;
-  std::size_t got =
-      read_exact(fd, reinterpret_cast<char*>(hdr), sizeof hdr, stop, &err);
-  if (err) return WireStatus::Error;
-  if (got == 0) return WireStatus::Closed;     // clean close between frames
-  if (got < sizeof hdr) return WireStatus::Malformed;  // torn prefix
+  ReadStatus st = ReadStatus::Ok;
+  std::size_t got = read_exact(fd, reinterpret_cast<char*>(hdr), sizeof hdr,
+                               stop, deadline_ms, &st);
+  if (st == ReadStatus::Err) return WireStatus::Error;
+  if (st == ReadStatus::Stopped) return WireStatus::Closed;
+  if (st == ReadStatus::TimedOut) {
+    set_detail(detail, "no frame within " + std::to_string(timeout_ms) +
+                           " ms (" + std::to_string(got) +
+                           " of 4 prefix bytes)");
+    return WireStatus::Timeout;
+  }
+  if (got == 0) return WireStatus::Closed;  // clean close between frames
+  if (got < sizeof hdr) {
+    set_detail(detail, "torn length prefix (EOF after " +
+                           std::to_string(got) + " of 4 bytes)");
+    set_fault(fault, FrameFault::TornPrefix);
+    return WireStatus::Malformed;
+  }
   const std::uint32_t len = (static_cast<std::uint32_t>(hdr[0]) << 24) |
                             (static_cast<std::uint32_t>(hdr[1]) << 16) |
                             (static_cast<std::uint32_t>(hdr[2]) << 8) |
                             static_cast<std::uint32_t>(hdr[3]);
-  if (len == 0 || len > kMaxFrameBytes) return WireStatus::Malformed;
+  if (len == 0) {
+    set_detail(detail, "zero-length frame");
+    set_fault(fault, FrameFault::ZeroLength);
+    return WireStatus::Malformed;
+  }
+  if (len > kMaxFrameBytes) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "frame length %u exceeds the %u-byte (16 MiB) cap", len,
+                  kMaxFrameBytes);
+    set_detail(detail, buf);
+    set_fault(fault, FrameFault::Oversized);
+    return WireStatus::Malformed;
+  }
   payload->assign(len, '\0');
-  got = read_exact(fd, payload->data(), len, stop, &err);
-  if (err) return WireStatus::Error;
-  if (got < len) return WireStatus::Malformed;  // EOF mid-frame
+  got = read_exact(fd, payload->data(), len, stop, deadline_ms, &st);
+  if (st == ReadStatus::Err) return WireStatus::Error;
+  if (st == ReadStatus::Stopped) return WireStatus::Closed;
+  if (st == ReadStatus::TimedOut) {
+    set_detail(detail, "no complete frame within " +
+                           std::to_string(timeout_ms) + " ms (" +
+                           std::to_string(got) + " of " + std::to_string(len) +
+                           " payload bytes)");
+    return WireStatus::Timeout;
+  }
+  if (got < len) {
+    set_detail(detail, "EOF mid-frame (" + std::to_string(got) + " of " +
+                           std::to_string(len) + " payload bytes)");
+    set_fault(fault, FrameFault::TornPayload);
+    return WireStatus::Malformed;
+  }
   return WireStatus::Ok;
 }
 
-bool write_frame(int fd, const std::string& payload) {
-  if (payload.empty() || payload.size() > kMaxFrameBytes) return false;
+bool write_frame(int fd, const std::string& payload, std::string* detail) {
+  if (payload.empty()) {
+    set_detail(detail, "refusing to write a zero-length frame");
+    return false;
+  }
+  if (payload.size() > kMaxFrameBytes) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "frame length %zu exceeds the %u-byte (16 MiB) cap",
+                  payload.size(), kMaxFrameBytes);
+    set_detail(detail, buf);
+    return false;
+  }
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   unsigned char hdr[4] = {static_cast<unsigned char>(len >> 24),
                           static_cast<unsigned char>(len >> 16),
@@ -95,6 +185,7 @@ bool write_frame(int fd, const std::string& payload) {
     }
     if (r < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
       continue;
+    set_detail(detail, "send() failed mid-frame");
     return false;
   }
   return true;

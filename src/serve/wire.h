@@ -1,11 +1,19 @@
 #pragma once
-// Wire framing for the evaluation daemon (DESIGN.md §13). Every message --
-// request or response -- is one frame: a 4-byte big-endian payload length
+// Wire framing for the evaluation daemon (DESIGN.md §13-§14). Every message
+// -- request or response -- is one frame: a 4-byte big-endian payload length
 // followed by that many bytes of UTF-8 JSON. The length prefix is bounded
 // (kMaxFrameBytes) so a hostile or corrupt peer cannot make the server
 // allocate unbounded memory, and a malformed prefix poisons the stream: the
 // reader reports WireStatus::Malformed and the connection must be closed,
 // because frame boundaries can no longer be trusted.
+//
+// Reads are bounded in time as well as space: a caller-supplied timeout
+// turns a silent peer into WireStatus::Timeout instead of an indefinite
+// block (the client library maps it to the retryable "timeout" ServeError;
+// the server uses it as its idle-connection timer). On Malformed, `detail`
+// and `fault` report exactly what broke -- including the offending length
+// and the cap for oversized frames -- so both sides can diagnose instead of
+// dropping the connection silently.
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -25,21 +33,43 @@ enum class WireStatus {
   Ok,         // one complete frame read
   Closed,     // clean EOF at a frame boundary, or stop() asked us to give up
   Malformed,  // oversized/zero length prefix, or EOF mid-frame
+  Timeout,    // no complete frame within the caller's timeout
   Error,      // socket error
 };
 
 const char* to_string(WireStatus s);
 
+/// What exactly made a frame Malformed (None otherwise). Oversized frames
+/// are the one fault a well-behaved peer can never produce by accident of
+/// the network alone, so the server classifies them as fatal while the
+/// torn/truncated kinds are retryable on a fresh connection.
+enum class FrameFault : unsigned char {
+  None,
+  TornPrefix,   // EOF inside the 4-byte length prefix
+  ZeroLength,   // length prefix of 0
+  Oversized,    // length prefix beyond kMaxFrameBytes
+  TornPayload,  // EOF before the promised payload arrived
+};
+
 /// Reads one frame into *payload. Blocks, but polls `stop` (when given)
 /// roughly five times a second so a draining server can abandon the read;
-/// a stop request surfaces as Closed.
+/// a stop request surfaces as Closed. `timeout_ms` >= 0 bounds the whole
+/// read: if no complete frame arrived in time the result is Timeout (the
+/// stream may hold a partial frame and must be closed). On Malformed,
+/// *detail (optional) receives a human-readable diagnosis -- for oversized
+/// frames it names the offending length and the kMaxFrameBytes cap -- and
+/// *fault (optional) the machine-readable kind.
 WireStatus read_frame(int fd, std::string* payload,
-                      const std::function<bool()>& stop = {});
+                      const std::function<bool()>& stop = {},
+                      int timeout_ms = -1, std::string* detail = nullptr,
+                      FrameFault* fault = nullptr);
 
 /// Writes one frame (length prefix + payload). False on any socket error,
 /// including a peer that went away (EPIPE is swallowed, never raised as a
-/// signal). Returns false without writing when the payload exceeds
-/// kMaxFrameBytes.
-bool write_frame(int fd, const std::string& payload);
+/// signal). Returns false without writing when the payload is empty or
+/// exceeds kMaxFrameBytes; *detail (optional) then names the offending
+/// length and the cap.
+bool write_frame(int fd, const std::string& payload,
+                 std::string* detail = nullptr);
 
 }  // namespace ihw::serve

@@ -1,0 +1,652 @@
+// Tests for daemon survivability (DESIGN.md §14): bounded wire reads and
+// typed bad-frame diagnoses, server-side deadlines / dead-connection reaping
+// / idle timeouts, the ResilientClient retry state machine (deterministic
+// backoff, retryable-vs-fatal classification, circuit breaker, reconnect,
+// degrade-to-local byte-identity), and the deterministic chaos harness with
+// its invariant: every injected fault yields a retried-and-correct answer or
+// a clean typed error -- never a wrong answer and never a hang.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/ray.h"
+#include "apps/runner.h"
+#include "gpu/simreal.h"
+#include "serve/chaos.h"
+#include "serve/client.h"
+#include "serve/resilient_client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "serve/workloads.h"
+#include "sweep/cache.h"
+#include "sweep/sweep.h"
+
+namespace ihw::serve {
+namespace {
+
+std::string test_socket(const char* name) {
+  return std::string("/tmp/ihw_res_") + std::to_string(::getpid()) + "_" +
+         name + ".sock";
+}
+
+int raw_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path.c_str());
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_u32_header(int fd, std::uint32_t len) {
+  const unsigned char hdr[] = {
+      static_cast<unsigned char>(len >> 24),
+      static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 8), static_cast<unsigned char>(len)};
+  ASSERT_EQ(::send(fd, hdr, 4, MSG_NOSIGNAL), 4);
+}
+
+std::string record_text(const PointResult& r) {
+  return sweep::EvalCache::serialize(r.fp, r.rec);
+}
+
+struct ServerFixture {
+  explicit ServerFixture(const char* name, int workers = 2,
+                         int queue_limit = 64, int idle_timeout_ms = 0) {
+    ServerOptions opts;
+    opts.socket_path = test_socket(name);
+    opts.workers = workers;
+    opts.queue_limit = queue_limit;
+    opts.idle_timeout_ms = idle_timeout_ms;
+    server = std::make_unique<Server>(opts);
+    std::string err;
+    if (!server->start(&err)) ADD_FAILURE() << err;
+  }
+  ~ServerFixture() { server->stop(); }
+  Client connect() {
+    Client c;
+    std::string err;
+    if (!c.connect(server->socket_path(), &err)) ADD_FAILURE() << err;
+    return c;
+  }
+  std::unique_ptr<Server> server;
+};
+
+// --------------------------------------------------------------- backoff
+
+TEST(Backoff, ScheduleIsDeterministicAndSeedDecorrelated) {
+  RetryPolicy p;
+  p.seed = 42;
+  ResilientClient a(test_socket("na"), p), b(test_socket("nb"), p);
+  for (std::uint64_t op = 0; op < 8; ++op)
+    for (int attempt = 1; attempt <= 6; ++attempt)
+      EXPECT_EQ(a.backoff_ms(op, attempt), b.backoff_ms(op, attempt))
+          << "op=" << op << " attempt=" << attempt;
+
+  RetryPolicy q = p;
+  q.seed = 43;
+  ResilientClient c(test_socket("nc"), q);
+  int differing = 0;
+  for (std::uint64_t op = 0; op < 8; ++op)
+    for (int attempt = 1; attempt <= 6; ++attempt)
+      if (a.backoff_ms(op, attempt) != c.backoff_ms(op, attempt)) ++differing;
+  EXPECT_GT(differing, 0) << "distinct seeds must decorrelate the schedule";
+}
+
+TEST(Backoff, ExponentialGrowthCapAndJitterBounds) {
+  RetryPolicy p;
+  p.backoff_base_ms = 10.0;
+  p.backoff_max_ms = 100.0;
+  ResilientClient c(test_socket("nd"), p);
+  for (std::uint64_t op = 0; op < 16; ++op) {
+    for (int attempt = 1; attempt <= 8; ++attempt) {
+      double base = 10.0;
+      for (int k = 1; k < attempt && base < 100.0; ++k) base *= 2.0;
+      if (base > 100.0) base = 100.0;
+      const double ms = c.backoff_ms(op, attempt);
+      EXPECT_GE(ms, 0.5 * base) << "attempt=" << attempt;
+      EXPECT_LE(ms, base) << "attempt=" << attempt;
+    }
+    // Deep attempts saturate at the cap (scaled by jitter), never beyond.
+    EXPECT_LE(c.backoff_ms(op, 30), 100.0);
+    EXPECT_GE(c.backoff_ms(op, 30), 50.0);
+  }
+}
+
+// ------------------------------------------------------------------ wire
+
+TEST(WireTimeout, SilentPeerSurfacesAsTimeout) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::string got;
+  EXPECT_EQ(read_frame(sv[1], &got, {}, /*timeout_ms=*/60), WireStatus::Timeout);
+  // A partial frame within the window is still a timeout, not Malformed:
+  // the bytes may yet arrive; only the clock ran out.
+  const char two[] = {0, 0};
+  ASSERT_EQ(::send(sv[0], two, 2, 0), 2);
+  EXPECT_EQ(read_frame(sv[1], &got, {}, 60), WireStatus::Timeout);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(WireTimeout, OversizedDetailNamesLengthAndCap) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  send_u32_header(sv[0], kMaxFrameBytes + 1);
+  std::string got, detail;
+  FrameFault fault = FrameFault::None;
+  EXPECT_EQ(read_frame(sv[1], &got, {}, -1, &detail, &fault),
+            WireStatus::Malformed);
+  EXPECT_EQ(fault, FrameFault::Oversized);
+  EXPECT_NE(detail.find(std::to_string(kMaxFrameBytes + 1)),
+            std::string::npos)
+      << detail;
+  EXPECT_NE(detail.find("16 MiB"), std::string::npos) << detail;
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(WireTimeout, FaultKindsClassifyTornAndZeroFrames) {
+  {
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    const char two[] = {0, 0};
+    ASSERT_EQ(::send(sv[0], two, 2, 0), 2);
+    ::close(sv[0]);
+    std::string got;
+    FrameFault fault = FrameFault::None;
+    EXPECT_EQ(read_frame(sv[1], &got, {}, -1, nullptr, &fault),
+              WireStatus::Malformed);
+    EXPECT_EQ(fault, FrameFault::TornPrefix);
+    ::close(sv[1]);
+  }
+  {
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    send_u32_header(sv[0], 0);
+    std::string got;
+    FrameFault fault = FrameFault::None;
+    EXPECT_EQ(read_frame(sv[1], &got, {}, -1, nullptr, &fault),
+              WireStatus::Malformed);
+    EXPECT_EQ(fault, FrameFault::ZeroLength);
+    ::close(sv[0]);
+    ::close(sv[1]);
+  }
+  {
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    send_u32_header(sv[0], 10);
+    ASSERT_EQ(::send(sv[0], "abc", 3, 0), 3);
+    ::close(sv[0]);
+    std::string got;
+    FrameFault fault = FrameFault::None;
+    EXPECT_EQ(read_frame(sv[1], &got, {}, -1, nullptr, &fault),
+              WireStatus::Malformed);
+    EXPECT_EQ(fault, FrameFault::TornPayload);
+    ::close(sv[1]);
+  }
+}
+
+// ---------------------------------------------------------------- client
+
+TEST(ClientTimeout, SilentDaemonIsRetryableTimeoutNotAHang) {
+  // A listener that accepts the backlog but never answers: pre-PR-7 the
+  // client blocked forever here.
+  const std::string path = test_socket("silent");
+  ::unlink(path.c_str());
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  struct sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path.c_str());
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+
+  Client c;
+  std::string err;
+  ASSERT_TRUE(c.connect(path, &err, /*timeout_ms=*/1000)) << err;
+  c.set_read_timeout_ms(80);
+  try {
+    c.call(sweep::Json::object().set("op", "ping"));
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), "timeout");
+    EXPECT_TRUE(e.retryable());
+  }
+  EXPECT_FALSE(c.connected());  // the stream can no longer be trusted
+  ::close(lfd);
+  ::unlink(path.c_str());
+}
+
+TEST(ClientTimeout, OversizedRequestIsClientSideFatal) {
+  Client c;  // never connects: the cap check fires before any socket I/O
+  std::string big(kMaxFrameBytes + 64, 'x');
+  try {
+    c.call(sweep::Json::object().set("op", "ping").set("pad", big));
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), "bad_request");
+    EXPECT_FALSE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("16 MiB"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------- server
+
+TEST(ServerSurvive, OversizedFrameGetsFatalTypedBadFrame) {
+  ServerFixture f("oversz");
+  const int fd = raw_connect(f.server->socket_path());
+  ASSERT_GE(fd, 0);
+  send_u32_header(fd, kMaxFrameBytes + 7);
+  std::string resp;
+  ASSERT_EQ(read_frame(fd, &resp, {}, 2000), WireStatus::Ok);
+  sweep::Json doc;
+  ASSERT_TRUE(sweep::Json::parse(resp, &doc));
+  EXPECT_FALSE(doc["ok"].as_bool(true));
+  EXPECT_EQ(doc["code"].as_str(), "bad_frame");
+  EXPECT_FALSE(doc["retryable"].as_bool(true));  // oversize is fatal
+  EXPECT_NE(doc["error"].as_str().find("16 MiB"), std::string::npos)
+      << doc.dump();
+  // The server then hangs up.
+  EXPECT_EQ(read_frame(fd, &resp, {}, 2000), WireStatus::Closed);
+  ::close(fd);
+  const sweep::Json m = f.connect().metrics();
+  EXPECT_GE(m["server"]["bad_frames"].as_u64(), 1u);
+}
+
+TEST(ServerSurvive, TornPayloadGetsRetryableTypedBadFrame) {
+  ServerFixture f("torn");
+  const int fd = raw_connect(f.server->socket_path());
+  ASSERT_GE(fd, 0);
+  send_u32_header(fd, 10);
+  ASSERT_EQ(::send(fd, "abc", 3, MSG_NOSIGNAL), 3);
+  ::shutdown(fd, SHUT_WR);  // EOF mid-payload, but we can still read
+  std::string resp;
+  ASSERT_EQ(read_frame(fd, &resp, {}, 2000), WireStatus::Ok);
+  sweep::Json doc;
+  ASSERT_TRUE(sweep::Json::parse(resp, &doc));
+  EXPECT_EQ(doc["code"].as_str(), "bad_frame");
+  EXPECT_TRUE(doc["retryable"].as_bool(false));  // torn frames retry cleanly
+  ::close(fd);
+}
+
+TEST(ServerSurvive, QueuedRequestPastDeadlineIsRefusedTyped) {
+  ServerFixture f("deadline", /*workers=*/1);
+  std::thread staller([&] {
+    Client c;
+    if (c.connect(f.server->socket_path())) {
+      try {
+        c.stall(400);
+      } catch (const ServeError&) {
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Client c = f.connect();
+  try {
+    // 1 ms of patience behind a 400 ms stall: expired long before dequeue.
+    c.characterize({{error::UnitKind::BitTrunc, 3, 2000}}, false,
+                   /*deadline_ms=*/1);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), "deadline_exceeded");
+    EXPECT_TRUE(e.retryable());
+  }
+  staller.join();
+  const sweep::Json m = f.connect().metrics();
+  EXPECT_GE(m["server"]["deadline_expired"].as_u64(), 1u);
+}
+
+TEST(ServerSurvive, DeadlineLapsedMidEvaluationStillServes) {
+  ServerFixture f("lapsed");
+  Client c = f.connect();
+  // Alive at dequeue (idle server), lapses during the 150 ms stall: the
+  // soft-deadline pattern flags it but serves the finished answer.
+  const sweep::Json resp = c.call_checked(sweep::Json::object()
+                                              .set("op", "stall")
+                                              .set("ms", 150)
+                                              .set("deadline_ms", 30));
+  EXPECT_TRUE(resp["ok"].as_bool(false));
+  const sweep::Json m = c.metrics();
+  EXPECT_GE(m["server"]["deadline_lapsed"].as_u64(), 1u);
+  EXPECT_EQ(m["server"]["deadline_expired"].as_u64(), 0u);
+}
+
+TEST(ServerSurvive, DeadConnectionQueueIsReaped) {
+  ServerFixture f("reap", /*workers=*/1, /*queue_limit=*/8);
+  std::thread staller([&] {
+    Client c;
+    if (c.connect(f.server->socket_path())) {
+      try {
+        c.stall(600);
+      } catch (const ServeError&) {
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Pipeline three stalls on a raw connection, then vanish without waiting:
+  // the single executor is busy, so all three sit queued when EOF lands.
+  const int fd = raw_connect(f.server->socket_path());
+  ASSERT_GE(fd, 0);
+  for (int i = 0; i < 3; ++i) {
+    const std::string req =
+        sweep::Json::object().set("op", "stall").set("ms", 50).dump();
+    ASSERT_TRUE(write_frame(fd, req));
+  }
+  ::close(fd);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // Reaped while the staller still holds the executor: the queue budget is
+  // already free and nothing will evaluate into the void.
+  const sweep::Json m = f.connect().metrics();
+  EXPECT_EQ(m["server"]["reaped"].as_u64(), 3u);
+  staller.join();
+}
+
+TEST(ServerSurvive, IdleConnectionsAreClosedBusyOnesKept) {
+  ServerFixture f("idle", /*workers=*/2, /*queue_limit=*/64,
+                  /*idle_timeout_ms=*/120);
+  // A connection with work in flight outlives the idle timer...
+  Client busy = f.connect();
+  busy.stall(400);  // 400 ms > 3 idle periods, yet the answer arrives
+  // ...while a silent one is reaped.
+  const int fd = raw_connect(f.server->socket_path());
+  ASSERT_GE(fd, 0);
+  std::string got;
+  EXPECT_EQ(read_frame(fd, &got, {}, 3000), WireStatus::Closed);
+  ::close(fd);
+  const sweep::Json m = f.connect().metrics();
+  EXPECT_GE(m["server"]["idle_closed"].as_u64(), 1u);
+}
+
+// ------------------------------------------------------ resilient client
+
+TEST(Resilient, RetryExhaustionRecordsBackoffScheduleAndThrows) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.connect_timeout_ms = 100;
+  p.local_fallback = false;
+  ResilientClient c(test_socket("nowhere"), p);
+  std::vector<double> sleeps;
+  c.set_sleep_fn([&](double ms) { sleeps.push_back(ms); });
+  try {
+    c.characterize({{error::UnitKind::BitTrunc, 3, 1000}}, false);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), "retry_exhausted");
+    EXPECT_TRUE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("connect"), std::string::npos)
+        << e.what();
+  }
+  ASSERT_EQ(sleeps.size(), 2u);  // attempts 2 and 3 back off first
+  EXPECT_EQ(sleeps[0], c.backoff_ms(0, 1));
+  EXPECT_EQ(sleeps[1], c.backoff_ms(0, 2));
+  EXPECT_EQ(c.stats().operations, 1u);
+  EXPECT_EQ(c.stats().attempts, 3u);
+  EXPECT_EQ(c.stats().retries, 2u);
+  EXPECT_EQ(c.stats().failures, 1u);
+}
+
+TEST(Resilient, FatalErrorPropagatesWithoutRetry) {
+  ServerFixture f("fatal");
+  RetryPolicy p;
+  p.local_fallback = false;
+  ResilientClient c(f.server->socket_path(), p);
+  try {
+    c.eval_workload({"no_such_app", {}, 0});
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), "bad_request");
+    EXPECT_FALSE(e.retryable());
+  }
+  EXPECT_EQ(c.stats().attempts, 1u);  // fatal means exactly one try
+  EXPECT_EQ(c.stats().retries, 0u);
+}
+
+TEST(Resilient, BreakerOpensFastFailsAndRecoversViaHalfOpenProbe) {
+  const std::string path = test_socket("breaker");
+  ::unlink(path.c_str());
+  RetryPolicy p;
+  p.max_attempts = 1;
+  p.connect_timeout_ms = 100;
+  p.breaker_threshold = 2;
+  p.breaker_cooldown_ms = 1000.0;
+  p.local_fallback = false;
+  ResilientClient c(path, p);
+  c.set_sleep_fn([](double) {});
+  double now = 0.0;
+  c.set_clock_fn([&] { return now; });
+
+  auto expect_failure = [&](const char* code) {
+    try {
+      c.metrics();
+      FAIL() << "expected ServeError";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), code);
+    }
+  };
+  expect_failure("retry_exhausted");  // failure 1 of 2
+  EXPECT_EQ(c.breaker_state(), BreakerState::Closed);
+  expect_failure("retry_exhausted");  // failure 2 trips the breaker
+  EXPECT_EQ(c.breaker_state(), BreakerState::Open);
+  EXPECT_EQ(c.stats().breaker_opens, 1u);
+
+  const std::uint64_t attempts_when_open = c.stats().attempts;
+  expect_failure("breaker_open");  // fast fail: no connect attempt
+  EXPECT_EQ(c.stats().attempts, attempts_when_open);
+  EXPECT_EQ(c.stats().breaker_fast_fails, 1u);
+
+  now = 1500.0;  // past the cooldown: one half-open probe, daemon still dead
+  expect_failure("retry_exhausted");
+  EXPECT_EQ(c.breaker_state(), BreakerState::Open);
+  EXPECT_EQ(c.stats().breaker_opens, 2u);
+
+  // Daemon comes back; the next probe closes the breaker.
+  ServerOptions opts;
+  opts.socket_path = path;
+  Server server(opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  now = 3000.0;
+  const sweep::Json m = c.metrics();
+  EXPECT_TRUE(m["ok"].as_bool(false));
+  EXPECT_EQ(c.breaker_state(), BreakerState::Closed);
+  server.stop();
+}
+
+TEST(Resilient, ReconnectAfterDaemonRestartIsBitExact) {
+  const std::string path = test_socket("restart");
+  const std::vector<sweep::CharPoint> points = {
+      {error::UnitKind::AcfpLog, 6, 3000}, {error::UnitKind::BitTrunc, 5, 3000}};
+  RetryPolicy p;
+  p.backoff_base_ms = 5.0;
+  p.backoff_max_ms = 20.0;
+  p.connect_timeout_ms = 1000;
+  p.local_fallback = false;  // prove the daemon answered, not the fallback
+  ResilientClient c(path, p);
+
+  std::vector<std::string> before, after;
+  {
+    ServerOptions opts;
+    opts.socket_path = path;
+    Server a(opts);
+    std::string err;
+    ASSERT_TRUE(a.start(&err)) << err;
+    for (const auto& r : c.characterize(points, false))
+      before.push_back(record_text(r));
+    a.stop();
+  }
+  {
+    ServerOptions opts;
+    opts.socket_path = path;
+    Server b(opts);
+    std::string err;
+    ASSERT_TRUE(b.start(&err)) << err;
+    // The held connection is dead; the client must notice, reconnect, and
+    // get byte-identical records from the fresh daemon.
+    for (const auto& r : c.characterize(points, false))
+      after.push_back(record_text(r));
+    b.stop();
+  }
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i], after[i]) << "point " << i;
+  EXPECT_GE(c.stats().reconnects, 1u);
+}
+
+TEST(Resilient, DegradeToLocalIsByteIdenticalToInProcess) {
+  RetryPolicy p;
+  p.max_attempts = 2;
+  p.connect_timeout_ms = 100;
+  ResilientClient c(test_socket("deadsock"), p);  // fallback on by default
+  c.set_sleep_fn([](double) {});
+
+  const std::vector<sweep::CharPoint> points = {
+      {error::UnitKind::AcfpFull, 4, 3000}, {error::UnitKind::BitTrunc, 6, 3000}};
+  const auto degraded = c.characterize(points, false);
+  const auto local = sweep::characterize_grid32(points, nullptr);
+  ASSERT_EQ(degraded.size(), local.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(degraded[i].source, "local");
+    sweep::EvalRecord lrec;
+    lrec.has_char = true;
+    lrec.chr = local[i];
+    EXPECT_EQ(record_text(degraded[i]),
+              sweep::EvalCache::serialize(degraded[i].fp, lrec));
+  }
+  // Repeats hit the fallback cache, still byte-identical.
+  const auto warm = c.characterize(points, false);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(warm[i].source, "local_cache");
+    EXPECT_TRUE(warm[i].served_warm());
+    EXPECT_EQ(record_text(warm[i]), record_text(degraded[i]));
+  }
+  EXPECT_EQ(c.stats().fallback_operations, 2u);
+  EXPECT_EQ(c.stats().fallback_points, 4u);
+
+  // Workload path too: the degraded record equals the direct in-process run.
+  sweep::Workload w{"ray", {{"width", 32.0}, {"height", 24.0}}, 0};
+  const auto res = c.eval_workload(w);
+  EXPECT_EQ(res.source, "local");
+  apps::RayParams rp;
+  rp.width = 32;
+  rp.height = 24;
+  sweep::EvalRecord direct;
+  direct.perf = apps::run_with_config(
+      IhwConfig::precise(), [&] { apps::render_ray<gpu::SimFloat>(rp); });
+  EXPECT_EQ(res.fp, workload_fingerprint(w));
+  EXPECT_EQ(record_text(res), sweep::EvalCache::serialize(res.fp, direct));
+}
+
+// ----------------------------------------------------------------- chaos
+
+TEST(Chaos, FaultScheduleIsPureDirectionalAndRateGated) {
+  ChaosSpec off;
+  off.rate = 0.0;
+  ChaosSpec full;
+  full.rate = 1.0;
+  full.seed = 9;
+  std::set<ChaosFault> seen_up, seen_down;
+  for (std::uint64_t conn = 0; conn < 4; ++conn) {
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      EXPECT_EQ(chaos_fault_at(off, conn, 0, i), ChaosFault::None);
+      EXPECT_EQ(chaos_fault_at(off, conn, 1, i), ChaosFault::None);
+      const ChaosFault up = chaos_fault_at(full, conn, 0, i);
+      const ChaosFault down = chaos_fault_at(full, conn, 1, i);
+      EXPECT_NE(up, ChaosFault::None);    // rate 1: every frame faults
+      EXPECT_NE(down, ChaosFault::None);
+      EXPECT_NE(up, ChaosFault::Corrupt)  // requests are never corrupted
+          << "conn=" << conn << " i=" << i;
+      // Pure function: same arguments, same answer.
+      EXPECT_EQ(chaos_fault_at(full, conn, 0, i), up);
+      EXPECT_EQ(chaos_fault_at(full, conn, 1, i), down);
+      seen_up.insert(up);
+      seen_down.insert(down);
+    }
+  }
+  // Both directions exercise their full fault menus.
+  EXPECT_EQ(seen_up.size(), 3u);    // Delay, Truncate, Sever
+  EXPECT_EQ(seen_down.size(), 4u);  // + Corrupt
+}
+
+TEST(Chaos, ProxyFuzzYieldsOnlyCorrectAnswersOrTypedErrors) {
+  ServerFixture f("chaosup", /*workers=*/2);
+  const std::vector<sweep::CharPoint> points = {
+      {error::UnitKind::AcfpLog, 5, 2000},
+      {error::UnitKind::AcfpFull, 9, 2000},
+      {error::UnitKind::BitTrunc, 4, 2000},
+      {error::UnitKind::BitTrunc, 11, 2000},
+  };
+  // The ground truth every surviving answer must match bit-for-bit.
+  const auto local = sweep::characterize_grid32(points, nullptr);
+  std::vector<std::string> truth;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    sweep::EvalRecord rec;
+    rec.has_char = true;
+    rec.chr = local[i];
+    truth.push_back(sweep::EvalCache::serialize(
+        sweep::char_fingerprint(points[i], false), rec));
+  }
+
+  std::uint64_t total_faults = 0;
+  for (std::uint64_t seed : {3ull, 11ull}) {
+    ChaosSpec spec;
+    spec.seed = seed;
+    spec.rate = 0.4;
+    spec.delay_ms = 250;  // > the client read timeout: Delay == timeout
+    ChaosProxy proxy(f.server->socket_path() + ".chaos" +
+                         std::to_string(seed),
+                     f.server->socket_path(), spec);
+    std::string err;
+    ASSERT_TRUE(proxy.start(&err)) << err;
+
+    RetryPolicy p;
+    p.max_attempts = 8;
+    p.backoff_base_ms = 2.0;
+    p.backoff_max_ms = 20.0;
+    p.seed = seed;
+    p.connect_timeout_ms = 1000;
+    p.read_timeout_ms = 120;
+    p.breaker_threshold = 100;  // keep the breaker out of this test's way
+    ResilientClient c(proxy.listen_path(), p);  // fallback on: the invariant
+                                                // allows degraded answers too
+    for (int round = 0; round < 2; ++round) {
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        try {
+          const auto res = c.characterize({points[i]}, false);
+          ASSERT_EQ(res.size(), 1u);
+          // The invariant: a delivered answer is never wrong, whatever the
+          // proxy did to the frames that carried it.
+          EXPECT_EQ(record_text(res[0]), truth[i])
+              << "seed=" << seed << " round=" << round << " point=" << i;
+        } catch (const ServeError& e) {
+          // Clean typed errors are the only acceptable alternative.
+          EXPECT_FALSE(e.code().empty());
+        }
+      }
+    }
+    proxy.stop();
+    total_faults += proxy.faults_injected();
+  }
+  // A chaos run that injected nothing proves nothing.
+  EXPECT_GE(total_faults, 1u);
+}
+
+}  // namespace
+}  // namespace ihw::serve

@@ -5,6 +5,8 @@ Usage:
   check_bench_regression.py BENCH.json
   check_bench_regression.py --sweep COLD.json WARM.json [--min-speedup=R]
   check_bench_regression.py --sweep --resume COLD.json RESUMED.json
+  check_bench_regression.py --serve BENCH.json [--min-speedup=R]
+  check_bench_regression.py --chaos BENCH.json [--max-amplification=R]
 
 The batched span kernels (src/ihw/batch.h) are only worth their complexity
 while they stay far ahead of the element-wise SimReal path, so the gate is
@@ -42,6 +44,16 @@ the daemon must have finished the run with zero protocol errors and zero
 evaluation failures. --max-warm-p99-ms (default 50) bounds warm tail
 latency; it is deliberately loose -- it catches a daemon that has started
 blocking warm hits behind evaluations, not host-speed noise.
+
+--chaos mode gates the survivability invariant (DESIGN.md §14) from a
+serve_loadgen report produced with --chaos-rate > 0: the run must actually
+have injected faults (a chaos run that injected nothing proves nothing),
+every delivered answer must have matched the in-process reference
+byte-for-byte (incorrect == 0), no operation may have failed out of the
+resilient clients (failures == 0 -- faults are retried or degraded to
+local evaluation, never surfaced), and the retry amplification
+(attempts / operations) must stay under --max-amplification (default 3.0)
+so retries cannot quietly turn into a storm.
 """
 
 import json
@@ -233,7 +245,13 @@ def check_serve(argv: list) -> int:
         )
 
     server = report.get("metrics", {}).get("server", {})
-    for counter in ("protocol_errors", "eval_failures"):
+    # A chaos phase (--chaos-rate) injects torn/severed frames on purpose, so
+    # protocol errors are expected in that report; --chaos gates it instead.
+    counters = (
+        ("eval_failures",) if report.get("chaos")
+        else ("protocol_errors", "eval_failures")
+    )
+    for counter in counters:
         if server.get(counter, 0) != 0:
             failures.append(f"daemon finished with {counter}={server.get(counter)}")
 
@@ -249,11 +267,84 @@ def check_serve(argv: list) -> int:
     return 0
 
 
+def check_chaos(argv: list) -> int:
+    max_amplification = 3.0
+    paths = []
+    for arg in argv:
+        if arg.startswith("--max-amplification="):
+            max_amplification = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(paths[0]) as f:
+        report = json.load(f)
+
+    failures = []
+    if report.get("bench") != "serve_loadgen":
+        failures.append(f"unexpected bench tag: {report.get('bench')!r}")
+    chaos = report.get("chaos")
+    if not chaos:
+        failures.append(
+            "no chaos section in the report (run serve_loadgen with "
+            "--chaos-rate > 0)"
+        )
+        chaos = {}
+
+    rate = chaos.get("rate", 0.0)
+    injected = chaos.get("injected", {})
+    amplification = chaos.get("retry_amplification", 0.0)
+    print(
+        f"chaos rate={rate:.2f} seed={chaos.get('seed')}: "
+        f"{injected.get('total', 0)} faults over {injected.get('frames', 0)} "
+        f"frames (delay={injected.get('delays', 0)} "
+        f"truncate={injected.get('truncations', 0)} "
+        f"corrupt={injected.get('corruptions', 0)} "
+        f"sever={injected.get('severs', 0)}), "
+        f"incorrect={chaos.get('incorrect')} failures={chaos.get('failures')}, "
+        f"amplification {amplification:.2f}x "
+        f"(ceiling {max_amplification:.1f}x)"
+    )
+    if rate <= 0.0:
+        failures.append(f"chaos rate {rate} is not > 0")
+    if injected.get("total", 0) < 1:
+        failures.append("chaos run injected zero faults; the run proves nothing")
+    if chaos.get("incorrect", 1) != 0:
+        failures.append(
+            f"{chaos.get('incorrect')} answers differed from the in-process "
+            "reference (the survivability invariant is broken)"
+        )
+    if chaos.get("failures", 1) != 0:
+        failures.append(
+            f"{chaos.get('failures')} operations failed out of the resilient "
+            "clients (faults must be retried or degraded, never surfaced)"
+        )
+    if amplification > max_amplification:
+        failures.append(
+            f"retry amplification {amplification:.2f}x above ceiling "
+            f"{max_amplification:.1f}x"
+        )
+
+    if failures:
+        print("\nchaos survivability regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(
+        "survivability invariant holds: every injected fault was retried or "
+        "degraded into a correct answer"
+    )
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) >= 2 and sys.argv[1] == "--sweep":
         return check_sweep(sys.argv[2:])
     if len(sys.argv) >= 2 and sys.argv[1] == "--serve":
         return check_serve(sys.argv[2:])
+    if len(sys.argv) >= 2 and sys.argv[1] == "--chaos":
+        return check_chaos(sys.argv[2:])
     if len(sys.argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
