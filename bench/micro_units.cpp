@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "arith/datapath.h"
@@ -18,12 +19,21 @@
 #include "gpu/simt.h"
 #include "ihw/batch.h"
 #include "ihw/ihw.h"
+#include "ihw/simd/isa.h"
 #include "qmc/sobol.h"
 #include "runtime/parallel.h"
 
 using namespace ihw;
 
 namespace {
+
+/// Stamps the span-kernel backend that actually ran into the row's label, so
+/// BENCH_*.json rows are attributable/comparable across hosts and ISA forces
+/// (a "BM_SpanMulBatch/ifp" number means something different on a scalar-only
+/// host than on an AVX-512 one).
+void label_isa(benchmark::State& state) {
+  state.SetLabel(std::string("isa=") + simd::kernels().name);
+}
 
 std::vector<float> inputs(std::size_t n, std::uint64_t seed) {
   common::Xoshiro256 rng(seed);
@@ -173,6 +183,7 @@ void BM_SpanMulScalar(benchmark::State& state, IhwConfig cfg) {
     benchmark::DoNotOptimize(out.data());
     benchmark::ClobberMemory();
   }
+  label_isa(state);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kSpan));
 }
@@ -187,6 +198,7 @@ void BM_SpanMulBatch(benchmark::State& state, IhwConfig cfg) {
     benchmark::DoNotOptimize(out.data());
     benchmark::ClobberMemory();
   }
+  label_isa(state);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kSpan));
 }
@@ -226,6 +238,7 @@ void BM_SpanAddScalar(benchmark::State& state, IhwConfig cfg) {
     benchmark::DoNotOptimize(out.data());
     benchmark::ClobberMemory();
   }
+  label_isa(state);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kSpan));
 }
@@ -240,6 +253,7 @@ void BM_SpanAddBatch(benchmark::State& state, IhwConfig cfg) {
     benchmark::DoNotOptimize(out.data());
     benchmark::ClobberMemory();
   }
+  label_isa(state);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kSpan));
 }
@@ -293,6 +307,7 @@ void BM_QmcCharScalar(benchmark::State& state) {
     benchmark::DoNotOptimize(exact.data());
     benchmark::ClobberMemory();
   }
+  label_isa(state);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kSpan));
 }
@@ -312,10 +327,79 @@ void BM_QmcCharBatch(benchmark::State& state) {
     benchmark::DoNotOptimize(exact.data());
     benchmark::ClobberMemory();
   }
+  label_isa(state);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kSpan));
 }
 BENCHMARK(BM_QmcCharBatch);
+
+// --- per-ISA span rows (runtime-registered) ----------------------------------
+// One row per hand-vectorized unit per *supported* ISA level, named
+// BM_Span<Op>Batch/<unit>/isa:<level>, with the backend pinned for the row's
+// duration. The scalar row is the reference-loop baseline, so the
+// isa:<level> / isa:scalar time ratio is the measured speedup of runtime
+// dispatch on this host -- the number tools/check_bench_regression.py --isa
+// floors per level (BENCH_pr8.json).
+
+void span_isa_row(benchmark::State& state, const IhwConfig& cfg, bool add,
+                  simd::IsaLevel level) {
+  simd::ScopedIsa forced(level);
+  const auto a = inputs(kSpan, add ? 13 : 11), b = inputs(kSpan, add ? 14 : 12);
+  std::vector<float> out(kSpan);
+  gpu::FpContext ctx(cfg);
+  gpu::ScopedContext scope(ctx);
+  for (auto _ : state) {
+    if (add)
+      gpu::batch_add(a.data(), b.data(), out.data(), kSpan);
+    else
+      gpu::batch_mul(a.data(), b.data(), out.data(), kSpan);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  label_isa(state);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSpan));
+}
+
+void span_rcp_isa_row(benchmark::State& state, simd::IsaLevel level) {
+  simd::ScopedIsa forced(level);
+  IhwConfig cfg;
+  cfg.rcp_enabled = true;
+  const auto a = inputs(kSpan, 15);
+  std::vector<float> out(kSpan);
+  gpu::FpContext ctx(cfg);
+  gpu::ScopedContext scope(ctx);
+  for (auto _ : state) {
+    gpu::batch_rcp(a.data(), out.data(), kSpan);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  label_isa(state);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSpan));
+}
+
+void register_isa_rows() {
+  using simd::IsaLevel;
+  for (IsaLevel level :
+       {IsaLevel::kScalar, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    if (!simd::isa_supported(level)) continue;
+    const std::string suffix = std::string("/isa:") + simd::isa_name(level);
+    benchmark::RegisterBenchmark(
+        ("BM_SpanMulBatch/ifp" + suffix).c_str(), span_isa_row,
+        IhwConfig::mul_only(MulMode::ImpreciseSimple, 0), false, level);
+    benchmark::RegisterBenchmark(
+        ("BM_SpanMulBatch/acfp_log" + suffix).c_str(), span_isa_row,
+        IhwConfig::mul_only(MulMode::MitchellLog, 0), false, level);
+    benchmark::RegisterBenchmark(
+        ("BM_SpanMulBatch/trunc" + suffix).c_str(), span_isa_row,
+        IhwConfig::mul_only(MulMode::BitTruncated, 12), false, level);
+    benchmark::RegisterBenchmark(("BM_SpanAddBatch/ifp" + suffix).c_str(),
+                                 span_isa_row, add_only_config(), true, level);
+    benchmark::RegisterBenchmark(("BM_SpanRcpBatch/sfu" + suffix).c_str(),
+                                 span_rcp_isa_row, level);
+  }
+}
 
 }  // namespace
 
@@ -325,6 +409,26 @@ int main(int argc, char** argv) {
   // explicit per-benchmark count, and is echoed into the report context.
   ihw::common::Args args(argc, argv);
   const int threads = ihw::runtime::configure_threads_from_args(args);
+  // --force-isa=scalar|avx2|avx512 pins the span-kernel backend for every
+  // row (the per-ISA rows still force their own level). Unsupported forces
+  // clamp down, mirroring IHW_FORCE_ISA.
+  if (args.has("force-isa")) {
+    ihw::simd::IsaLevel want;
+    const std::string s = args.get("force-isa", "");
+    if (!ihw::simd::isa_parse(s.c_str(), &want)) {
+      std::fprintf(stderr, "bad --force-isa=%s (scalar|avx2|avx512)\n",
+                   s.c_str());
+      return 2;
+    }
+    ihw::simd::isa_force(want);
+  }
+  register_isa_rows();
+  const char* active = ihw::simd::isa_name(ihw::simd::isa_active());
+  std::fprintf(stderr, "ihw_isa: active=%s best_supported=%s\n", active,
+               ihw::simd::isa_name(ihw::simd::isa_best_supported()));
+  benchmark::AddCustomContext("ihw_isa", active);
+  benchmark::AddCustomContext(
+      "ihw_isa_best", ihw::simd::isa_name(ihw::simd::isa_best_supported()));
   benchmark::AddCustomContext("runtime_threads", std::to_string(threads));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

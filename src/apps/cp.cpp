@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "gpu/batch.h"
 #include "gpu/simt.h"
@@ -86,13 +87,13 @@ common::GridF run_cp_batched(const CpParams& p,
   const float slice_z = static_cast<float>(p.slice_z);
 
   // Loop-invariant operand spans: lattice x indices and the slice plane.
-  std::vector<float> ifill(w), slice_fill(w, slice_z);
+  common::AlignedVector<float> ifill(w), slice_fill(w, slice_z);
   for (std::size_t i = 0; i < w; ++i) ifill[i] = static_cast<float>(i);
 
   constexpr std::uint64_t kRowChunk = 4;
   runtime::batch_apply(n, kRowChunk, [&](std::uint64_t j0, std::uint64_t j1) {
-    std::vector<float> gx(w), gy(w), jfill(w), dx(w), dy(w), dz(w), r2(w),
-        t0(w), term(w);
+    common::AlignedVector<float> gx(w), gy(w), jfill(w), dx(w), dy(w), dz(w),
+        r2(w), t0(w), term(w);
     for (std::uint64_t j = j0; j < j1; ++j) {
       {
         // Lattice coordinates stay on the exact multiplier (still counted),

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "gpu/batch.h"
 #include "runtime/parallel.h"
@@ -280,8 +281,8 @@ common::GridF run_hotspot_batched(const HotspotParams& p,
     runtime::batch_apply(rows, kRowChunk, [&](std::uint64_t r0,
                                               std::uint64_t r1) {
       const std::size_t w = cols;
-      std::vector<float> wbuf(w), ebuf(w), two_t(w), rcpv(w), sum(w), vert(w),
-          horiz(w), sink(w);
+      common::AlignedVector<float> wbuf(w), ebuf(w), two_t(w), rcpv(w), sum(w),
+          vert(w), horiz(w), sink(w);
       for (std::uint64_t r = r0; r < r1; ++r) {
         const std::size_t rn = r > 0 ? r - 1 : r;
         const std::size_t rs = r + 1 < rows ? r + 1 : r;

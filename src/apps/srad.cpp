@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "gpu/batch.h"
 #include "gpu/simt.h"
@@ -314,8 +315,8 @@ common::GridF run_srad_batched(const SradParams& p, const common::GridF& image) 
     // Kernel 1: directional derivatives + diffusion coefficient, row spans.
     runtime::batch_apply(rows, kRowChunk, [&](std::uint64_t r0,
                                               std::uint64_t r1) {
-      std::vector<float> wbuf(w), ebuf(w), inv(w), g2(w), l(w), t0(w), t1(w),
-          acc(w);
+      common::AlignedVector<float> wbuf(w), ebuf(w), inv(w), g2(w), l(w),
+          t0(w), t1(w), acc(w);
       for (std::uint64_t r = r0; r < r1; ++r) {
         const std::size_t rn = r > 0 ? r - 1 : r;
         const std::size_t rs = r + 1 < rows ? r + 1 : r;
@@ -383,7 +384,7 @@ common::GridF run_srad_batched(const SradParams& p, const common::GridF& image) 
     // Kernel 2: divergence update, in-place row spans over J.
     runtime::batch_apply(rows, kRowChunk, [&](std::uint64_t r0,
                                               std::uint64_t r1) {
-      std::vector<float> ebuf(w), d(w), t0(w);
+      common::AlignedVector<float> ebuf(w), d(w), t0(w);
       for (std::uint64_t r = r0; r < r1; ++r) {
         const std::size_t rs = r + 1 < rows ? r + 1 : r;
         const float* cn = &coef(r, 0);  // cw loads the same word (Rodinia)

@@ -1,0 +1,60 @@
+#pragma once
+// Cache-line-aligned allocation for the SoA operand scratch buffers.
+//
+// The span kernels (ihw/batch.h, ihw/simd/) stream 256/512-bit loads over
+// thread-local scratch vectors. std::vector's default allocator only
+// guarantees alignof(std::max_align_t) (16 bytes), so a 64-byte vector load
+// can straddle a cache line and an AVX-512 load always may. Aligning the
+// scratch to 64 bytes (one cache line, one ZMM register) keeps every vector
+// access within a single line. Correctness never depends on this — the SIMD
+// backends use unaligned load/store instructions — it is purely a
+// throughput guarantee, which is why the app loops and the characterization
+// producer adopt it rather than every vector in the codebase.
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace ihw::common {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Minimal C++17 allocator over operator new with extended alignment.
+/// Propagates on container copy/move like std::allocator (it is stateless).
+template <typename T, std::size_t Align = kCacheLine>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "Align must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// A std::vector whose data() is 64-byte aligned; drop-in for the operand
+/// scratch buffers of the batched loops.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace ihw::common

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/aligned.h"
 #include "fpcore/float_bits.h"
 #include "ihw/batch.h"
 #include "ihw/ihw.h"
@@ -295,7 +296,7 @@ CharResult run(UnitKind kind, int param, std::uint64_t samples) {
         // span-level unit evaluation per chunk through ihw/batch.h.  The
         // operand scratch is thread-local so each worker touches the same
         // pages every chunk instead of re-faulting fresh allocations.
-        static thread_local std::vector<T> a, b, c;
+        static thread_local common::AlignedVector<T> a, b, c;
         a.resize(m);
         b.resize(m);
         c.resize(ternary ? m : 0);
@@ -387,7 +388,7 @@ std::vector<CharResult> run_many(const std::vector<CharRequest>& reqs,
           sobol.seek(begin);
           // Identical operand generation to the single-request path, done
           // once for the whole group instead of once per request.
-          static thread_local std::vector<T> a, b, c;
+          static thread_local common::AlignedVector<T> a, b, c;
           a.resize(m);
           b.resize(m);
           c.resize(ternary ? m : 0);

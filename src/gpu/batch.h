@@ -18,6 +18,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/aligned.h"
 #include "gpu/context.h"
 
 namespace ihw::gpu {
@@ -52,7 +53,7 @@ namespace detail {
 /// within one expression.
 template <typename T, int Slot = 0>
 T* broadcast(T v, std::size_t n) {
-  thread_local std::vector<T> buf;
+  thread_local common::AlignedVector<T> buf;
   if (buf.size() < n) buf.resize(n);
   std::fill_n(buf.data(), n, v);
   return buf.data();

@@ -23,16 +23,24 @@
 // runs a 128-bit fixed-point datapath, the SFUs are short double-precision
 // polynomials behind out-of-line calls); their span kernels still amortize
 // dispatch and counter overhead.
+//
+// Runtime ISA dispatch (DESIGN.md §15): each float span wrapper first
+// consults the active simd::KernelTable; a non-null entry is a hand-
+// vectorized AVX2/AVX-512 backend that is bit-identical to the loop below
+// and takes over the whole span. A null entry (the scalar table, every
+// double lane, non-x86 builds) falls through to the reference loop here.
 #include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 #include "ihw/acfp_mul.h"
 #include "ihw/config.h"
 #include "ihw/ifp_add.h"
 #include "ihw/ifp_mul.h"
 #include "ihw/sfu.h"
+#include "ihw/simd/isa.h"
 #include "ihw/trunc_mul.h"
 
 namespace ihw::batch {
@@ -269,6 +277,9 @@ void ifp_add_n(const T* a, const T* b, T* out, std::size_t n, int th,
   if (th < 1) th = 1;
   if (th > Tr::frac_bits + 4) th = Tr::frac_bits + 4;
   const fp::BitsOf<T> flip = subtract ? Tr::sign_mask : fp::BitsOf<T>{0};
+  if constexpr (std::is_same_v<T, float>) {
+    if (auto* k = simd::kernels().ifp_add_f32) return k(a, b, out, n, th, flip);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = fp::from_bits<T>(
         detail::ifp_add_lane<T>(fp::to_bits(a[i]), fp::to_bits(b[i]) ^ flip, th));
@@ -283,6 +294,9 @@ void ifp_sub_n(const T* a, const T* b, T* out, std::size_t n, int th) {
 /// out[i] = ifp_mul(a[i], b[i]).
 template <typename T>
 void ifp_mul_n(const T* a, const T* b, T* out, std::size_t n) {
+  if constexpr (std::is_same_v<T, float>) {
+    if (auto* k = simd::kernels().ifp_mul_f32) return k(a, b, out, n);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = fp::from_bits<T>(
         detail::ifp_mul_lane<T>(fp::to_bits(a[i]), fp::to_bits(b[i])));
@@ -306,6 +320,9 @@ void acfp_mul_n(const T* a, const T* b, T* out, std::size_t n, AcfpPath path,
   if (trunc > Tr::frac_bits) trunc = Tr::frac_bits;
   const B keep = trunc == Tr::frac_bits ? B{0}
                                         : (~B{0} << trunc) & Tr::frac_mask;
+  if constexpr (std::is_same_v<T, float>) {
+    if (auto* k = simd::kernels().acfp_log_f32) return k(a, b, out, n, keep);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = fp::from_bits<T>(
         detail::acfp_log_lane<T>(fp::to_bits(a[i]), fp::to_bits(b[i]), keep));
@@ -321,6 +338,9 @@ void trunc_mul_n(const T* a, const T* b, T* out, std::size_t n, int trunc) {
   if (trunc > Tr::frac_bits) trunc = Tr::frac_bits;
   const B keep = trunc == Tr::frac_bits ? B{0}
                                         : (~B{0} << trunc) & Tr::frac_mask;
+  if constexpr (std::is_same_v<T, float>) {
+    if (auto* k = simd::kernels().trunc_mul_f32) return k(a, b, out, n, keep);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = fp::from_bits<T>(
         detail::trunc_mul_lane<T>(fp::to_bits(a[i]), fp::to_bits(b[i]), keep));
@@ -336,6 +356,9 @@ void ifp_div_n(const T* a, const T* b, T* out, std::size_t n) {
 
 template <typename T>
 void ircp_n(const T* x, T* out, std::size_t n) {
+  if constexpr (std::is_same_v<T, float>) {
+    if (auto* k = simd::kernels().ircp_f32) return k(x, out, n);
+  }
   for (std::size_t i = 0; i < n; ++i) out[i] = ircp(x[i]);
 }
 

@@ -1,0 +1,112 @@
+#pragma once
+// Runtime ISA dispatch for the span kernels of ihw/batch.h (DESIGN.md §15).
+//
+// The batched span kernels are pure integer select chains, so a default
+// (portable baseline) build used to leave their throughput to whatever the
+// compiler's autovectorizer managed at -march=x86-64. This layer replaces
+// that hope with guarantees: hand-vectorized AVX2 and AVX-512 backends of
+// the hottest kernels live in kernels_avx2.cpp / kernels_avx512.cpp (each
+// compiled with just enough -m flags for its own ISA), and a cpuid-based
+// detector picks the widest supported backend once per process. One default
+// build binary therefore hits peak span throughput on any x86-64 host; on
+// other architectures (the NEON slot below is the intended extension point)
+// every table entry is null and the scalar reference loops in batch.h run.
+//
+// Bit-identity contract: a backend entry is only allowed in a table if it
+// produces exactly the bits of the scalar reference lane in batch.h for
+// every input, including NaN/Inf/signed-zero/subnormal operands and every
+// runtime parameter (TH, truncation mask). tests/test_simd.cpp enforces
+// this with exhaustive 16-bit-pattern cross-checks plus randomized fuzz per
+// backend, and the CTest suite re-runs under IHW_FORCE_ISA=scalar/avx2/
+// avx512 so the whole tree is exercised on each level the host supports.
+// Because every backend is bit-identical, FpDispatch::*_n,
+// GuardedDispatch::*_n, and runtime::batch_apply swap backends without any
+// observable difference beyond speed.
+//
+// Overrides: the IHW_FORCE_ISA environment variable (scalar|avx2|avx512,
+// read once at first use) pins the backend for testing and benchmarking;
+// isa_force()/ScopedIsa do the same programmatically. Forcing a level the
+// host cannot execute clamps down to the widest supported one, so a forced
+// binary never faults on an illegal instruction.
+#include <cstddef>
+#include <cstdint>
+
+namespace ihw::simd {
+
+/// Backend levels, widest last within each architecture family. kNeon is a
+/// structural stub: parse/name/table plumbing accepts it so an aarch64
+/// backend only has to fill in a table, but no kernels exist yet and it is
+/// never reported as supported.
+enum class IsaLevel : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2, kNeon = 3 };
+
+/// One resolved backend: the name that bench rows and logs report, plus one
+/// function pointer per hand-vectorized kernel. A null entry means "no
+/// hand-written kernel at this level" and the caller runs its scalar
+/// reference loop (that is the entire scalar table, and the double-precision
+/// lanes of every table today -- the hot app spans are float).
+///
+/// Signatures mirror the batch.h span wrappers with the per-span parameter
+/// resolution already done by the caller: `th` arrives pre-clamped to
+/// [1, frac_bits+4], `flip` is the sign mask to XOR into b (ifp_sub), and
+/// `keep` is the fraction keep-mask of the truncating multipliers.
+struct KernelTable {
+  const char* name = "scalar";
+  void (*ifp_add_f32)(const float* a, const float* b, float* out,
+                      std::size_t n, int th, std::uint32_t flip) = nullptr;
+  void (*ifp_mul_f32)(const float* a, const float* b, float* out,
+                      std::size_t n) = nullptr;
+  void (*acfp_log_f32)(const float* a, const float* b, float* out,
+                       std::size_t n, std::uint32_t keep) = nullptr;
+  void (*trunc_mul_f32)(const float* a, const float* b, float* out,
+                        std::size_t n, std::uint32_t keep) = nullptr;
+  void (*ircp_f32)(const float* x, float* out, std::size_t n) = nullptr;
+};
+
+/// Canonical lowercase name ("scalar", "avx2", "avx512", "neon").
+const char* isa_name(IsaLevel level);
+
+/// Parses a canonical name (as accepted by IHW_FORCE_ISA). Returns false on
+/// anything else; *out is untouched on failure.
+bool isa_parse(const char* s, IsaLevel* out);
+
+/// Widest level this host can execute, detected once via cpuid.
+IsaLevel isa_best_supported();
+
+/// True when the host can execute `level` (kScalar always can).
+bool isa_supported(IsaLevel level);
+
+/// The currently installed level (after detection, IHW_FORCE_ISA, and any
+/// isa_force calls).
+IsaLevel isa_active();
+
+/// Installs the backend for `level`, clamping down to the widest supported
+/// level at or below it (a forced binary must never hit an illegal
+/// instruction). Returns the level actually installed. Thread-safe against
+/// concurrent kernel invocations (the table pointer is atomic); concurrent
+/// forcers race benignly to whichever installs last.
+IsaLevel isa_force(IsaLevel level);
+
+/// The active kernel table. Cheap (one relaxed atomic load); span kernels
+/// call it once per span.
+const KernelTable& kernels();
+
+/// RAII backend override for tests and per-row benchmarks.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(IsaLevel level) : prev_(isa_active()) { isa_force(level); }
+  ~ScopedIsa() { isa_force(prev_); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+
+ private:
+  IsaLevel prev_;
+};
+
+namespace detail {
+// Defined in kernels_avx2.cpp / kernels_avx512.cpp, compiled only on x86
+// (IHW_X86_SIMD); isa.cpp references them under the same guard.
+extern const KernelTable kAvx2Table;
+extern const KernelTable kAvx512Table;
+}  // namespace detail
+
+}  // namespace ihw::simd

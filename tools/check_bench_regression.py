@@ -7,6 +7,7 @@ Usage:
   check_bench_regression.py --sweep --resume COLD.json RESUMED.json
   check_bench_regression.py --serve BENCH.json [--min-speedup=R]
   check_bench_regression.py --chaos BENCH.json [--max-amplification=R]
+  check_bench_regression.py --isa BENCH.json [--require=LEVEL] [--out=OUT.json]
 
 The batched span kernels (src/ihw/batch.h) are only worth their complexity
 while they stay far ahead of the element-wise SimReal path, so the gate is
@@ -54,6 +55,17 @@ resilient clients (failures == 0 -- faults are retried or degraded to
 local evaluation, never surfaced), and the retry amplification
 (attempts / operations) must stay under --max-amplification (default 3.0)
 so retries cannot quietly turn into a storm.
+
+--isa mode gates the hand-vectorized SIMD backends (DESIGN.md §15) from one
+micro_units JSON report containing the per-ISA rows
+(BM_Span*Batch/<unit>/isa:<level>, registered for every level the host
+supports). For each row family it computes the speedup of each SIMD level
+over the forced-scalar row in the *same* report -- machine-independent, like
+the scalar/batch pair gate -- and enforces a per-level floor (default 2x,
+the acceptance bar; see ISA_FLOORS). --require=LEVEL fails the gate when the
+host does not support LEVEL (so CI on an AVX2 machine cannot silently pass
+by only exercising the scalar backend), and --out=OUT.json records the
+detected ISA, the ratio table, and the floors as a merge artifact.
 """
 
 import json
@@ -338,6 +350,116 @@ def check_chaos(argv: list) -> int:
     return 0
 
 
+# SIMD-level ordering for --require comparisons (mirrors simd::IsaLevel).
+ISA_ORDER = {"scalar": 0, "avx2": 1, "avx512": 2}
+
+# Minimum speedup of each SIMD level over the forced-scalar row of the same
+# bench family. 2x is the acceptance bar for the runtime-dispatched build;
+# measured margins at merge were 4.7x-15x (avx2) and 10x-24x (avx512), so a
+# breach means the backend has regressed grossly, whatever the host.
+ISA_FLOORS = {"avx2": 2.0, "avx512": 2.0}
+
+
+def check_isa(argv: list) -> int:
+    require = None
+    out_path = None
+    paths = []
+    for arg in argv:
+        if arg.startswith("--require="):
+            require = arg.split("=", 1)[1]
+        elif arg.startswith("--out="):
+            out_path = arg.split("=", 1)[1]
+        else:
+            paths.append(arg)
+    if len(paths) != 1 or (require is not None and require not in ISA_ORDER):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(paths[0]) as f:
+        report = json.load(f)
+    context = report.get("context", {})
+    active = context.get("ihw_isa", "unknown")
+    best = context.get("ihw_isa_best", active)
+    print(f"isa: active={active} best_supported={best}")
+
+    # Group the per-ISA rows: "BM_SpanMulBatch/ifp/isa:avx2" ->
+    # families["BM_SpanMulBatch/ifp"]["avx2"] = real_time.
+    times = load_times(paths[0])
+    families = {}
+    for name, t in times.items():
+        base, sep, level = name.rpartition("/isa:")
+        if sep and base.startswith("BM_Span"):
+            families.setdefault(base, {})[level] = t
+
+    failures = []
+    if not families:
+        failures.append(
+            "no BM_Span*/isa:* rows in the report (run micro_units with "
+            "--benchmark_filter='isa:')"
+        )
+    if require is not None and ISA_ORDER.get(best, -1) < ISA_ORDER[require]:
+        failures.append(
+            f"host best_supported={best} is below required level {require}"
+        )
+
+    rows = []
+    for base in sorted(families):
+        levels = families[base]
+        if "scalar" not in levels:
+            failures.append(f"{base}: missing isa:scalar baseline row")
+            continue
+        for level in sorted(levels, key=lambda lv: ISA_ORDER.get(lv, 99)):
+            if level == "scalar":
+                continue
+            floor = ISA_FLOORS.get(level)
+            if floor is None:
+                failures.append(f"{base}: unknown ISA level {level!r}")
+                continue
+            ratio = levels["scalar"] / levels[level]
+            status = "ok" if ratio >= floor else "FAIL"
+            print(
+                f"{base:28s} {level:7s} {ratio:7.2f}x  "
+                f"(floor {floor:.2f}x)  {status}"
+            )
+            rows.append(
+                {"bench": base, "isa": level, "speedup_vs_scalar": round(ratio, 3),
+                 "floor": floor, "ok": ratio >= floor}
+            )
+            if ratio < floor:
+                failures.append(
+                    f"{base}: {level} speedup {ratio:.2f}x over scalar below "
+                    f"floor {floor:.2f}x"
+                )
+
+    if out_path is not None:
+        artifact = {
+            "gate": "simd-isa",
+            "isa_active": active,
+            "isa_best_supported": best,
+            "require": require,
+            "floors": ISA_FLOORS,
+            "rows": rows,
+            "host": {
+                k: context.get(k)
+                for k in ("host_name", "num_cpus", "mhz_per_cpu", "date",
+                          "library_build_type", "runtime_threads")
+                if k in context
+            },
+            "passed": not failures,
+        }
+        with open(out_path, "w") as f:
+            json.dump(artifact, f, indent=2)
+            f.write("\n")
+        print(f"wrote {out_path}")
+
+    if failures:
+        print("\nSIMD backend performance regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall SIMD backends at or above their per-ISA floors")
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) >= 2 and sys.argv[1] == "--sweep":
         return check_sweep(sys.argv[2:])
@@ -345,6 +467,8 @@ def main() -> int:
         return check_serve(sys.argv[2:])
     if len(sys.argv) >= 2 and sys.argv[1] == "--chaos":
         return check_chaos(sys.argv[2:])
+    if len(sys.argv) >= 2 and sys.argv[1] == "--isa":
+        return check_isa(sys.argv[2:])
     if len(sys.argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
