@@ -1,0 +1,102 @@
+// Khattak-Mikaitis-style black-box characterization of the tile-GEMM
+// accumulator (src/gemm/feature_detect.h): runs the numerical probes against
+// every accumulation policy and prints detected vs expected features.
+// Exits nonzero on any mismatch, so the binary doubles as a ctest assertion
+// (gemm_feature_probes) that the probes report exactly the configured
+// accumulation precision, rounding, and wide-block size.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/table.h"
+#include "gemm/feature_detect.h"
+#include "gpu/context.h"
+#include "ihw/simd/isa.h"
+#include "runtime/parallel.h"
+
+using namespace ihw;
+
+namespace {
+
+struct Row {
+  const char* label;
+  gemm::GemmConfig cfg;
+};
+
+gemm::GemmConfig make(gemm::AccumMode m, int knob) {
+  gemm::GemmConfig g;
+  g.accum = m;
+  switch (m) {
+    case gemm::AccumMode::kFp32: break;
+    case gemm::AccumMode::kFp32Trunc: g.accum_trunc = knob; break;
+    case gemm::AccumMode::kIfpAdd: g.accum_th = knob; break;
+    case gemm::AccumMode::kWideFp64: g.accum_block = knob; break;
+  }
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  common::Args args(argc, argv);
+  std::printf("[runtime] threads=%d\n",
+              runtime::configure_threads_from_args(args));
+  if (args.has("force-isa")) {
+    simd::IsaLevel want;
+    const std::string s = args.get("force-isa", "");
+    if (!simd::isa_parse(s.c_str(), &want)) {
+      std::fprintf(stderr, "bad --force-isa=%s (scalar|avx2|avx512)\n",
+                   s.c_str());
+      return 2;
+    }
+    simd::isa_force(want);
+  }
+  std::printf("== Matrix-unit accumulation features (black-box probes, "
+              "isa=%s) ==\n",
+              simd::kernels().name);
+
+  const Row rows[] = {
+      {"fp32", make(gemm::AccumMode::kFp32, 0)},
+      {"fp32_trunc tr=1", make(gemm::AccumMode::kFp32Trunc, 1)},
+      {"fp32_trunc tr=4", make(gemm::AccumMode::kFp32Trunc, 4)},
+      {"fp32_trunc tr=12", make(gemm::AccumMode::kFp32Trunc, 12)},
+      {"ifp_add th=2", make(gemm::AccumMode::kIfpAdd, 2)},
+      {"ifp_add th=8", make(gemm::AccumMode::kIfpAdd, 8)},
+      {"ifp_add th=16", make(gemm::AccumMode::kIfpAdd, 16)},
+      {"wide_fp64 blk=8", make(gemm::AccumMode::kWideFp64, 8)},
+      {"wide_fp64 blk=32", make(gemm::AccumMode::kWideFp64, 32)},
+      {"wide_fp64 blk=200", make(gemm::AccumMode::kWideFp64, 200)},
+  };
+
+  common::Table t({"policy", "frac bits", "rounding", "wide block",
+                   "step-norm", "match"});
+  int mismatches = 0;
+  for (const auto& r : rows) {
+    const auto det = gemm::detect(r.cfg);
+    const auto exp = gemm::expected(r.cfg);
+    const bool ok = det == exp;
+    if (!ok) ++mismatches;
+    t.row()
+        .add(r.label)
+        .add(det.accum_frac_bits)
+        .add(gemm::to_string(det.rounding))
+        .add(det.wide_block)
+        .add(det.step_normalized ? "yes" : "no")
+        .add(ok ? "OK" : ("MISMATCH exp " + exp.describe()));
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("(after Khattak & Mikaitis: the unit's accumulation precision, "
+              "rounding direction, wide-block size, and step normalization "
+              "recovered from dot-product probes alone)\n");
+  if (mismatches != 0) {
+    std::fprintf(stderr, "feature_detect: %d probe mismatch(es)\n",
+                 mismatches);
+    return 1;
+  }
+  return 0;
+} catch (const ihw::common::ArgError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "runtime/parallel.h"
 
@@ -74,7 +75,7 @@ ArtResult run_art(const ArtParams& p, const ArtInput& input) {
   // rows of the search grid fan out over the parallel runtime; the winning
   // placement is then selected serially in the exact row-major order the
   // serial loop used, preserving its first-strict-maximum tie-breaking.
-  std::vector<double> vigilance((span + 1) * (span + 1));
+  common::AlignedVector<double> vigilance((span + 1) * (span + 1));
   runtime::parallel_for(span + 1, [&](std::uint64_t r0) {
     for (std::size_t c0 = 0; c0 <= span; ++c0) {
       // Resonance test: normalized bottom-up activation of the category.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "runtime/parallel.h"
 
@@ -48,8 +49,8 @@ MdResult run_md(const MdParams& p, const MdState& initial) {
   const double box = initial.box;
   const double rc2 = p.cutoff * p.cutoff;
 
-  std::vector<Real> x(n), y(n), z(n), vx(n), vy(n), vz(n), q(n);
-  std::vector<Real> fx(n), fy(n), fz(n);
+  common::AlignedVector<Real> x(n), y(n), z(n), vx(n), vy(n), vz(n), q(n);
+  common::AlignedVector<Real> fx(n), fy(n), fz(n);
   for (std::size_t i = 0; i < n; ++i) {
     x[i] = Real(initial.x[i]);
     y[i] = Real(initial.y[i]);

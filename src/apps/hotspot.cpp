@@ -314,8 +314,7 @@ common::GridF run_hotspot_batched(const HotspotParams& p,
         gpu::batch_add(pw, vert.data(), sum.data(), w);      // pw + vert
         gpu::batch_add(sum.data(), horiz.data(), sum.data(), w);
         gpu::batch_add(sum.data(), sink.data(), sum.data(), w);
-        gpu::batch_mul_scalar(sum.data(), sdc, sum.data(), w);  // * sdc
-        gpu::batch_add(tc, sum.data(), out, w);              // tc + delta
+        gpu::batch_mac_scalar(sum.data(), sdc, tc, out, w);  // tc + sdc * delta
         gpu::count_mem(6 * w, w);      // 5 stencil + 1 power load, 1 store
         gpu::count_int_ops(7 * w);     // address arithmetic (6 gload+1 gstore)
       }

@@ -1,0 +1,103 @@
+#include "apps/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "gpu/simreal.h"
+
+namespace ihw::apps {
+namespace {
+
+/// Offline-trained model + evaluation batch, all synthesized in fp64 so the
+/// "training" itself never touches the imprecise units.
+struct MlpModel {
+  std::vector<float> x;   // samples x dim
+  std::vector<int> label; // samples
+  std::vector<float> w1;  // dim x hidden
+  std::vector<float> w2;  // hidden x classes
+};
+
+MlpModel make_model(const MlpParams& p) {
+  common::Xoshiro256 rng(p.seed);
+  const int S = p.samples, D = p.dim, H = p.hidden, C = p.classes;
+
+  // Class prototypes: random points on the unit-ish cube.
+  std::vector<double> proto(static_cast<std::size_t>(C) * D);
+  for (auto& v : proto) v = rng.uniform(-1.0, 1.0);
+
+  // Random first-layer projection, 1/sqrt(D) scaled.
+  const double a = 1.0 / std::sqrt(static_cast<double>(D));
+  std::vector<double> w1(static_cast<std::size_t>(D) * H);
+  for (auto& v : w1) v = rng.uniform(-a, a);
+
+  // Hidden responses of the clean prototypes, relu(proto . w1).
+  std::vector<double> hresp(static_cast<std::size_t>(C) * H, 0.0);
+  for (int c = 0; c < C; ++c) {
+    for (int h = 0; h < H; ++h) {
+      double s = 0.0;
+      for (int d = 0; d < D; ++d) s += proto[c * D + d] * w1[d * H + h];
+      hresp[c * H + h] = std::max(0.0, s);
+    }
+  }
+
+  // Second layer: normalized template matcher of those responses, so the
+  // logit of the true class peaks at ~1 on clean inputs.
+  MlpModel m;
+  m.w2.resize(static_cast<std::size_t>(H) * C);
+  for (int c = 0; c < C; ++c) {
+    double norm2 = 0.0;
+    for (int h = 0; h < H; ++h) norm2 += hresp[c * H + h] * hresp[c * H + h];
+    if (norm2 == 0.0) norm2 = 1.0;
+    for (int h = 0; h < H; ++h)
+      m.w2[static_cast<std::size_t>(h) * C + c] =
+          static_cast<float>(hresp[c * H + h] / norm2);
+  }
+  m.w1.resize(w1.size());
+  for (std::size_t i = 0; i < w1.size(); ++i)
+    m.w1[i] = static_cast<float>(w1[i]);
+
+  // Evaluation batch: prototypes + per-feature uniform noise.
+  m.x.resize(static_cast<std::size_t>(S) * D);
+  m.label.resize(S);
+  for (int i = 0; i < S; ++i) {
+    const int c = i % C;
+    m.label[i] = c;
+    for (int d = 0; d < D; ++d)
+      m.x[static_cast<std::size_t>(i) * D + d] = static_cast<float>(
+          proto[c * D + d] + rng.uniform(-p.noise, p.noise));
+  }
+  return m;
+}
+
+}  // namespace
+
+MlpResult run_mlp(const MlpParams& p) {
+  const MlpModel m = make_model(p);
+  const int S = p.samples, D = p.dim, H = p.hidden, C = p.classes;
+
+  std::vector<float> h1(static_cast<std::size_t>(S) * H);
+  std::vector<float> logits(static_cast<std::size_t>(S) * C);
+
+  gemm::run(m.x.data(), m.w1.data(), h1.data(), S, H, D, p.gemm);
+  for (auto& v : h1) v = v > 0.0f ? v : 0.0f;  // ReLU: compare/select, no FP unit
+  gpu::count_int_ops(h1.size());
+  gemm::run(h1.data(), m.w2.data(), logits.data(), S, C, H, p.gemm);
+
+  MlpResult r{0.0, 0.0};
+  int correct = 0;
+  for (int i = 0; i < S; ++i) {
+    const float* row = logits.data() + static_cast<std::size_t>(i) * C;
+    int best = 0;
+    for (int c = 1; c < C; ++c)
+      if (row[c] > row[best]) best = c;
+    if (best == m.label[i]) ++correct;
+    for (int c = 0; c < C; ++c) r.logit_checksum += static_cast<double>(row[c]);
+  }
+  gpu::count_int_ops(static_cast<std::uint64_t>(S) * C);  // argmax scan
+  r.accuracy = static_cast<double>(correct) / static_cast<double>(S);
+  return r;
+}
+
+}  // namespace ihw::apps

@@ -1,0 +1,36 @@
+#pragma once
+// Small MLP inference on the imprecise tile-GEMM engine: a synthetic
+// MNIST-like classification task (noisy class prototypes) pushed through two
+// dense layers with a ReLU between them, both layers running as
+// gemm::run under the ambient FpContext. The weights are "trained offline"
+// in fp64 -- the second layer is the least-squares-style template matcher of
+// the prototypes' hidden responses -- so precise inference scores near 100%
+// and every accuracy drop is attributable to the imprecise multiply array
+// and/or the accumulator policy under test.
+#include <cstdint>
+
+#include "gemm/gemm.h"
+
+namespace ihw::apps {
+
+struct MlpParams {
+  int samples = 256;  ///< evaluation batch size
+  int dim = 64;       ///< input features
+  int hidden = 96;
+  int classes = 10;
+  double noise = 0.35;  ///< per-feature uniform noise amplitude on the inputs
+  std::uint64_t seed = 1234;
+  gemm::GemmConfig gemm;  ///< accumulator policy + tiles for both layers
+};
+
+struct MlpResult {
+  double accuracy;        ///< fraction of samples classified correctly
+  double logit_checksum;  ///< fp64 sum of all output logits (determinism probe)
+};
+
+/// Generates the synthetic model + batch from `seed` and runs inference.
+/// Deterministic for a fixed (params, ambient config, ISA, threads) by the
+/// GEMM determinism contract -- the checksum is bit-stable.
+MlpResult run_mlp(const MlpParams& p);
+
+}  // namespace ihw::apps

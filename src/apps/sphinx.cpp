@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "runtime/parallel.h"
 
@@ -51,7 +52,7 @@ SphinxCorpus make_sphinx_corpus(const SphinxParams& p, std::uint64_t seed) {
   // A channel-mismatch offset common to every test utterance: the AN4 test
   // recordings were not made under training conditions, so every model is
   // scored far from its mean -- large score magnitudes, small margins.
-  std::vector<double> channel(static_cast<std::size_t>(p.dims));
+  common::AlignedVector<double> channel(static_cast<std::size_t>(p.dims));
   for (auto& c : channel) c = p.channel * gaussian(rng);
 
   // One spoken utterance per vocabulary word: state-aligned means + channel

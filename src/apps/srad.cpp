@@ -337,12 +337,9 @@ common::GridF run_srad_batched(const SradParams& p, const common::GridF& image) 
 
         gpu::batch_rcp(jc, inv.data(), w);                    // inv_jc
         gpu::batch_mul(n_, n_, acc.data(), w);                // n^2
-        gpu::batch_mul(s_, s_, t0.data(), w);
-        gpu::batch_add(acc.data(), t0.data(), acc.data(), w);
-        gpu::batch_mul(w_, w_, t0.data(), w);
-        gpu::batch_add(acc.data(), t0.data(), acc.data(), w);
-        gpu::batch_mul(e_, e_, t0.data(), w);
-        gpu::batch_add(acc.data(), t0.data(), acc.data(), w);
+        gpu::batch_mac(s_, s_, acc.data(), acc.data(), w);    // + s^2
+        gpu::batch_mac(w_, w_, acc.data(), acc.data(), w);    // + w^2
+        gpu::batch_mac(e_, e_, acc.data(), acc.data(), w);    // + e^2
         gpu::batch_mul(inv.data(), inv.data(), t0.data(), w);  // inv^2
         gpu::batch_mul(acc.data(), t0.data(), g2.data(), w);
 
@@ -384,7 +381,7 @@ common::GridF run_srad_batched(const SradParams& p, const common::GridF& image) 
     // Kernel 2: divergence update, in-place row spans over J.
     runtime::batch_apply(rows, kRowChunk, [&](std::uint64_t r0,
                                               std::uint64_t r1) {
-      common::AlignedVector<float> ebuf(w), d(w), t0(w);
+      common::AlignedVector<float> ebuf(w), d(w);
       for (std::uint64_t r = r0; r < r1; ++r) {
         const std::size_t rs = r + 1 < rows ? r + 1 : r;
         const float* cn = &coef(r, 0);  // cw loads the same word (Rodinia)
@@ -393,14 +390,10 @@ common::GridF run_srad_batched(const SradParams& p, const common::GridF& image) 
         ebuf[w - 1] = cn[w - 1];
 
         gpu::batch_mul(cn, &dN(r, 0), d.data(), w);
-        gpu::batch_mul(cs, &dS(r, 0), t0.data(), w);
-        gpu::batch_add(d.data(), t0.data(), d.data(), w);
-        gpu::batch_mul(cn, &dW(r, 0), t0.data(), w);
-        gpu::batch_add(d.data(), t0.data(), d.data(), w);
-        gpu::batch_mul(ebuf.data(), &dE(r, 0), t0.data(), w);
-        gpu::batch_add(d.data(), t0.data(), d.data(), w);
-        gpu::batch_mul_scalar(d.data(), lambda_q, d.data(), w);
-        gpu::batch_add(&J(r, 0), d.data(), &J(r, 0), w);
+        gpu::batch_mac(cs, &dS(r, 0), d.data(), d.data(), w);
+        gpu::batch_mac(cn, &dW(r, 0), d.data(), d.data(), w);
+        gpu::batch_mac(ebuf.data(), &dE(r, 0), d.data(), d.data(), w);
+        gpu::batch_mac_scalar(d.data(), lambda_q, &J(r, 0), &J(r, 0), w);
         gpu::count_mem(9 * w, w);
         gpu::count_int_ops(10 * w);
       }

@@ -222,6 +222,17 @@ class GuardedDispatch {
     for (std::size_t i = 0; i < n; ++i) out[i] = fma(a[i], b[i], c[i]);
   }
 
+  /// Non-fused multiply-accumulate span: mul unit then add unit per element.
+  /// Screened, each element consumes one Mul and one Add (epoch, op index)
+  /// label in that order -- the same labels the two-span composition
+  /// mul_n/add_n would consume, so fault draws and guard decisions are
+  /// bit-identical to the unfused form.
+  template <typename T>
+  void mac_n(const T* a, const T* b, const T* c, T* out, std::size_t n) {
+    if (!screened_) return base_.mac_n(a, b, c, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = add(mul(a[i], b[i]), c[i]);
+  }
+
  private:
   void refresh() { screened_ = config().screened(); }
 

@@ -1,0 +1,136 @@
+#include "gemm/feature_detect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "gpu/context.h"
+
+namespace ihw::gemm {
+namespace {
+
+/// dot(a, ones) through gemm::run as a 1x1 GEMM: the probe only ever sees
+/// the accumulation chain.
+float dot(const std::vector<float>& a, const GemmConfig& cfg) {
+  const std::vector<float> ones(a.size(), 1.0f);
+  float c = 0.0f;
+  run(a.data(), ones.data(), &c, 1, 1, static_cast<int>(a.size()), cfg);
+  return c;
+}
+
+}  // namespace
+
+std::string to_string(AccumRounding r) {
+  return r == AccumRounding::kNearest ? "nearest" : "toward_zero";
+}
+
+std::string MatrixUnitFeatures::describe() const {
+  return "frac_bits=" + std::to_string(accum_frac_bits) +
+         " rounding=" + to_string(rounding) +
+         " wide_block=" + std::to_string(wide_block) +
+         " step_normalized=" + std::to_string(step_normalized ? 1 : 0);
+}
+
+MatrixUnitFeatures detect(const GemmConfig& cfg) {
+  // Characterize the accumulator only: whatever imprecise multiplier the
+  // ambient context configures would perturb the probe values themselves.
+  gpu::ScopedPrecise precise_mul;
+  MatrixUnitFeatures f;
+
+  // Precision: 1 + 2^-t - 1 leaves a nonzero residue exactly when the
+  // accumulator still carries the 2^-t bit next to 1. Monotone in t for
+  // every policy here, so the largest surviving t is the fraction width.
+  for (int t = 1; t <= 60; ++t) {
+    if (dot({1.0f, std::ldexp(1.0f, -t), -1.0f}, cfg) != 0.0f)
+      f.accum_frac_bits = t;
+  }
+  const int t = f.accum_frac_bits;
+
+  // Rounding: 1.5 ulp/2 at the detected precision either rounds up into
+  // the kept bits (nearest) or truncates away entirely.
+  f.rounding = dot({1.0f, std::ldexp(1.5f, -(t + 1)), -1.0f}, cfg) != 0.0f
+                   ? AccumRounding::kNearest
+                   : AccumRounding::kTowardZero;
+
+  // Step normalization: two half-ulps in a row can only pair up into a
+  // surviving ulp if the running sum keeps extra alignment bits between
+  // consecutive accumulates.
+  const float h = std::ldexp(1.0f, -(t + 1));
+  f.step_normalized = dot({1.0f, h, h, -1.0f}, cfg) == 0.0f;
+
+  // Wide block: 2^30 + 1 - 2^30 survives only while all three terms share
+  // one wide accumulator; pushing the -2^30 term further out in k finds the
+  // first block boundary, where the +1 is lost narrowing to fp32.
+  const float L = std::ldexp(1.0f, 30);
+  if (dot({L, 1.0f, -L}, cfg) != 0.0f) {
+    f.wide_block = kMaxBlockProbe;
+    for (int k = 3; k <= kMaxBlockProbe; ++k) {
+      std::vector<float> v(static_cast<std::size_t>(k) + 1, 0.0f);
+      v[0] = L;
+      v[1] = 1.0f;
+      v[static_cast<std::size_t>(k)] = -L;
+      if (dot(v, cfg) == 0.0f) {
+        f.wide_block = k;
+        break;
+      }
+    }
+  }
+  return f;
+}
+
+MatrixUnitFeatures expected(const GemmConfig& cfg) {
+  MatrixUnitFeatures f;
+  f.step_normalized = true;
+  switch (cfg.accum) {
+    case AccumMode::kFp32:
+      f.accum_frac_bits = 23;
+      f.rounding = AccumRounding::kNearest;
+      break;
+    case AccumMode::kFp32Trunc: {
+      const int tr = std::min(std::max(cfg.accum_trunc, 0), 22);
+      f.accum_frac_bits = 23 - tr;
+      // tr == 1 still reads as nearest: the pre-truncation RN add of the
+      // 1.5-half-ulp probe ties up into frac bit 1, which the 1-bit mask
+      // keeps. From tr >= 2 every probe residue lands in dropped bits.
+      f.rounding =
+          tr >= 2 ? AccumRounding::kTowardZero : AccumRounding::kNearest;
+      break;
+    }
+    case AccumMode::kIfpAdd: {
+      // Same TH clamp as ifp_add itself ([1, FB+4]).
+      const int th = std::min(std::max(cfg.accum_th, 1), 27);
+      // The 2^-t probe bit needs d = t < TH to enter the datapath and
+      // t <= 23 to survive the truncating renormalization to fp32.
+      f.accum_frac_bits = std::min(th - 1, 23);
+      // Truncation at both the TH-bit datapath and the output stage: the
+      // half-ulp probe never rounds up, at any TH.
+      f.rounding = AccumRounding::kTowardZero;
+      break;
+    }
+    case AccumMode::kWideFp64: {
+      const int blk = std::max(1, cfg.accum_block);
+      if (blk == 1) {
+        // Every product folds to fp32 immediately: indistinguishable from
+        // a plain fp32 accumulator.
+        f.accum_frac_bits = 23;
+        f.rounding = AccumRounding::kNearest;
+      } else if (blk == 2) {
+        // Probes straddle the 2-step boundary: fp32-looking precision and
+        // rounding, no resolvable block, and the split step-normalization
+        // probe leaves a residue.
+        f.accum_frac_bits = 23;
+        f.rounding = AccumRounding::kNearest;
+        f.step_normalized = false;
+      } else {
+        f.accum_frac_bits = 52;
+        f.rounding = AccumRounding::kNearest;
+        f.wide_block = std::min(blk, kMaxBlockProbe);
+      }
+      break;
+    }
+  }
+  return f;
+}
+
+}  // namespace ihw::gemm

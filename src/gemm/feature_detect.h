@@ -1,0 +1,62 @@
+#pragma once
+// Black-box probes of the matrix unit's accumulation features, after
+// Khattak & Mikaitis, "Numerical Behavior of GPU Matrix Multiply-Accumulate
+// Hardware" (see PAPERS.md): tiny hand-built dot products whose results
+// reveal the accumulator's effective precision, rounding direction, wide
+// accumulation block size, and whether intermediate sums are normalized --
+// without looking at any configuration. detect() runs those probes against
+// gemm::run under a precise multiplier (gpu::ScopedPrecise, so only the
+// accumulator is being characterized); expected() computes what the
+// configured GemmConfig policy must report, and tests/test_gemm.cpp plus
+// bench/feature_detect assert detect(cfg) == expected(cfg) exactly.
+#include <string>
+
+#include "gemm/gemm.h"
+
+namespace ihw::gemm {
+
+/// Rounding direction the probes can distinguish: a half-ulp addend either
+/// survives into the sum (round-to-nearest) or is dropped (truncation).
+enum class AccumRounding { kNearest, kTowardZero };
+
+std::string to_string(AccumRounding r);
+
+struct MatrixUnitFeatures {
+  /// Effective fraction bits of the accumulator: largest t for which
+  /// dot([1, 2^-t, -1], ones) resolves nonzero. 23 for a full fp32
+  /// accumulator, 52 inside a wide fp64 block.
+  int accum_frac_bits = 0;
+  /// Rounding of the accumulate at that precision.
+  AccumRounding rounding = AccumRounding::kNearest;
+  /// Wide-accumulation block size in k steps (0 = accumulator is the same
+  /// width as the output, i.e. no wide block was observed). Detectable for
+  /// blocks in [3, kMaxBlockProbe]; saturates at kMaxBlockProbe.
+  int wide_block = 0;
+  /// True when intermediate sums are renormalized every step (two half-ulp
+  /// addends can never pair up into a surviving ulp).
+  bool step_normalized = false;
+
+  /// e.g. "frac_bits=23 rounding=nearest wide_block=32 step_normalized=1".
+  std::string describe() const;
+
+  friend bool operator==(const MatrixUnitFeatures&,
+                         const MatrixUnitFeatures&) = default;
+};
+
+/// Largest wide block the detect() sweep resolves.
+inline constexpr int kMaxBlockProbe = 128;
+
+/// Probe the accumulator of gemm::run under `cfg` (tile sizes and threads
+/// are honored but cannot affect the outcome -- that is the determinism
+/// contract). The multiplier is forced precise for the duration.
+MatrixUnitFeatures detect(const GemmConfig& cfg);
+
+/// The analytically expected feature set for `cfg`. Notable corners the
+/// oracle encodes: kFp32Trunc with accum_trunc=1 still reports kNearest
+/// (the pre-truncation round-to-nearest carries into the kept bits; RZ
+/// behavior needs accum_trunc >= 2), and kIfpAdd reports accum_th - 1
+/// fraction bits with kTowardZero (the half-ulp probe addend sits exactly
+/// at exponent distance TH and vanishes in the select chain).
+MatrixUnitFeatures expected(const GemmConfig& cfg);
+
+}  // namespace ihw::gemm

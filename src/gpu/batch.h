@@ -113,6 +113,26 @@ void batch_fma(const T* a, const T* b, const T* c3, T* out, std::size_t n) {
   }
 }
 
+/// Non-fused multiply-accumulate: out[i] = add(mul(a[i], b[i]), c3[i])
+/// through the configured mul and add units. Counts one FMul and one FAdd
+/// per element (it is two ops through two units, unlike batch_fma's fused
+/// FFma), so adopting it in a hot loop that previously ran batch_mul +
+/// batch_add changes neither counters nor results nor fault draws -- it
+/// only skips materializing the product span. `out` may alias `c3`.
+template <typename T>
+void batch_mac(const T* a, const T* b, const T* c3, T* out, std::size_t n) {
+  if (auto* c = FpContext::current()) {
+    c->counters().bump(OpClass::FMul, n);
+    c->counters().bump(OpClass::FAdd, n);
+    c->guarded().mac_n(a, b, c3, out, n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const T p = a[i] * b[i];
+      out[i] = p + c3[i];
+    }
+  }
+}
+
 template <typename T>
 void batch_rcp(const T* x, T* out, std::size_t n) {
   if (auto* c = FpContext::current()) {
@@ -174,6 +194,12 @@ void batch_scalar_sub(T a, const T* b, T* out, std::size_t n) {
 template <typename T>
 void batch_mul_scalar(const T* a, T b, T* out, std::size_t n) {
   batch_mul(a, detail::broadcast<T>(b, n), out, n);
+}
+
+/// out[i] = add(mul(a[i], b), c3[i]) for a uniform multiplicand b.
+template <typename T>
+void batch_mac_scalar(const T* a, T b, const T* c3, T* out, std::size_t n) {
+  batch_mac(a, detail::broadcast<T>(b, n), c3, out, n);
 }
 
 /// out[i] = rcp(x) for a uniform x: the scalar kernels recompute rcp of a

@@ -265,7 +265,43 @@ inline fp::BitsOf<T> trunc_mul_lane(fp::BitsOf<T> ab, fp::BitsOf<T> bb,
   return mul_specials<T>(ab, bb, core);
 }
 
+/// Accumulation stage of the fused multiply-accumulate kernels: one product
+/// bit pattern feeding the configured accumulator. `th >= 1` selects the
+/// TH-threshold imprecise adder (th pre-clamped to [1, frac_bits+4] by the
+/// span wrapper); `th < 1` selects a precise IEEE add whose result keeps
+/// only the bits of `acc_keep` -- an RZ truncation of the low result bits
+/// modelling a narrowed matrix-unit accumulator (acc_keep == ~B{0} is the
+/// plain full-width accumulator). NaN sums canonicalize to qNaN like every
+/// other unit here, which also keeps the result independent of how the host
+/// commutes the add's NaN operands.
+template <typename T>
+inline fp::BitsOf<T> acc_lane(fp::BitsOf<T> pb, fp::BitsOf<T> cb, int th,
+                              fp::BitsOf<T> acc_keep) {
+  if (th >= 1) return ifp_add_lane<T>(pb, cb, th);
+  const T s = fp::from_bits<T>(pb) + fp::from_bits<T>(cb);
+  if (s != s) return qnan_bits<T>();
+  return fp::to_bits(s) & acc_keep;
+}
+
 }  // namespace detail
+
+/// Clamps the fused-kernel accumulator parameters to the contract of the
+/// acc_lane stage and the SIMD table entries: th normalized to 0 (precise
+/// accumulate) or [1, frac_bits+4], acc_trunc to [0, frac_bits-1] so a
+/// canonical qNaN always survives the keep mask. Returns the keep mask.
+template <typename T>
+inline fp::BitsOf<T> mac_clamp(int* th, int* acc_trunc) {
+  using Tr = fp::FloatTraits<T>;
+  using B = fp::BitsOf<T>;
+  if (*th >= 1) {
+    if (*th > Tr::frac_bits + 4) *th = Tr::frac_bits + 4;
+  } else {
+    *th = 0;
+  }
+  if (*acc_trunc < 0) *acc_trunc = 0;
+  if (*acc_trunc > Tr::frac_bits - 1) *acc_trunc = Tr::frac_bits - 1;
+  return *acc_trunc == 0 ? ~B{0} : (~B{0} << *acc_trunc);
+}
 
 // --- span kernels (the FpDispatch *_n backends) ----------------------------
 
@@ -347,6 +383,86 @@ void trunc_mul_n(const T* a, const T* b, T* out, std::size_t n, int trunc) {
   }
 }
 
+// --- fused multiply-accumulate spans ---------------------------------------
+// out[i] = acc(mul(a[i], b[i]), c[i]): the product never materializes as a
+// span, so GEMM inner loops and the app hot loops save a full store/reload
+// pass. The accumulator is policy-configurable (see detail::acc_lane): the
+// TH-adder when th >= 1, a precise fp add with `acc_trunc` result LSBs
+// dropped otherwise. Element-wise bit-identical to the two-pass composition
+// mul_n -> add stage by construction (both stages are pure bit functions);
+// tests/test_batch.cpp enforces this. `out` may alias `c` (the in-place
+// accumulate of a GEMM tile).
+
+/// out[i] = acc(ifp_mul(a[i], b[i]), c[i]).
+template <typename T>
+void ifp_mac_n(const T* a, const T* b, const T* c, T* out, std::size_t n,
+               int th, int acc_trunc = 0) {
+  const fp::BitsOf<T> acc_keep = mac_clamp<T>(&th, &acc_trunc);
+  if constexpr (std::is_same_v<T, float>) {
+    if (auto* k = simd::kernels().ifp_mac_f32)
+      return k(a, b, c, out, n, th, acc_keep);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = fp::from_bits<T>(detail::acc_lane<T>(
+        detail::ifp_mul_lane<T>(fp::to_bits(a[i]), fp::to_bits(b[i])),
+        fp::to_bits(c[i]), th, acc_keep));
+  }
+}
+
+/// out[i] = acc(acfp_mul(a[i], b[i], path, trunc), c[i]).
+template <typename T>
+void acfp_mac_n(const T* a, const T* b, const T* c, T* out, std::size_t n,
+                AcfpPath path, int trunc, int th, int acc_trunc = 0) {
+  using Tr = fp::FloatTraits<T>;
+  using B = fp::BitsOf<T>;
+  const B acc_keep = mac_clamp<T>(&th, &acc_trunc);
+  if (path == AcfpPath::Full) {
+    // Full path stays scalar (128-bit Mitchell datapath, see header comment);
+    // only the accumulate stage is fused.
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = fp::from_bits<T>(detail::acc_lane<T>(
+          fp::to_bits(acfp_mul(a[i], b[i], AcfpPath::Full, trunc)),
+          fp::to_bits(c[i]), th, acc_keep));
+    }
+    return;
+  }
+  if (trunc < 0) trunc = 0;
+  if (trunc > Tr::frac_bits) trunc = Tr::frac_bits;
+  const B keep = trunc == Tr::frac_bits ? B{0}
+                                        : (~B{0} << trunc) & Tr::frac_mask;
+  if constexpr (std::is_same_v<T, float>) {
+    if (auto* k = simd::kernels().acfp_log_mac_f32)
+      return k(a, b, c, out, n, keep, th, acc_keep);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = fp::from_bits<T>(detail::acc_lane<T>(
+        detail::acfp_log_lane<T>(fp::to_bits(a[i]), fp::to_bits(b[i]), keep),
+        fp::to_bits(c[i]), th, acc_keep));
+  }
+}
+
+/// out[i] = acc(trunc_mul(a[i], b[i], trunc), c[i]).
+template <typename T>
+void trunc_mac_n(const T* a, const T* b, const T* c, T* out, std::size_t n,
+                 int trunc, int th, int acc_trunc = 0) {
+  using Tr = fp::FloatTraits<T>;
+  using B = fp::BitsOf<T>;
+  const B acc_keep = mac_clamp<T>(&th, &acc_trunc);
+  if (trunc < 0) trunc = 0;
+  if (trunc > Tr::frac_bits) trunc = Tr::frac_bits;
+  const B keep = trunc == Tr::frac_bits ? B{0}
+                                        : (~B{0} << trunc) & Tr::frac_mask;
+  if constexpr (std::is_same_v<T, float>) {
+    if (auto* k = simd::kernels().trunc_mac_f32)
+      return k(a, b, c, out, n, keep, th, acc_keep);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = fp::from_bits<T>(detail::acc_lane<T>(
+        detail::trunc_mul_lane<T>(fp::to_bits(a[i]), fp::to_bits(b[i]), keep),
+        fp::to_bits(c[i]), th, acc_keep));
+  }
+}
+
 // --- SFU / division spans (scalar evaluation, hoisted dispatch) ------------
 
 template <typename T>
@@ -383,18 +499,14 @@ void iexp2_n(const T* x, T* out, std::size_t n) {
 }
 
 /// out[i] = ifp_fma(a[i], b[i], c[i], th): the imprecise multiplier feeding
-/// the TH-adder, span-wise through a stack tile (bit-identical to the scalar
-/// composition because both stages are pure bit functions).
+/// the TH-adder, now one pass through the fused mac kernel (bit-identical to
+/// the old two-pass tile composition because both stages are pure bit
+/// functions and the mac kernel chains the same two lanes).
 template <typename T>
 void ifp_fma_n(const T* a, const T* b, const T* c, T* out, std::size_t n,
                int th) {
-  constexpr std::size_t kTile = 256;
-  T tmp[kTile];
-  for (std::size_t i = 0; i < n; i += kTile) {
-    const std::size_t m = std::min(kTile, n - i);
-    ifp_mul_n(a + i, b + i, tmp, m);
-    ifp_add_n(tmp, c + i, out + i, m, th);
-  }
+  if (th < 1) th = 1;  // the fused kernel reads th < 1 as precise-accumulate
+  ifp_mac_n(a, b, c, out, n, th);
 }
 
 }  // namespace ihw::batch

@@ -190,10 +190,41 @@ class FpDispatch {
       batch::ifp_fma_n(a, b, c, out, n, cfg_.add_th);
       return;
     }
-    // Decomposed mul-then-add, span-wise through a stack tile; each stage
-    // goes through its own configured span so the element-wise composition
-    // matches the scalar fma() exactly (ISO C++ forbids fusing the precise
-    // mul/add pair, so the two-pass form is bit-identical).
+    // Decomposed mul-then-add through the configured mul and add units;
+    // element-wise bit-identical to the scalar fma() above.
+    mac_n(a, b, c, out, n);
+  }
+
+  /// out[i] = add(mul(a[i], b[i]), c[i]) through the configured units --
+  /// the non-fused multiply-accumulate every stencil hot loop performs.
+  /// Bit-identical to mul_n followed by add_n (product as the add's first
+  /// operand); when both stages are imprecise the fused *_mac_n kernels of
+  /// batch.h take over and the product span never materializes. `out` may
+  /// alias `c`.
+  template <typename T>
+  void mac_n(const T* a, const T* b, const T* c, T* out, std::size_t n) const {
+    if (cfg_.add_enabled) {
+      switch (cfg_.mul_mode) {
+        case MulMode::ImpreciseSimple:
+          batch::ifp_mac_n(a, b, c, out, n, cfg_.add_th);
+          return;
+        case MulMode::MitchellLog:
+          batch::acfp_mac_n(a, b, c, out, n, AcfpPath::Log, cfg_.mul_trunc,
+                            cfg_.add_th);
+          return;
+        case MulMode::MitchellFull:
+          batch::acfp_mac_n(a, b, c, out, n, AcfpPath::Full, cfg_.mul_trunc,
+                            cfg_.add_th);
+          return;
+        case MulMode::BitTruncated:
+          batch::trunc_mac_n(a, b, c, out, n, cfg_.mul_trunc, cfg_.add_th);
+          return;
+        case MulMode::Precise: break;  // no fused kernel; two-pass below
+      }
+    }
+    // Precise mul or precise add: two-pass through a stack tile so each
+    // stage runs its own configured span (ISO C++ forbids contracting the
+    // precise mul/add pair, so the composition is bit-exact).
     constexpr std::size_t kTile = 256;
     T tmp[kTile];
     for (std::size_t i = 0; i < n; i += kTile) {

@@ -48,7 +48,11 @@ enum class IsaLevel : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2, kNeon = 3 };
 /// Signatures mirror the batch.h span wrappers with the per-span parameter
 /// resolution already done by the caller: `th` arrives pre-clamped to
 /// [1, frac_bits+4], `flip` is the sign mask to XOR into b (ifp_sub), and
-/// `keep` is the fraction keep-mask of the truncating multipliers.
+/// `keep` is the fraction keep-mask of the truncating multipliers. The
+/// *_mac_f32 entries are the fused multiply-accumulate kernels: `th` is 0
+/// (precise accumulate, result masked by the full-word `acc_keep`) or
+/// pre-clamped to [1, frac_bits+4] (TH-adder accumulate), exactly the
+/// batch::mac_clamp normalization.
 struct KernelTable {
   const char* name = "scalar";
   void (*ifp_add_f32)(const float* a, const float* b, float* out,
@@ -60,6 +64,15 @@ struct KernelTable {
   void (*trunc_mul_f32)(const float* a, const float* b, float* out,
                         std::size_t n, std::uint32_t keep) = nullptr;
   void (*ircp_f32)(const float* x, float* out, std::size_t n) = nullptr;
+  void (*ifp_mac_f32)(const float* a, const float* b, const float* c,
+                      float* out, std::size_t n, int th,
+                      std::uint32_t acc_keep) = nullptr;
+  void (*acfp_log_mac_f32)(const float* a, const float* b, const float* c,
+                           float* out, std::size_t n, std::uint32_t keep,
+                           int th, std::uint32_t acc_keep) = nullptr;
+  void (*trunc_mac_f32)(const float* a, const float* b, const float* c,
+                        float* out, std::size_t n, std::uint32_t keep,
+                        int th, std::uint32_t acc_keep) = nullptr;
 };
 
 /// Canonical lowercase name ("scalar", "avx2", "avx512", "neon").

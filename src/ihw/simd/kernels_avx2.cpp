@@ -330,6 +330,65 @@ void ifp_add_f32(const float* a, const float* b, float* out, std::size_t n,
         fp::to_bits(a[i]), fp::to_bits(b[i]) ^ flip, th));
 }
 
+// --- fused multiply-accumulate ---------------------------------------------
+
+/// Accumulation stage of the fused kernels (mirrors detail::acc_lane in
+/// batch.h): TH-adder when th >= 1, else a precise vaddps whose result is
+/// masked by acc_keep with NaN sums canonicalized to qNaN.
+inline __m256i acc8(__m256i pb, __m256i cb, int th, __m256i acc_keep) {
+  if (th >= 1) return ifp_add8(pb, cb, th);
+  const __m256 s =
+      _mm256_add_ps(_mm256_castsi256_ps(pb), _mm256_castsi256_ps(cb));
+  const __m256i r = _mm256_and_si256(_mm256_castps_si256(s), acc_keep);
+  const __m256i nan = _mm256_castps_si256(_mm256_cmp_ps(s, s, _CMP_UNORD_Q));
+  return sel(r, _mm256_set1_epi32(static_cast<int>(kQnanBits)), nan);
+}
+
+void ifp_mac_f32(const float* a, const float* b, const float* c, float* out,
+                 std::size_t n, int th, std::uint32_t acc_keep) {
+  const __m256i keepv = _mm256_set1_epi32(static_cast<int>(acc_keep));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    store8(out + i,
+           acc8(ifp_mul8(load8(a + i), load8(b + i)), load8(c + i), th, keepv));
+  for (; i < n; ++i)
+    out[i] = fp::from_bits<float>(batch::detail::acc_lane<float>(
+        batch::detail::ifp_mul_lane<float>(fp::to_bits(a[i]), fp::to_bits(b[i])),
+        fp::to_bits(c[i]), th, acc_keep));
+}
+
+void acfp_log_mac_f32(const float* a, const float* b, const float* c,
+                      float* out, std::size_t n, std::uint32_t keep, int th,
+                      std::uint32_t acc_keep) {
+  const __m256i mkeepv = _mm256_set1_epi32(static_cast<int>(keep));
+  const __m256i akeepv = _mm256_set1_epi32(static_cast<int>(acc_keep));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    store8(out + i, acc8(acfp_log8(load8(a + i), load8(b + i), mkeepv),
+                         load8(c + i), th, akeepv));
+  for (; i < n; ++i)
+    out[i] = fp::from_bits<float>(batch::detail::acc_lane<float>(
+        batch::detail::acfp_log_lane<float>(fp::to_bits(a[i]),
+                                            fp::to_bits(b[i]), keep),
+        fp::to_bits(c[i]), th, acc_keep));
+}
+
+void trunc_mac_f32(const float* a, const float* b, const float* c, float* out,
+                   std::size_t n, std::uint32_t keep, int th,
+                   std::uint32_t acc_keep) {
+  const __m256i mkeepv = _mm256_set1_epi32(static_cast<int>(keep));
+  const __m256i akeepv = _mm256_set1_epi32(static_cast<int>(acc_keep));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    store8(out + i, acc8(trunc_mul8(load8(a + i), load8(b + i), mkeepv),
+                         load8(c + i), th, akeepv));
+  for (; i < n; ++i)
+    out[i] = fp::from_bits<float>(batch::detail::acc_lane<float>(
+        batch::detail::trunc_mul_lane<float>(fp::to_bits(a[i]),
+                                             fp::to_bits(b[i]), keep),
+        fp::to_bits(c[i]), th, acc_keep));
+}
+
 // --- ircp (the SFU span path) ----------------------------------------------
 
 /// One half (4 lanes) of the reciprocal-SFU double datapath: the identical
@@ -390,8 +449,9 @@ void ircp_f32(const float* x, float* out, std::size_t n) {
 
 namespace detail {
 const KernelTable kAvx2Table = {
-    "avx2",         &ifp_add_f32, &ifp_mul_f32,
+    "avx2",         &ifp_add_f32,   &ifp_mul_f32,
     &acfp_log_f32,  &trunc_mul_f32, &ircp_f32,
+    &ifp_mac_f32,   &acfp_log_mac_f32, &trunc_mac_f32,
 };
 }  // namespace detail
 

@@ -322,6 +322,65 @@ void ifp_add_f32(const float* a, const float* b, float* out, std::size_t n,
         fp::to_bits(a[i]), fp::to_bits(b[i]) ^ flip, th));
 }
 
+// --- fused multiply-accumulate ---------------------------------------------
+
+/// Accumulation stage of the fused kernels (mirrors detail::acc_lane in
+/// batch.h): TH-adder when th >= 1, else a precise vaddps whose result is
+/// masked by acc_keep with NaN sums canonicalized to qNaN.
+inline __m512i acc16(__m512i pb, __m512i cb, int th, __m512i acc_keep) {
+  if (th >= 1) return ifp_add16(pb, cb, th);
+  const __m512 s =
+      _mm512_add_ps(_mm512_castsi512_ps(pb), _mm512_castsi512_ps(cb));
+  const __m512i r = _mm512_and_si512(_mm512_castps_si512(s), acc_keep);
+  const __mmask16 nan = _mm512_cmp_ps_mask(s, s, _CMP_UNORD_Q);
+  return sel(r, _mm512_set1_epi32(static_cast<int>(kQnanBits)), nan);
+}
+
+void ifp_mac_f32(const float* a, const float* b, const float* c, float* out,
+                 std::size_t n, int th, std::uint32_t acc_keep) {
+  const __m512i keepv = _mm512_set1_epi32(static_cast<int>(acc_keep));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    store16(out + i, acc16(ifp_mul16(load16(a + i), load16(b + i)),
+                           load16(c + i), th, keepv));
+  for (; i < n; ++i)
+    out[i] = fp::from_bits<float>(batch::detail::acc_lane<float>(
+        batch::detail::ifp_mul_lane<float>(fp::to_bits(a[i]), fp::to_bits(b[i])),
+        fp::to_bits(c[i]), th, acc_keep));
+}
+
+void acfp_log_mac_f32(const float* a, const float* b, const float* c,
+                      float* out, std::size_t n, std::uint32_t keep, int th,
+                      std::uint32_t acc_keep) {
+  const __m512i mkeepv = _mm512_set1_epi32(static_cast<int>(keep));
+  const __m512i akeepv = _mm512_set1_epi32(static_cast<int>(acc_keep));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    store16(out + i, acc16(acfp_log16(load16(a + i), load16(b + i), mkeepv),
+                           load16(c + i), th, akeepv));
+  for (; i < n; ++i)
+    out[i] = fp::from_bits<float>(batch::detail::acc_lane<float>(
+        batch::detail::acfp_log_lane<float>(fp::to_bits(a[i]),
+                                            fp::to_bits(b[i]), keep),
+        fp::to_bits(c[i]), th, acc_keep));
+}
+
+void trunc_mac_f32(const float* a, const float* b, const float* c, float* out,
+                   std::size_t n, std::uint32_t keep, int th,
+                   std::uint32_t acc_keep) {
+  const __m512i mkeepv = _mm512_set1_epi32(static_cast<int>(keep));
+  const __m512i akeepv = _mm512_set1_epi32(static_cast<int>(acc_keep));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    store16(out + i, acc16(trunc_mul16(load16(a + i), load16(b + i), mkeepv),
+                           load16(c + i), th, akeepv));
+  for (; i < n; ++i)
+    out[i] = fp::from_bits<float>(batch::detail::acc_lane<float>(
+        batch::detail::trunc_mul_lane<float>(fp::to_bits(a[i]),
+                                             fp::to_bits(b[i]), keep),
+        fp::to_bits(c[i]), th, acc_keep));
+}
+
 // --- ircp (the SFU span path) ----------------------------------------------
 
 /// One half (8 lanes) of the reciprocal-SFU double datapath: the identical
@@ -385,6 +444,7 @@ namespace detail {
 const KernelTable kAvx512Table = {
     "avx512",      &ifp_add_f32,   &ifp_mul_f32,
     &acfp_log_f32, &trunc_mul_f32, &ircp_f32,
+    &ifp_mac_f32,  &acfp_log_mac_f32, &trunc_mac_f32,
 };
 }  // namespace detail
 

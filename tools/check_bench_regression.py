@@ -8,6 +8,7 @@ Usage:
   check_bench_regression.py --serve BENCH.json [--min-speedup=R]
   check_bench_regression.py --chaos BENCH.json [--max-amplification=R]
   check_bench_regression.py --isa BENCH.json [--require=LEVEL] [--out=OUT.json]
+  check_bench_regression.py --gemm BENCH.json [--require=LEVEL] [--out=OUT.json]
 
 The batched span kernels (src/ihw/batch.h) are only worth their complexity
 while they stay far ahead of the element-wise SimReal path, so the gate is
@@ -66,6 +67,18 @@ the acceptance bar; see ISA_FLOORS). --require=LEVEL fails the gate when the
 host does not support LEVEL (so CI on an AVX2 machine cannot silently pass
 by only exercising the scalar backend), and --out=OUT.json records the
 detected ISA, the ratio table, and the floors as a merge artifact.
+
+--gemm mode gates the cache-blocked tile-GEMM engine (DESIGN.md §16) from
+one micro_gemm JSON report. The engine is bit-identical to the canonical
+per-element reference, so each BM_GemmNaive/<cfg> / BM_GemmTiled/<cfg>
+ratio is pure engineering speedup and gates machine-independently: the
+imprecise-multiplier configurations must hold >= 2x (the acceptance bar;
+measured margins at merge were 9x-15x), while the precise pair only floors
+at 1x -- the host's native multiply is already fast, so blocking buys
+less there and the gate just forbids the tiled path from losing to the
+naive loop. The per-ISA tiled rows (BM_GemmTiled/ifp/isa:<level>) gate
+against the forced-scalar tiled row exactly like --isa mode (floors in
+GEMM_ISA_FLOORS; --require/--out behave the same).
 """
 
 import json
@@ -460,6 +473,138 @@ def check_isa(argv: list) -> int:
     return 0
 
 
+# Minimum BM_GemmNaive/<cfg> over BM_GemmTiled/<cfg> time ratio. The blocked
+# engine earns its keep on the imprecise multiplier datapaths, where the
+# fused mac spans replace one dispatched scalar multiply per product;
+# measured margins at merge were 9x-15x, so 2x is a gross-regression bar.
+# The precise pair is a no-loss bound only: the host multiply is a single
+# instruction either way, so blocking is worth ~1.7x, not >= 2x.
+GEMM_FLOORS = {
+    "ifp": 2.0,          # headline (EXPERIMENTS.md "tile-GEMM engine")
+    "acfp_log": 2.0,
+    "trunc": 2.0,
+    "ifp_acc_th8": 2.0,
+    "ifp_wide32": 2.0,
+    "precise": 1.0,
+}
+
+# Speedup of each forced-ISA tiled row over the forced-scalar tiled row.
+# Measured at merge: 4.4x (avx2), 9x (avx512).
+GEMM_ISA_FLOORS = {"avx2": 1.5, "avx512": 1.5}
+
+
+def check_gemm(argv: list) -> int:
+    require = None
+    out_path = None
+    paths = []
+    for arg in argv:
+        if arg.startswith("--require="):
+            require = arg.split("=", 1)[1]
+        elif arg.startswith("--out="):
+            out_path = arg.split("=", 1)[1]
+        else:
+            paths.append(arg)
+    if len(paths) != 1 or (require is not None and require not in ISA_ORDER):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(paths[0]) as f:
+        report = json.load(f)
+    context = report.get("context", {})
+    active = context.get("ihw_isa", "unknown")
+    best = context.get("ihw_isa_best", active)
+    print(f"isa: active={active} best_supported={best}")
+
+    times = load_times(paths[0])
+    failures = []
+    rows = []
+
+    # Naive-vs-tiled pairs at identical numerics (bit-identity contract).
+    for cfg, floor in GEMM_FLOORS.items():
+        naive, tiled = f"BM_GemmNaive/{cfg}", f"BM_GemmTiled/{cfg}"
+        if naive not in times or tiled not in times:
+            failures.append(f"missing benchmark pair: {naive} / {tiled}")
+            continue
+        ratio = times[naive] / times[tiled]
+        status = "ok" if ratio >= floor else "FAIL"
+        print(f"{tiled:32s} {ratio:7.2f}x over naive  "
+              f"(floor {floor:.2f}x)  {status}")
+        rows.append(
+            {"config": cfg, "speedup_vs_naive": round(ratio, 3),
+             "floor": floor, "ok": ratio >= floor}
+        )
+        if ratio < floor:
+            failures.append(
+                f"{tiled}: naive/tiled ratio {ratio:.2f}x below floor "
+                f"{floor:.2f}x"
+            )
+
+    # Per-ISA tiled rows against the forced-scalar tiled row.
+    levels = {}
+    for name, t in times.items():
+        base, sep, level = name.rpartition("/isa:")
+        if sep and base == "BM_GemmTiled/ifp":
+            levels[level] = t
+    isa_rows = []
+    if "scalar" not in levels:
+        failures.append("missing BM_GemmTiled/ifp/isa:scalar baseline row")
+    else:
+        for level in sorted(levels, key=lambda lv: ISA_ORDER.get(lv, 99)):
+            if level == "scalar":
+                continue
+            floor = GEMM_ISA_FLOORS.get(level)
+            if floor is None:
+                failures.append(f"unknown ISA level {level!r} in gemm rows")
+                continue
+            ratio = levels["scalar"] / levels[level]
+            status = "ok" if ratio >= floor else "FAIL"
+            print(f"BM_GemmTiled/ifp            {level:7s} {ratio:7.2f}x  "
+                  f"(floor {floor:.2f}x)  {status}")
+            isa_rows.append(
+                {"isa": level, "speedup_vs_scalar": round(ratio, 3),
+                 "floor": floor, "ok": ratio >= floor}
+            )
+            if ratio < floor:
+                failures.append(
+                    f"BM_GemmTiled/ifp: {level} speedup {ratio:.2f}x over "
+                    f"scalar below floor {floor:.2f}x"
+                )
+    if require is not None and ISA_ORDER.get(best, -1) < ISA_ORDER[require]:
+        failures.append(
+            f"host best_supported={best} is below required level {require}"
+        )
+
+    if out_path is not None:
+        artifact = {
+            "gate": "tile-gemm",
+            "isa_active": active,
+            "isa_best_supported": best,
+            "require": require,
+            "floors": GEMM_FLOORS,
+            "isa_floors": GEMM_ISA_FLOORS,
+            "pairs": rows,
+            "isa_rows": isa_rows,
+            "host": {
+                k: context.get(k)
+                for k in ("host_name", "num_cpus", "mhz_per_cpu", "date",
+                          "library_build_type", "runtime_threads")
+                if k in context
+            },
+            "passed": not failures,
+        }
+        with open(out_path, "w") as f:
+            json.dump(artifact, f, indent=2)
+            f.write("\n")
+        print(f"wrote {out_path}")
+
+    if failures:
+        print("\ntile-GEMM performance regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\ntile-GEMM engine at or above its blocked and per-ISA floors")
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) >= 2 and sys.argv[1] == "--sweep":
         return check_sweep(sys.argv[2:])
@@ -469,6 +614,8 @@ def main() -> int:
         return check_chaos(sys.argv[2:])
     if len(sys.argv) >= 2 and sys.argv[1] == "--isa":
         return check_isa(sys.argv[2:])
+    if len(sys.argv) >= 2 and sys.argv[1] == "--gemm":
+        return check_gemm(sys.argv[2:])
     if len(sys.argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
