@@ -14,6 +14,7 @@
 
 #include "common/args.h"
 #include "common/rng.h"
+#include "common/sweep_flags.h"
 #include "gemm/gemm.h"
 #include "gpu/context.h"
 #include "ihw/ihw.h"
@@ -25,6 +26,11 @@ using namespace ihw;
 namespace {
 
 constexpr int kM = 128, kN = 128, kK = 128;
+
+// --abft=off|detect|recover: global override applied to every tiled row, so
+// the whole suite can be re-measured under checksum verification. The
+// dedicated /abft: rows below measure the modes explicitly regardless.
+int g_abft = 0;
 
 void label_isa(benchmark::State& state) {
   state.SetLabel(std::string("isa=") + simd::kernels().name);
@@ -59,6 +65,8 @@ void BM_GemmNaive(benchmark::State& state, IhwConfig cfg,
 }
 
 void BM_GemmTiled(benchmark::State& state, IhwConfig cfg, gemm::GemmConfig g) {
+  if (g_abft != 0 && g.abft == gemm::AbftMode::kOff)
+    g.abft = static_cast<gemm::AbftMode>(g_abft);
   const auto A = inputs(static_cast<std::size_t>(kM) * kK, 21);
   const auto B = inputs(static_cast<std::size_t>(kK) * kN, 22);
   std::vector<float> C(static_cast<std::size_t>(kM) * kN);
@@ -132,8 +140,30 @@ void gemm_isa_row(benchmark::State& state, simd::IsaLevel level) {
                gemm::GemmConfig{});
 }
 
+// ABFT overhead rows: the /ifp tiled row re-run with checksum verification
+// (detect) and verification + recovery bookkeeping (recover). The CI gate
+// caps these at <= 1.25x the unprotected /ifp row -- the whole point of the
+// checksum scheme next to GuardedDispatch's per-op precise screen, measured
+// by the /guarded row below (> 2x by construction: every MAC runs twice).
+void gemm_abft_row(benchmark::State& state, gemm::AbftMode mode) {
+  gemm::GemmConfig g;
+  g.abft = mode;
+  BM_GemmTiled(state, IhwConfig::mul_only(MulMode::ImpreciseSimple, 0), g);
+}
+
+void gemm_guarded_row(benchmark::State& state) {
+  IhwConfig cfg = IhwConfig::mul_only(MulMode::ImpreciseSimple, 0);
+  cfg.guard.enabled = true;
+  BM_GemmTiled(state, cfg, gemm::GemmConfig{});
+}
+
 void register_runtime_rows() {
   using simd::IsaLevel;
+  benchmark::RegisterBenchmark("BM_GemmTiled/ifp/abft:detect", gemm_abft_row,
+                               gemm::AbftMode::kDetect);
+  benchmark::RegisterBenchmark("BM_GemmTiled/ifp/abft:recover", gemm_abft_row,
+                               gemm::AbftMode::kRecover);
+  benchmark::RegisterBenchmark("BM_GemmTiled/ifp/guarded", gemm_guarded_row);
   for (IsaLevel level :
        {IsaLevel::kScalar, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
     if (!simd::isa_supported(level)) continue;
@@ -154,6 +184,12 @@ void register_runtime_rows() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   ihw::common::Args args(argc, argv);
+  try {
+    g_abft = ihw::common::parse_abft_flag(args);
+  } catch (const ihw::common::ArgError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   const int threads = ihw::runtime::configure_threads_from_args(args);
   if (args.has("force-isa")) {
     ihw::simd::IsaLevel want;

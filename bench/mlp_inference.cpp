@@ -50,6 +50,10 @@ sweep::Workload make_workload(const apps::MlpParams& p) {
       w.params.emplace_back("accum_block", double(p.gemm.accum_block));
       break;
   }
+  // Appended only when on, so every pre-existing point keeps the fingerprint
+  // (and any cached record) it had before the ABFT layer existed.
+  if (p.gemm.abft != gemm::AbftMode::kOff)
+    w.params.emplace_back("abft", double(static_cast<int>(p.gemm.abft)));
   return w;
 }
 
@@ -111,10 +115,15 @@ int main(int argc, char** argv) try {
   };
 
   const auto t0 = std::chrono::steady_clock::now();
+  // --abft=detect|recover re-runs the whole operating-point grid with the
+  // checksum layer on (DESIGN.md §17); the default keeps it off and the
+  // output byte-identical to the pre-ABFT bench.
+  const auto abft_mode = static_cast<gemm::AbftMode>(flags.abft);
   std::vector<sweep::GridPoint> points;
   for (const auto& pt : grid) {
     apps::MlpParams p = base;
     p.gemm = pt.gcfg;
+    p.gemm.abft = abft_mode;
     const IhwConfig cfg = pt.cfg;
     points.push_back({make_workload(p).fingerprint(&cfg), [p, cfg] {
                         sweep::EvalRecord rec;
@@ -123,6 +132,16 @@ int main(int argc, char** argv) try {
                             cfg, [&] { res = apps::run_mlp(p); });
                         rec.set_metric("accuracy", res.accuracy);
                         rec.set_metric("checksum", res.logit_checksum);
+                        if (p.gemm.abft != gemm::AbftMode::kOff) {
+                          rec.set_metric("abft_checksums",
+                                         double(res.abft.checksums));
+                          rec.set_metric("abft_detections",
+                                         double(res.abft.detections));
+                          rec.set_metric("abft_recovered",
+                                         double(res.abft.blocks_recovered));
+                          rec.set_metric("abft_residual_max",
+                                         res.abft.residual_max);
+                        }
                         return rec;
                       }});
   }
@@ -133,7 +152,10 @@ int main(int argc, char** argv) try {
     return sweep::kDrainExitCode;
   }
 
-  common::Table t({"configuration", "accuracy", "acc drop", "sys saving"});
+  std::vector<std::string> headers = {"configuration", "accuracy", "acc drop",
+                                      "sys saving"};
+  if (flags.abft != 0) headers.push_back("abft");
+  common::Table t(std::move(headers));
   sweep::Json rows = sweep::Json::array();
   double base_acc = 0.0;
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -159,17 +181,32 @@ int main(int argc, char** argv) try {
         .add(accuracy * 100.0, 2)
         .add((base_acc - accuracy) * 100.0, 2)
         .add(common::pct(saving));
+    if (flags.abft != 0) {
+      char abuf[64];
+      std::snprintf(abuf, sizeof abuf, "det=%lld rec=%lld",
+                    static_cast<long long>(rec.metric("abft_detections")),
+                    static_cast<long long>(rec.metric("abft_recovered")));
+      t.add(abuf);
+    }
     char hex[24];
     std::snprintf(hex, sizeof hex, "%016llx",
                   static_cast<unsigned long long>(points[i].fp));
-    rows.push(sweep::Json::object()
-                  .set("configuration", grid[i].label)
-                  .set("fingerprint", hex)
-                  .set("accuracy", accuracy)
-                  .set("checksum", rec.metric("checksum"))
-                  .set("system_saving", saving)
-                  .set("cache_hit", out.cache_hit[i] != 0)
-                  .set("status", sweep::to_string(out.status[i])));
+    auto jrow = sweep::Json::object()
+                    .set("configuration", grid[i].label)
+                    .set("fingerprint", hex)
+                    .set("accuracy", accuracy)
+                    .set("checksum", rec.metric("checksum"))
+                    .set("system_saving", saving)
+                    .set("cache_hit", out.cache_hit[i] != 0)
+                    .set("status", sweep::to_string(out.status[i]));
+    if (flags.abft != 0) {
+      jrow.set("abft_mode", gemm::to_string(abft_mode))
+          .set("abft_checksums", rec.metric("abft_checksums"))
+          .set("abft_detections", rec.metric("abft_detections"))
+          .set("abft_recovered", rec.metric("abft_recovered"))
+          .set("abft_residual_max", rec.metric("abft_residual_max"));
+    }
+    rows.push(std::move(jrow));
   }
   std::printf("== MLP inference: accuracy vs power across GEMM operating "
               "points ==\n");

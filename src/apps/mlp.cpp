@@ -80,12 +80,19 @@ MlpResult run_mlp(const MlpParams& p) {
   std::vector<float> h1(static_cast<std::size_t>(S) * H);
   std::vector<float> logits(static_cast<std::size_t>(S) * C);
 
-  gemm::run(m.x.data(), m.w1.data(), h1.data(), S, H, D, p.gemm);
-  for (auto& v : h1) v = v > 0.0f ? v : 0.0f;  // ReLU: compare/select, no FP unit
-  gpu::count_int_ops(h1.size());
-  gemm::run(h1.data(), m.w2.data(), logits.data(), S, C, H, p.gemm);
+  MlpResult r;
+  {
+    // Collect both layers' ABFT activity into the result; the previous sink
+    // (if any) is restored on scope exit and receives the merged tallies.
+    gemm::abft::AbftCounters* outer = gemm::abft::sink();
+    gemm::abft::ScopedAbftCounters scope(r.abft);
+    gemm::run(m.x.data(), m.w1.data(), h1.data(), S, H, D, p.gemm);
+    for (auto& v : h1) v = v > 0.0f ? v : 0.0f;  // ReLU: compare/select only
+    gpu::count_int_ops(h1.size());
+    gemm::run(h1.data(), m.w2.data(), logits.data(), S, C, H, p.gemm);
+    if (outer != nullptr) *outer += r.abft;
+  }
 
-  MlpResult r{0.0, 0.0};
   int correct = 0;
   for (int i = 0; i < S; ++i) {
     const float* row = logits.data() + static_cast<std::size_t>(i) * C;
@@ -97,6 +104,7 @@ MlpResult run_mlp(const MlpParams& p) {
   }
   gpu::count_int_ops(static_cast<std::uint64_t>(S) * C);  // argmax scan
   r.accuracy = static_cast<double>(correct) / static_cast<double>(S);
+  r.logits = std::move(logits);
   return r;
 }
 

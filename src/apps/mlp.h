@@ -8,7 +8,9 @@
 // and every accuracy drop is attributable to the imprecise multiply array
 // and/or the accumulator policy under test.
 #include <cstdint>
+#include <vector>
 
+#include "gemm/abft.h"
 #include "gemm/gemm.h"
 
 namespace ihw::apps {
@@ -24,8 +26,14 @@ struct MlpParams {
 };
 
 struct MlpResult {
-  double accuracy;        ///< fraction of samples classified correctly
-  double logit_checksum;  ///< fp64 sum of all output logits (determinism probe)
+  double accuracy = 0.0;  ///< fraction of samples classified correctly
+  double logit_checksum = 0.0;  ///< fp64 sum of all logits (determinism probe)
+  /// ABFT activity across both layers (zero when GemmConfig::abft is kOff);
+  /// also merged into any ScopedAbftCounters sink installed by the caller.
+  gemm::abft::AbftCounters abft;
+  /// Raw output logits (samples x classes), for quality metrics (e.g. the
+  /// fault-guard ablation's logit MAE against a fault-free baseline).
+  std::vector<float> logits;
 };
 
 /// Generates the synthetic model + batch from `seed` and runs inference.

@@ -15,7 +15,16 @@ SweepFlags SweepFlags::from_args(const Args& args) {
   f.server_deadline_ms =
       deadline_ms > 0 ? static_cast<std::uint64_t>(deadline_ms) : 0;
   f.server_no_fallback = args.get_bool("server-no-fallback", false);
+  f.abft = parse_abft_flag(args);
   return f;
+}
+
+int parse_abft_flag(const Args& args) {
+  const std::string v = args.get("abft", "off");
+  if (v == "off") return 0;
+  if (v == "detect") return 1;
+  if (v == "recover") return 2;
+  throw ArgError("--abft expects off|detect|recover, got \"" + v + "\"");
 }
 
 }  // namespace ihw::common

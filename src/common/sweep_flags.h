@@ -33,6 +33,10 @@ struct SweepFlags {
   /// of degrading to in-process evaluation (the default keeps --server
   /// benches byte-identical and exit-0 even with a dead daemon).
   bool server_no_fallback = false;
+  /// --abft=off|detect|recover: checksum fault detection on the tile-GEMM
+  /// path (DESIGN.md §17). Stored as int so common/ stays gemm-agnostic;
+  /// matches gemm::AbftMode (0 = off, 1 = detect, 2 = recover).
+  int abft = 0;
 
   /// True when the bench should run as a daemon client.
   bool server_mode() const { return !server.empty(); }
@@ -41,5 +45,10 @@ struct SweepFlags {
   /// ArgError on malformed values).
   static SweepFlags from_args(const Args& args);
 };
+
+/// Parses the shared `--abft=off|detect|recover` flag to its gemm::AbftMode
+/// integer value (0/1/2). Absent = 0. Any other value throws ArgError naming
+/// the flag, same contract as the strict numeric accessors.
+int parse_abft_flag(const Args& args);
 
 }  // namespace ihw::common

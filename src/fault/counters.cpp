@@ -17,7 +17,7 @@ std::uint64_t FaultCounters::total_trips() const {
 }
 
 bool FaultCounters::any() const {
-  if (retried_epochs != 0) return true;
+  if (retried_epochs != 0 || nonfinite_flags != 0) return true;
   for (int i = 0; i < kNumUnitClasses; ++i) {
     if (injected[i] || guard_trips[i] || degraded_epochs[i] ||
         run_degradations[i])
@@ -32,6 +32,7 @@ void FaultCounters::reset() {
   degraded_epochs.fill(0);
   run_degradations.fill(0);
   retried_epochs = 0;
+  nonfinite_flags = 0;
 }
 
 FaultCounters& FaultCounters::operator+=(const FaultCounters& o) {
@@ -42,6 +43,7 @@ FaultCounters& FaultCounters::operator+=(const FaultCounters& o) {
     run_degradations[i] += o.run_degradations[i];
   }
   retried_epochs += o.retried_epochs;
+  nonfinite_flags += o.nonfinite_flags;
   return *this;
 }
 
@@ -50,6 +52,7 @@ std::string FaultCounters::summary() const {
   std::ostringstream os;
   os << "faults: injected=" << total_injected() << " trips=" << total_trips()
      << " retried_epochs=" << retried_epochs;
+  if (nonfinite_flags != 0) os << " nonfinite=" << nonfinite_flags;
   for (int i = 0; i < kNumUnitClasses; ++i) {
     if (!(injected[i] || guard_trips[i] || degraded_epochs[i] ||
           run_degradations[i]))

@@ -24,6 +24,11 @@ struct FaultCounters {
   std::array<std::uint64_t, kNumUnitClasses> run_degradations{};
   /// Epochs re-executed on the precise path (guard retry mode).
   std::uint64_t retried_epochs = 0;
+  /// Non-finite partial results caught by the screened mac_n span where the
+  /// precise chain stays finite (NaN/Inf fault semantics: flagged -- and
+  /// under GuardPolicy::recover repaired -- at the element, instead of
+  /// poisoning the downstream adds' precise references unflagged).
+  std::uint64_t nonfinite_flags = 0;
 
   std::uint64_t operator[](UnitClass c) const {
     return injected[static_cast<int>(c)];

@@ -227,10 +227,29 @@ class GuardedDispatch {
   /// label in that order -- the same labels the two-span composition
   /// mul_n/add_n would consume, so fault draws and guard decisions are
   /// bit-identical to the unfused form.
+  ///
+  /// NaN/Inf composition gap: a non-finite fault in the mul poisons the add
+  /// screen's precise reference (precise NaN + c is NaN, and screen() abstains
+  /// when the precise side is non-finite), so the corrupted element would
+  /// propagate unflagged. The element-level backstop below re-derives the
+  /// precise chain from the ORIGINAL operands; a non-finite result whose true
+  /// chain is finite is an immediate detection (and repair under recover).
   template <typename T>
   void mac_n(const T* a, const T* b, const T* c, T* out, std::size_t n) {
     if (!screened_) return base_.mac_n(a, b, c, out, n);
-    for (std::size_t i = 0; i < n; ++i) out[i] = add(mul(a[i], b[i]), c[i]);
+    const GuardPolicy& g = config().guard;
+    for (std::size_t i = 0; i < n; ++i) {
+      T r = add(mul(a[i], b[i]), c[i]);
+      if (g.enabled && !std::isfinite(static_cast<double>(r))) {
+        const T p = static_cast<T>(static_cast<T>(a[i] * b[i]) + c[i]);
+        if (std::isfinite(static_cast<double>(p))) {
+          ++counters_.nonfinite_flags;
+          epoch_tripped_ = true;
+          if (g.recover) r = p;
+        }
+      }
+      out[i] = r;
+    }
   }
 
  private:

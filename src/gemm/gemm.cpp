@@ -21,6 +21,7 @@
 #include <cstring>
 
 #include "common/aligned.h"
+#include "gemm/abft.h"
 #include "gpu/context.h"
 #include "gpu/epoch.h"
 #include "ihw/batch.h"
@@ -58,40 +59,16 @@ float acc_scalar(float p, float c, const GemmConfig& g) {
 }
 
 /// The canonical per-element schedule for rows [r0, r1): the reference
-/// semantics, also the screened path of run(). Multiplies go through the
-/// active context's guarded dispatch (precise host mul with no context);
-/// the accumulator is policy-raw -- the matrix unit's internal adder sits
-/// outside the voltage-overscaled multiply array, so it neither faults nor
-/// screens.
+/// semantics, also the screened path of run(). A loop over
+/// detail::canonical_element, the single source of truth the ABFT recovery
+/// path recomputes through (src/gemm/abft.cpp).
 void canonical_rows(const float* A, const float* B, float* C, std::size_t N,
                     std::size_t K, const GemmConfig& g, std::uint64_t r0,
                     std::uint64_t r1) {
-  auto* ctx = gpu::FpContext::current();
-  const bool wide = g.accum == AccumMode::kWideFp64;
-  const std::size_t blk =
-      static_cast<std::size_t>(std::max(1, g.accum_block));
   for (std::uint64_t i = r0; i < r1; ++i) {
-    const float* arow = A + i * K;
     float* crow = C + i * N;
-    for (std::size_t j = 0; j < N; ++j) {
-      float cacc = 0.0f;
-      double w = 0.0;
-      for (std::size_t k = 0; k < K; ++k) {
-        const float a = arow[k];
-        const float b = B[k * N + j];
-        const float p = ctx ? ctx->guarded().mul(a, b) : a * b;
-        if (wide) {
-          w += static_cast<double>(p);
-          if ((k + 1) % blk == 0 || k + 1 == K) {
-            cacc = canon_add(static_cast<float>(w), cacc, ~0u);
-            w = 0.0;
-          }
-        } else {
-          cacc = acc_scalar(p, cacc, g);
-        }
-      }
-      crow[j] = cacc;
-    }
+    for (std::size_t j = 0; j < N; ++j)
+      crow[j] = detail::canonical_element(A, B, N, K, i, j, g);
   }
 }
 
@@ -201,12 +178,55 @@ void bump_counters(gpu::FpContext* ctx, std::size_t M, std::size_t N,
 
 }  // namespace
 
+namespace detail {
+
+/// Multiplies go through the active context's guarded dispatch (precise
+/// host mul with no context); the accumulator is policy-raw -- the matrix
+/// unit's internal adder sits outside the voltage-overscaled multiply
+/// array, so it neither faults nor screens.
+float canonical_element(const float* A, const float* B, std::size_t N,
+                        std::size_t K, std::size_t i, std::size_t j,
+                        const GemmConfig& g) {
+  auto* ctx = gpu::FpContext::current();
+  const bool wide = g.accum == AccumMode::kWideFp64;
+  const std::size_t blk = static_cast<std::size_t>(std::max(1, g.accum_block));
+  const float* arow = A + i * K;
+  float cacc = 0.0f;
+  double w = 0.0;
+  for (std::size_t k = 0; k < K; ++k) {
+    const float a = arow[k];
+    const float b = B[k * N + j];
+    const float p = ctx ? ctx->guarded().mul(a, b) : a * b;
+    if (wide) {
+      w += static_cast<double>(p);
+      if ((k + 1) % blk == 0 || k + 1 == K) {
+        cacc = canon_add(static_cast<float>(w), cacc, ~0u);
+        w = 0.0;
+      }
+    } else {
+      cacc = acc_scalar(p, cacc, g);
+    }
+  }
+  return cacc;
+}
+
+}  // namespace detail
+
 std::string to_string(AccumMode m) {
   switch (m) {
     case AccumMode::kFp32: return "fp32";
     case AccumMode::kFp32Trunc: return "fp32_trunc";
     case AccumMode::kIfpAdd: return "ifp_add";
     case AccumMode::kWideFp64: return "wide_fp64";
+  }
+  return "?";
+}
+
+std::string to_string(AbftMode m) {
+  switch (m) {
+    case AbftMode::kOff: return "off";
+    case AbftMode::kDetect: return "detect";
+    case AbftMode::kRecover: return "recover";
   }
   return "?";
 }
@@ -234,23 +254,27 @@ void run(const float* A, const float* B, float* C, int M, int N, int K,
           canonical_rows(A, B, C, sN, sK, cfg, r0, r1);
         },
         cfg.threads);
-    return;
+  } else {
+    const std::size_t mc = static_cast<std::size_t>(std::max(1, cfg.mc));
+    const std::size_t nc = static_cast<std::size_t>(std::max(1, cfg.nc));
+    std::size_t kc = static_cast<std::size_t>(std::max(1, cfg.kc));
+    if (cfg.accum == AccumMode::kWideFp64) {
+      const std::size_t blk =
+          static_cast<std::size_t>(std::max(1, cfg.accum_block));
+      kc = std::max(blk, kc - kc % blk);  // align panel edges to wide blocks
+    }
+    runtime::batch_apply(
+        sM, mc,
+        [&](std::uint64_t r0, std::uint64_t r1) {
+          row_block(A, B, C, sN, sK, cfg, icfg, kc, nc, r0, r1);
+        },
+        cfg.threads);
   }
 
-  const std::size_t mc = static_cast<std::size_t>(std::max(1, cfg.mc));
-  const std::size_t nc = static_cast<std::size_t>(std::max(1, cfg.nc));
-  std::size_t kc = static_cast<std::size_t>(std::max(1, cfg.kc));
-  if (cfg.accum == AccumMode::kWideFp64) {
-    const std::size_t blk =
-        static_cast<std::size_t>(std::max(1, cfg.accum_block));
-    kc = std::max(blk, kc - kc % blk);  // align panel edges to wide blocks
-  }
-  runtime::batch_apply(
-      sM, mc,
-      [&](std::uint64_t r0, std::uint64_t r1) {
-        row_block(A, B, C, sN, sK, cfg, icfg, kc, nc, r0, r1);
-      },
-      cfg.threads);
+  // ABFT checksum verification + localized recovery (DESIGN.md §17),
+  // serial on the caller's thread so counters and any recovery recompute
+  // are schedule-invariant.
+  if (cfg.abft != AbftMode::kOff) abft::verify(A, B, C, M, N, K, cfg);
 }
 
 void reference(const float* A, const float* B, float* C, int M, int N, int K,

@@ -39,6 +39,16 @@ enum class AccumMode { kFp32, kFp32Trunc, kIfpAdd, kWideFp64 };
 
 std::string to_string(AccumMode m);
 
+/// ABFT protection level of a run() call (DESIGN.md §17). kDetect verifies
+/// Huang-Abraham row/column checksums against a PMF-calibrated threshold
+/// after the compute; kRecover additionally recomputes every flagged
+/// (row-block, col-block) intersection through the screened guarded-dispatch
+/// path. Both preserve the bit-identity contract: C is untouched by kDetect,
+/// and kRecover's recomputation is the canonical chain itself.
+enum class AbftMode { kOff = 0, kDetect = 1, kRecover = 2 };
+
+std::string to_string(AbftMode m);
+
 struct GemmConfig {
   AccumMode accum = AccumMode::kFp32;
   int accum_trunc = 0;   ///< kFp32Trunc: result LSBs dropped per accumulate
@@ -52,6 +62,8 @@ struct GemmConfig {
   int nc = 256;
 
   int threads = 1;  ///< worker count for the row-block parallelism (0 = default)
+
+  AbftMode abft = AbftMode::kOff;  ///< checksum fault detection / recovery
 };
 
 /// C (M x N, row-major) = A (M x K) * B (K x N). C is overwritten (the
@@ -67,5 +79,17 @@ void run(const float* A, const float* B, float* C, int M, int N, int K,
 /// micro_gemm speedup floor is measured against.
 void reference(const float* A, const float* B, float* C, int M, int N, int K,
                const GemmConfig& cfg);
+
+namespace detail {
+/// One element of the canonical chain: the exact value run()/reference()
+/// assign to C[i,j] -- multiplies through the active context's guarded
+/// dispatch, accumulation policy-raw, k ascending from a +0 seed. The ABFT
+/// recovery path recomputes flagged elements through this single source of
+/// truth, so a recovered element is bit-identical to the reference by
+/// construction (canonical_rows is a loop over it).
+float canonical_element(const float* A, const float* B, std::size_t N,
+                        std::size_t K, std::size_t i, std::size_t j,
+                        const GemmConfig& g);
+}  // namespace detail
 
 }  // namespace ihw::gemm

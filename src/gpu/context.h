@@ -58,6 +58,7 @@ class FpContext {
 
  private:
   friend class ScopedContext;
+  friend class ScopedNoContext;
   inline static thread_local FpContext* tls_current_ = nullptr;
   fault::GuardedDispatch guarded_;
   PerfCounters counters_;
@@ -72,6 +73,26 @@ class ScopedContext {
   ~ScopedContext() { FpContext::tls_current_ = prev_; }
   ScopedContext(const ScopedContext&) = delete;
   ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  FpContext* prev_;
+};
+
+/// Temporarily uninstalls the active context: operations inside run on
+/// precise host arithmetic, uncounted, unfaulted, and -- crucially -- the
+/// execution runtime's epoch hooks (gpu::run_epoch / finish_launch) become
+/// no-ops, so the caller's GuardedDispatch epoch labelling and breaker state
+/// are untouched. Used by side computations that must not perturb the run
+/// they observe, e.g. the ABFT layer deriving its detection threshold from
+/// error::characterize32 while a gemm::run is mid-flight (DESIGN.md §17).
+class ScopedNoContext {
+ public:
+  ScopedNoContext() : prev_(FpContext::tls_current_) {
+    FpContext::tls_current_ = nullptr;
+  }
+  ~ScopedNoContext() { FpContext::tls_current_ = prev_; }
+  ScopedNoContext(const ScopedNoContext&) = delete;
+  ScopedNoContext& operator=(const ScopedNoContext&) = delete;
 
  private:
   FpContext* prev_;

@@ -47,6 +47,12 @@ bool get_int_param(const sweep::Workload& w, const char* key, double lo,
   return true;
 }
 
+bool has_param(const sweep::Workload& w, const char* key) {
+  for (const auto& [k, v] : w.params)
+    if (k == key) return true;
+  return false;
+}
+
 // The accumulation-policy sub-spec shared by the gemm and mlp recipes:
 // `accum` selects the mode (0 fp32, 1 fp32_trunc, 2 ifp_add, 3 wide_fp64)
 // and each mode's structural knob is required exactly when that mode needs
@@ -72,6 +78,14 @@ bool get_accum_params(const sweep::Workload& w, gemm::GemmConfig* g,
       if (!get_int_param(w, "accum_block", 1, 4096, &g->accum_block, err))
         return false;
       break;
+  }
+  // Optional ABFT mode (0 off, 1 detect, 2 recover). Absent means off, so
+  // every pre-existing recipe keeps its fingerprint and its exact behaviour;
+  // when present it is validated as strictly as the structural knobs above.
+  if (has_param(w, "abft")) {
+    int abft = 0;
+    if (!get_int_param(w, "abft", 0, 2, &abft, err)) return false;
+    g->abft = static_cast<gemm::AbftMode>(abft);
   }
   return true;
 }

@@ -247,6 +247,7 @@ std::string EvalCache::serialize(std::uint64_t fp, const EvalRecord& rec) {
   put_u64s(os, "faults-degraded", rec.faults.degraded_epochs);
   put_u64s(os, "faults-rundeg", rec.faults.run_degradations);
   os << "faults-retried " << rec.faults.retried_epochs << '\n';
+  os << "faults-nonfinite " << rec.faults.nonfinite_flags << '\n';
   os << "char " << (rec.has_char ? 1 : 0) << '\n';
   if (rec.has_char) {
     os << "char-label " << rec.chr.label << '\n';
@@ -320,6 +321,8 @@ bool EvalCache::deserialize(const std::string& text, std::uint64_t expect_fp,
       if (!get_u64s(is, &rec.faults.run_degradations)) return false;
     } else if (key == "faults-retried") {
       if (!(is >> rec.faults.retried_epochs)) return false;
+    } else if (key == "faults-nonfinite") {
+      if (!(is >> rec.faults.nonfinite_flags)) return false;
     } else if (key == "char") {
       int flag = 0;
       if (!(is >> flag)) return false;

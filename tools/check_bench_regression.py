@@ -9,6 +9,7 @@ Usage:
   check_bench_regression.py --chaos BENCH.json [--max-amplification=R]
   check_bench_regression.py --isa BENCH.json [--require=LEVEL] [--out=OUT.json]
   check_bench_regression.py --gemm BENCH.json [--require=LEVEL] [--out=OUT.json]
+  check_bench_regression.py --abft VALIDATION.json GEMM.json [--max-overhead=R] [--out=OUT.json]
 
 The batched span kernels (src/ihw/batch.h) are only worth their complexity
 while they stay far ahead of the element-wise SimReal path, so the gate is
@@ -79,6 +80,21 @@ less there and the gate just forbids the tiled path from losing to the
 naive loop. The per-ISA tiled rows (BM_GemmTiled/ifp/isa:<level>) gate
 against the forced-scalar tiled row exactly like --isa mode (floors in
 GEMM_ISA_FLOORS; --require/--out behave the same).
+
+--abft mode gates the ABFT checksum layer (DESIGN.md §17) from two inputs:
+VALIDATION.json is the --json report of bench/abft_validation (the
+fault-injection safety contract: zero false positives fault-free, every
+injected fault detected-and-recovered or provably below the quality bound,
+non-finite faults flagged immediately -- never a silent wrong answer), and
+GEMM.json is a micro_gemm report containing the runtime
+BM_GemmTiled/ifp/abft:* rows. The contract gates are absolute; the
+performance gate is machine-independent ratios against the unguarded
+BM_GemmTiled/ifp row in the same report: detect and recover modes must cost
+at most --max-overhead (default 0.25, i.e. 25%; measured at merge ~2-4%)
+while the full GuardedDispatch screen on the same shape must cost more than
+100% extra -- that separation is the reason the checksum layer exists, so if
+it ever collapses the gate fails rather than silently shipping a redundant
+subsystem.
 """
 
 import json
@@ -605,6 +621,149 @@ def check_gemm(argv: list) -> int:
     return 0
 
 
+# Ceiling on the fractional ABFT slowdown of the tiled ifp GEMM (detect and
+# recover rows against the unguarded row; measured at merge ~2-4%), and the
+# floor the full per-element screen must stay above for the checksum layer to
+# keep earning its place as the cheap protection tier.
+ABFT_MAX_OVERHEAD = 0.25
+ABFT_GUARD_MIN_OVERHEAD = 1.0
+
+
+def check_abft(argv: list) -> int:
+    max_overhead = ABFT_MAX_OVERHEAD
+    out_path = None
+    paths = []
+    for arg in argv:
+        if arg.startswith("--max-overhead="):
+            max_overhead = float(arg.split("=", 1)[1])
+        elif arg.startswith("--out="):
+            out_path = arg.split("=", 1)[1]
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(paths[0]) as f:
+        validation = json.load(f)
+
+    failures = []
+    if validation.get("bench") != "abft_validation":
+        failures.append(f"unexpected bench tag: {validation.get('bench')!r}")
+
+    # Safety contract: the harness's own verdict plus each invariant
+    # re-checked here, so a harness that stops computing one of them (or
+    # starts passing vacuously with zero injections) fails the gate too.
+    ff = validation.get("fault_free", {})
+    inj = validation.get("injected", {})
+    nf = validation.get("nonfinite", {})
+    print(
+        f"abft fault-free: {ff.get('points', 0)} points, "
+        f"{ff.get('checksums', 0)} checksums, "
+        f"{ff.get('detections', 0)} false positives "
+        f"(residual_max {ff.get('residual_max', 0.0):.3f})"
+    )
+    print(
+        f"abft injected: {inj.get('points', 0)} points, "
+        f"{inj.get('injected', 0)} faults -> {inj.get('detections', 0)} "
+        f"detections, {inj.get('recovered', 0)} blocks recovered, "
+        f"silent_wrong={inj.get('silent_wrong')} "
+        f"post_recovery_bad={inj.get('post_recovery_bad')}"
+    )
+    print(
+        f"abft nonfinite: {nf.get('nonfinite_detections', 0)} non-finite "
+        f"detections, {nf.get('nonfinite_out', 0)} non-finite outputs after "
+        f"recovery"
+    )
+    if ff.get("detections", 1) != 0:
+        failures.append(
+            f"{ff.get('detections')} fault-free false positives (threshold "
+            "calibration has drifted)"
+        )
+    if inj.get("injected", 0) < 1:
+        failures.append("injection pass injected zero faults; proves nothing")
+    if inj.get("detections", 0) < 1:
+        failures.append("injection pass detected zero faults")
+    if inj.get("silent_wrong", 1) != 0:
+        failures.append(
+            f"{inj.get('silent_wrong')} silent wrong answers (out-of-bound "
+            "elements with no flagged axis -- the core invariant is broken)"
+        )
+    if inj.get("post_recovery_bad", 1) != 0:
+        failures.append(
+            f"{inj.get('post_recovery_bad')} elements still out of bound "
+            "after recovery"
+        )
+    if nf.get("nonfinite_detections", 0) < 1:
+        failures.append("exponent-fault pass raised no non-finite detections")
+    if nf.get("nonfinite_out", 1) != 0:
+        failures.append(
+            f"{nf.get('nonfinite_out')} non-finite outputs survived recovery"
+        )
+    if not validation.get("passed", False):
+        failures.append("abft_validation's own verdict is passed=false")
+
+    # Overhead: machine-independent ratios within one micro_gemm report.
+    times = load_times(paths[1])
+    base = times.get("BM_GemmTiled/ifp")
+    rows = []
+    if base is None:
+        failures.append("missing BM_GemmTiled/ifp baseline row in GEMM report")
+    else:
+        checks = [
+            ("BM_GemmTiled/ifp/abft:detect", max_overhead, True),
+            ("BM_GemmTiled/ifp/abft:recover", max_overhead, True),
+            ("BM_GemmTiled/ifp/guarded", ABFT_GUARD_MIN_OVERHEAD, False),
+        ]
+        for name, bound, is_ceiling in checks:
+            if name not in times:
+                failures.append(f"missing benchmark row: {name}")
+                continue
+            overhead = times[name] / base - 1.0
+            ok = overhead <= bound if is_ceiling else overhead > bound
+            rel = "ceiling" if is_ceiling else "floor"
+            print(
+                f"{name:36s} {overhead * 100.0:+7.1f}%  "
+                f"({rel} {bound * 100.0:.0f}%)  {'ok' if ok else 'FAIL'}"
+            )
+            rows.append(
+                {"bench": name, "overhead": round(overhead, 4),
+                 "bound": bound, "ceiling": is_ceiling, "ok": ok}
+            )
+            if not ok:
+                failures.append(
+                    f"{name}: overhead {overhead * 100.0:.1f}% "
+                    f"{'above ceiling' if is_ceiling else 'below floor'} "
+                    f"{bound * 100.0:.0f}%"
+                )
+
+    if out_path is not None:
+        artifact = {
+            "gate": "abft",
+            "fault_free": ff,
+            "injected": inj,
+            "nonfinite": nf,
+            "max_overhead": max_overhead,
+            "guard_min_overhead": ABFT_GUARD_MIN_OVERHEAD,
+            "overhead_rows": rows,
+            "passed": not failures,
+        }
+        with open(out_path, "w") as f:
+            json.dump(artifact, f, indent=2)
+            f.write("\n")
+        print(f"wrote {out_path}")
+
+    if failures:
+        print("\nABFT safety-contract regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(
+        "\nABFT contract holds: no silent wrong answers, no false positives, "
+        "checksum overhead inside its ceiling"
+    )
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) >= 2 and sys.argv[1] == "--sweep":
         return check_sweep(sys.argv[2:])
@@ -616,6 +775,8 @@ def main() -> int:
         return check_isa(sys.argv[2:])
     if len(sys.argv) >= 2 and sys.argv[1] == "--gemm":
         return check_gemm(sys.argv[2:])
+    if len(sys.argv) >= 2 and sys.argv[1] == "--abft":
+        return check_abft(sys.argv[2:])
     if len(sys.argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
